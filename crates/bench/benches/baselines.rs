@@ -1,0 +1,83 @@
+//! ROCK vs the traditional algorithms on identical categorical data:
+//! wall-clock comparison on the votes-like and basket workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use rock_baselines::{
+    centroid_hierarchical, clarans, dbscan, kmeans, kmodes, records_to_vectors,
+    similarity_linkage, CentroidConfig, ClaransConfig, DbscanConfig, KMeansConfig,
+    KModesConfig, Linkage, LinkageConfig,
+};
+use rock_core::neighbors::NeighborGraph;
+use rock_core::similarity::{CategoricalJaccard, PointsWith};
+use rock_core::Rock;
+use rock_data::{generate_votes, VotesSpec};
+use std::hint::black_box;
+
+fn bench_votes_algorithms(c: &mut Criterion) {
+    let data = generate_votes(&VotesSpec::paper(), &mut StdRng::seed_from_u64(84));
+    let vectors = records_to_vectors(&data.records, &data.schema);
+    let mut group = c.benchmark_group("votes_435");
+
+    group.bench_function("rock", |b| {
+        let rock = Rock::builder().theta(0.73).clusters(2).build().expect("valid");
+        let sim = CategoricalJaccard::default();
+        b.iter(|| black_box(rock.cluster(&data.records, &sim)))
+    });
+    group.bench_function("centroid_hierarchical", |b| {
+        b.iter(|| black_box(centroid_hierarchical(&vectors, CentroidConfig::paper(2))))
+    });
+    group.bench_function("group_average", |b| {
+        let sim = CategoricalJaccard::default();
+        b.iter(|| {
+            black_box(similarity_linkage(
+                &PointsWith::new(&data.records, &sim),
+                LinkageConfig::new(2, Linkage::Average),
+            ))
+        })
+    });
+    group.bench_function("single_link_mst", |b| {
+        let sim = CategoricalJaccard::default();
+        b.iter(|| {
+            black_box(similarity_linkage(
+                &PointsWith::new(&data.records, &sim),
+                LinkageConfig::new(2, Linkage::Single),
+            ))
+        })
+    });
+    group.bench_function("kmeans", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(kmeans(&vectors, KMeansConfig::new(2), &mut rng))
+        })
+    });
+    group.bench_function("kmodes", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(kmodes(&data.records, KModesConfig::new(2), &mut rng))
+        })
+    });
+    group.bench_function("dbscan", |b| {
+        let sim = CategoricalJaccard::default();
+        b.iter(|| {
+            let g = NeighborGraph::build(&PointsWith::new(&data.records, &sim), 0.73);
+            black_box(dbscan(&g, DbscanConfig::new(4)))
+        })
+    });
+    group.bench_function("clarans", |b| {
+        let sim = CategoricalJaccard::default();
+        let pw = PointsWith::new(&data.records, &sim);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(clarans(&pw, ClaransConfig::new(2), &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_votes_algorithms
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Table 1: characteristics of the real-life data sets.
+//!
+//! Regenerates the paper's data-set summary from the calibrated
+//! generators (or, with `--votes-file` / `--mushroom-file`, from the
+//! original UCI files).
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1_datasets
+//! ```
+
+use bench::{print_table, Args};
+use rand::{rngs::StdRng, SeedableRng};
+use rock_data::{generate_funds, generate_mushrooms, generate_votes};
+use rock_data::{FundSpec, MushroomSpec, VotesSpec};
+
+fn main() {
+    let args = Args::from_env();
+    let seed: u64 = args.get("seed", 1999);
+
+    let votes = if let Some(path) = option_path(&args, "votes-file") {
+        rock_data::parse_votes(&std::fs::read_to_string(path).expect("read votes file"))
+            .expect("parse votes file")
+    } else {
+        generate_votes(&VotesSpec::paper(), &mut StdRng::seed_from_u64(seed))
+    };
+    let mushrooms = if let Some(path) = option_path(&args, "mushroom-file") {
+        rock_data::parse_mushrooms(&std::fs::read_to_string(path).expect("read mushroom file"))
+            .expect("parse mushroom file")
+    } else {
+        generate_mushrooms(&MushroomSpec::paper(), &mut StdRng::seed_from_u64(seed + 1))
+    };
+    let funds = generate_funds(&FundSpec::paper(), &mut StdRng::seed_from_u64(seed + 2));
+
+    let missing = |records: &[rock_core::points::CategoricalRecord]| {
+        records.iter().any(|r| r.num_present() < r.arity())
+    };
+
+    let reps = votes
+        .labels
+        .iter()
+        .filter(|p| **p == rock_data::Party::Republican)
+        .count();
+    let edible = mushrooms
+        .labels
+        .iter()
+        .filter(|e| **e == rock_data::Edibility::Edible)
+        .count();
+
+    let rows = vec![
+        vec![
+            "Congressional Votes".to_owned(),
+            votes.records.len().to_string(),
+            votes.schema.num_attributes().to_string(),
+            yesno(missing(&votes.records)),
+            format!("{} Republicans and {} Democrats", reps, votes.records.len() - reps),
+        ],
+        vec![
+            "Mushroom".to_owned(),
+            mushrooms.records.len().to_string(),
+            mushrooms.schema.num_attributes().to_string(),
+            yesno(missing(&mushrooms.records)),
+            format!("{} edible and {} poisonous", edible, mushrooms.records.len() - edible),
+        ],
+        vec![
+            "U.S. Mutual Fund".to_owned(),
+            funds.records.len().to_string(),
+            funds.schema.num_attributes().to_string(),
+            yesno(missing(&funds.records)),
+            "548 business days of Up/Down/No changes".to_owned(),
+        ],
+    ];
+    print_table(
+        "Table 1: data sets",
+        &["Data Set", "No of Records", "No of Attributes", "Missing Values", "Note"],
+        &rows,
+    );
+    println!(
+        "\nPaper reference: Votes 435×16 (168 R / 267 D), Mushroom 8124×22 \
+         (4208 edible / 3916 poisonous), Mutual Fund 795×548."
+    );
+}
+
+fn yesno(b: bool) -> String {
+    if b { "Yes".to_owned() } else { "No".to_owned() }
+}
+
+fn option_path(args: &Args, name: &str) -> Option<String> {
+    let v: String = args.get(name, String::new());
+    if v.is_empty() {
+        None
+    } else {
+        Some(v)
+    }
+}

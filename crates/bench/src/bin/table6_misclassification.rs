@@ -1,0 +1,82 @@
+//! Table 6: misclassified transactions vs random-sample size on the
+//! synthetic basket data, for θ = 0.5 and θ = 0.6 (§5.4).
+//!
+//! Runs the full Fig.-2 pipeline — sample, cluster the sample, label the
+//! whole data set — and counts misclassifications against ground truth
+//! under the optimal cluster matching. The paper's values (full-size
+//! data set): θ=0.5 → 37, 0, 0, 0, 0 and θ=0.6 → 8123, 1051, 384, 104, 8
+//! for samples of 1000..5000.
+//!
+//! The default `--scale 0.25` keeps the demo fast (~28.6k transactions,
+//! sample sizes scaled by the same factor); use `--scale 1` for the
+//! paper-size run.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table6_misclassification -- \
+//!     [--scale 0.25] [--seed N]
+//! ```
+
+use bench::{default_threads, print_table, timed, Args};
+use rand::{rngs::StdRng, SeedableRng};
+use rock_core::goodness::GoodnessKind;
+use rock_core::similarity::Jaccard;
+use rock_core::Rock;
+use rock_data::{generate_baskets, SyntheticBasketSpec};
+use rock_eval::count_misclassified;
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 0.25);
+    let seed: u64 = args.get("seed", 114586);
+    let spec = if (scale - 1.0).abs() < 1e-9 {
+        SyntheticBasketSpec::paper()
+    } else {
+        SyntheticBasketSpec::paper_scaled(scale)
+    };
+    let data = generate_baskets(&spec, &mut StdRng::seed_from_u64(seed));
+    let k = spec.num_clusters();
+    println!(
+        "{} transactions, {} clusters + outliers; sample sizes scaled by {scale}",
+        data.transactions.len(),
+        k
+    );
+
+    let sample_sizes: Vec<usize> = [1000usize, 2000, 3000, 4000, 5000]
+        .iter()
+        .map(|&s| ((s as f64 * scale).round() as usize).max(10 * k))
+        .collect();
+    let thetas = [0.5, 0.6];
+
+    let mut rows = Vec::new();
+    for &sample in &sample_sizes {
+        let mut row = vec![sample.to_string()];
+        for &theta in &thetas {
+            let rock = Rock::builder()
+                .theta(theta)
+                .clusters(k)
+                .goodness_kind(GoodnessKind::Normalized)
+                .sample_size(sample)
+                .labeling_fraction(0.3)
+                .weed_outliers(3.0, sample / (k * 10).max(1))
+                .threads(default_threads())
+                .seed(seed ^ sample as u64 ^ (theta * 10.0) as u64)
+                .build()
+                .expect("valid config");
+            let (result, secs) = timed(|| rock.run(&data.transactions, &Jaccard));
+            let m = count_misclassified(&result.labeling.assignments, &data.labels);
+            row.push(format!("{} ({secs:.1}s)", m.misclassified));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 6: misclassified transactions (full data set, after labeling)",
+        &["Sample Size", "theta = 0.5", "theta = 0.6"],
+        &rows,
+    );
+    println!(
+        "\nPaper reference (114,586 transactions): theta 0.5 → 37, 0, 0, 0, 0; \
+         theta 0.6 → 8123, 1051, 384, 104, 8. The shape to reproduce: quality \
+         improves with sample size, and theta = 0.5 needs a smaller sample than \
+         theta = 0.6 because cluster items overlap 40% and transactions are small."
+    );
+}

@@ -1,0 +1,566 @@
+//! ROCK's agglomerative clustering loop (§4.3, Fig. 3) with outlier
+//! handling (§4.6).
+//!
+//! The algorithm maintains, per live cluster `i`, a *local heap* `q[i]` of
+//! merge candidates ordered by the goodness measure, plus a *global heap*
+//! `Q` ordering clusters by the goodness of their best candidate. Every
+//! iteration merges the globally best pair and patches the heaps of all
+//! clusters linked to either side — O(n² log n) worst case (§4.5).
+//!
+//! Deviations from Fig. 3, all from the paper's own prose:
+//!
+//! * the loop also stops when no remaining pair of clusters has links
+//!   (§4.3: "it also stops clustering if the number of links between every
+//!   pair of the remaining clusters becomes zero" — this is how the
+//!   mushroom run ends at 21 clusters instead of the requested 20);
+//! * §4.6 outlier handling: points with too few neighbors are discarded
+//!   up front, and optionally the merge loop pauses when the cluster count
+//!   falls to `⌈stop_multiple · k⌉`, weeds clusters below a support
+//!   threshold, and then continues towards `k`.
+
+use crate::cluster::{Clustering, MergeRecord};
+use crate::goodness::Goodness;
+use crate::heap::AddressableHeap;
+use crate::links::LinkTable;
+use crate::neighbors::NeighborGraph;
+use crate::util::FxHashMap;
+
+/// §4.6 outlier handling knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OutlierPolicy {
+    /// Discard, before clustering, every point with fewer than this many
+    /// neighbors. `0` disables pruning (every point has ≥ 0 neighbors).
+    /// The paper's "first pruning": isolated points never participate.
+    pub min_neighbors: usize,
+    /// If set, pause the merge loop when `⌈stop_multiple · k⌉` clusters
+    /// remain and weed out clusters smaller than `min_cluster_size` —
+    /// the paper's "small groups of points that are loosely connected".
+    pub weed: Option<WeedPolicy>,
+}
+
+/// The mid-flight weeding step of §4.6.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeedPolicy {
+    /// Multiple of `k` at which to weed (the paper's "small multiple of
+    /// the expected number of clusters"). Must be ≥ 1.
+    pub stop_multiple: f64,
+    /// Clusters strictly smaller than this are discarded as outliers.
+    pub min_cluster_size: usize,
+}
+
+impl OutlierPolicy {
+    /// No outlier handling at all.
+    pub fn disabled() -> Self {
+        OutlierPolicy {
+            min_neighbors: 0,
+            weed: None,
+        }
+    }
+}
+
+impl Default for OutlierPolicy {
+    /// Prune neighbor-less points; no mid-flight weeding.
+    fn default() -> Self {
+        OutlierPolicy {
+            min_neighbors: 1,
+            weed: None,
+        }
+    }
+}
+
+/// The clustering engine: goodness measure + target cluster count +
+/// outlier policy.
+#[derive(Clone, Copy, Debug)]
+pub struct RockAlgorithm {
+    goodness: Goodness,
+    k: usize,
+    outliers: OutlierPolicy,
+}
+
+/// Full output of a clustering run, including the merge trace.
+#[derive(Clone, Debug, Default)]
+pub struct RockRun {
+    /// The final clusters and outliers.
+    pub clustering: Clustering,
+    /// One record per merge, in merge order. Arena cluster ids: id `i <
+    /// initial_points.len()` is the singleton `{initial_points[i]}`; each
+    /// merge mints the next id.
+    pub merges: Vec<MergeRecord>,
+    /// Point id of each initial (post-pruning) singleton cluster.
+    pub initial_points: Vec<u32>,
+}
+
+impl RockAlgorithm {
+    /// Creates the engine.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or a weed policy has `stop_multiple < 1`.
+    pub fn new(goodness: Goodness, k: usize, outliers: OutlierPolicy) -> Self {
+        assert!(k >= 1, "need at least one target cluster");
+        if let Some(w) = &outliers.weed {
+            assert!(w.stop_multiple >= 1.0, "stop_multiple must be ≥ 1");
+        }
+        RockAlgorithm {
+            goodness,
+            k,
+            outliers,
+        }
+    }
+
+    /// The goodness measure in use.
+    pub fn goodness(&self) -> &Goodness {
+        &self.goodness
+    }
+
+    /// The target number of clusters `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Clusters the points of `graph`: computes links (Fig. 4) and runs
+    /// the merge loop (Fig. 3).
+    pub fn run(&self, graph: &NeighborGraph) -> RockRun {
+        let links = crate::links::compute_links_auto(graph);
+        self.run_with_links(graph, &links)
+    }
+
+    /// As [`run`](Self::run), with a precomputed link table (e.g. from
+    /// [`crate::links::compute_links_dense`]).
+    ///
+    /// # Panics
+    /// Panics if `links` is not defined over exactly `graph.len()` points.
+    pub fn run_with_links(&self, graph: &NeighborGraph, links: &LinkTable) -> RockRun {
+        assert_eq!(
+            links.num_points(),
+            graph.len(),
+            "link table and neighbor graph disagree on point count"
+        );
+        let n = graph.len();
+
+        // §4.6 first pruning: points with too few neighbors are outliers.
+        let mut outliers: Vec<u32> = Vec::new();
+        let mut cluster_of_point: Vec<Option<u32>> = vec![None; n];
+        let mut members: Vec<Option<Vec<u32>>> = Vec::new();
+        let mut initial_points: Vec<u32> = Vec::new();
+        for (p, slot) in cluster_of_point.iter_mut().enumerate() {
+            if graph.degree(p) < self.outliers.min_neighbors {
+                outliers.push(p as u32);
+            } else {
+                *slot = Some(members.len() as u32);
+                members.push(Some(vec![p as u32]));
+                initial_points.push(p as u32);
+            }
+        }
+        let initial = members.len();
+        let mut state = State::new(members, self.goodness);
+
+        // Initial cross-link maps and local heaps from the link table.
+        for ((i, j), c) in links.iter() {
+            let (Some(ci), Some(cj)) = (
+                cluster_of_point[i as usize],
+                cluster_of_point[j as usize],
+            ) else {
+                continue; // link to a pruned outlier
+            };
+            state.links[ci as usize].insert(cj, u64::from(c));
+            state.links[cj as usize].insert(ci, u64::from(c));
+            let g = self.goodness.merge_goodness(u64::from(c), 1, 1);
+            state.local[ci as usize].insert(cj, g);
+            state.local[cj as usize].insert(ci, g);
+        }
+        for id in 0..initial {
+            state.refresh_global(id as u32);
+        }
+
+        // Mid-flight weeding threshold (§4.6).
+        let weed_at = self.outliers.weed.map(|w| {
+            ((w.stop_multiple * self.k as f64).ceil() as usize).max(self.k)
+        });
+        let mut weeded = false;
+        let mut merges = Vec::new();
+
+        while state.live > self.k {
+            if let (Some(at), Some(w), false) = (weed_at, self.outliers.weed, weeded) {
+                if state.live <= at {
+                    state.weed(w.min_cluster_size, &mut outliers);
+                    weeded = true;
+                    continue;
+                }
+            }
+            let Some((u, best)) = state.global.peek() else {
+                break;
+            };
+            if best.is_infinite() && best < 0.0 {
+                // No cluster has any linked partner left (§4.3's early stop).
+                break;
+            }
+            merges.push(state.merge(u));
+        }
+        // If the loop ended before the weed threshold was reached (small
+        // inputs), still apply the weeding so the policy is honoured.
+        if let (Some(w), false) = (self.outliers.weed, weeded) {
+            state.weed(w.min_cluster_size, &mut outliers);
+        }
+
+        let clusters: Vec<Vec<u32>> = state
+            .members
+            .into_iter()
+            .flatten()
+            .collect();
+        RockRun {
+            clustering: Clustering::new(clusters, outliers),
+            merges,
+            initial_points,
+        }
+    }
+}
+
+/// Mutable clustering state: an arena of clusters plus the two-level heap
+/// structure of Fig. 3.
+struct State {
+    /// Arena: `None` once a cluster has been merged away or weeded.
+    members: Vec<Option<Vec<u32>>>,
+    /// `links[i][j]` = cross links between live clusters `i` and `j`.
+    links: Vec<FxHashMap<u32, u64>>,
+    /// Local heaps `q[i]`: candidates ordered by goodness.
+    local: Vec<AddressableHeap<u32>>,
+    /// Global heap `Q`: cluster → goodness of its best candidate
+    /// (−∞ for clusters with no linked partner).
+    global: AddressableHeap<u32>,
+    /// Number of live clusters.
+    live: usize,
+    goodness: Goodness,
+}
+
+impl State {
+    fn new(members: Vec<Option<Vec<u32>>>, goodness: Goodness) -> Self {
+        let n = members.len();
+        State {
+            live: n,
+            links: vec![FxHashMap::default(); n],
+            local: (0..n).map(|_| AddressableHeap::new()).collect(),
+            global: AddressableHeap::with_capacity(n),
+            members,
+            goodness,
+        }
+    }
+
+    fn size(&self, id: u32) -> usize {
+        self.members[id as usize]
+            .as_ref()
+            .expect("live cluster")
+            .len()
+    }
+
+    /// Re-derives cluster `id`'s entry in the global heap from its local
+    /// heap (Fig. 3 steps 14 and 16).
+    fn refresh_global(&mut self, id: u32) {
+        let best = self.local[id as usize]
+            .peek()
+            .map_or(f64::NEG_INFINITY, |(_, g)| g);
+        self.global.insert(id, best);
+    }
+
+    /// Merges the globally best cluster `u` with its best partner
+    /// (Fig. 3 steps 6–17); returns the merge record.
+    fn merge(&mut self, u: u32) -> MergeRecord {
+        let (v, guv) = self.local[u as usize]
+            .peek()
+            .expect("merge called on cluster with candidates");
+        let cross = self.links[u as usize][&v];
+        let record = MergeRecord {
+            left: u,
+            right: v,
+            merged: self.members.len() as u32,
+            sizes: (self.size(u), self.size(v)),
+            cross_links: cross,
+            goodness: guv,
+        };
+
+        self.global.remove(&u);
+        self.global.remove(&v);
+
+        // Step 9: w := merge(u, v).
+        let mut merged = self.members[u as usize].take().expect("live");
+        merged.extend(self.members[v as usize].take().expect("live"));
+        let w = self.members.len() as u32;
+        let w_size = merged.len();
+        self.members.push(Some(merged));
+
+        // link[x, w] := link[x, u] + link[x, v] for all linked x.
+        let mut lw = std::mem::take(&mut self.links[u as usize]);
+        for (x, c) in std::mem::take(&mut self.links[v as usize]) {
+            *lw.entry(x).or_insert(0) += c;
+        }
+        lw.remove(&u);
+        lw.remove(&v);
+
+        let mut qw = AddressableHeap::with_capacity(lw.len());
+        for (&x, &cxw) in &lw {
+            // Steps 11–14: replace u, v by w in x's bookkeeping.
+            let xl = &mut self.links[x as usize];
+            xl.remove(&u);
+            xl.remove(&v);
+            xl.insert(w, cxw);
+            let g = self
+                .goodness
+                .merge_goodness(cxw, self.size(x), w_size);
+            let xq = &mut self.local[x as usize];
+            xq.remove(&u);
+            xq.remove(&v);
+            xq.insert(w, g);
+            self.refresh_global(x);
+            qw.insert(x, g);
+        }
+
+        // Step 17: deallocate q[u], q[v].
+        self.local[u as usize].clear();
+        self.local[v as usize].clear();
+        self.links.push(lw);
+        self.local.push(qw);
+        self.refresh_global(w);
+        self.live -= 1;
+        record
+    }
+
+    /// §4.6 weeding: kills every live cluster smaller than `min_size`,
+    /// appending its members to `outliers`.
+    fn weed(&mut self, min_size: usize, outliers: &mut Vec<u32>) {
+        let victims: Vec<u32> = self
+            .members
+            .iter()
+            .enumerate()
+            .filter_map(|(id, m)| {
+                m.as_ref()
+                    .filter(|m| m.len() < min_size)
+                    .map(|_| id as u32)
+            })
+            .collect();
+        for o in victims {
+            let m = self.members[o as usize].take().expect("live");
+            outliers.extend(m);
+            for (x, _) in std::mem::take(&mut self.links[o as usize]) {
+                // A partner may itself have just been weeded.
+                if self.members[x as usize].is_none() {
+                    continue;
+                }
+                self.links[x as usize].remove(&o);
+                self.local[x as usize].remove(&o);
+                self.refresh_global(x);
+            }
+            self.local[o as usize].clear();
+            self.global.remove(&o);
+            self.live -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goodness::{BasketF, GoodnessKind};
+    use crate::points::Transaction;
+    use crate::similarity::{Jaccard, PointsWith, SimilarityMatrix};
+
+    fn basket_engine(theta: f64, k: usize) -> RockAlgorithm {
+        RockAlgorithm::new(
+            Goodness::new(theta, BasketF, GoodnessKind::Normalized),
+            k,
+            OutlierPolicy::default(),
+        )
+    }
+
+    /// Fig. 1's two overlapping clusters must be recovered at θ = 0.5
+    /// (§3.2: "our link-based approach would generate the correct
+    /// clusters shown in Figure 1").
+    ///
+    /// §3.3 defines f(θ) by "each point belonging to cluster Cᵢ has
+    /// approximately nᵢ^{f(θ)} neighbors in Cᵢ" and stresses it is
+    /// data-set dependent. In the Fig.-1 construction every transaction
+    /// neighbors (almost) its entire cluster, so the faithful estimate is
+    /// f ≈ 1 — not the market-basket `(1−θ)/(1+θ)` derived for sparse
+    /// uniformly-spread baskets. See `figure1_f_sensitivity` below.
+    #[test]
+    fn recovers_figure1_clusters() {
+        let ts = crate::testdata::figure1_transactions();
+        let g = NeighborGraph::build(&PointsWith::new(&ts, Jaccard), 0.5);
+        let engine = RockAlgorithm::new(
+            Goodness::new(0.5, crate::goodness::ConstantF(1.0), GoodnessKind::Normalized),
+            2,
+            OutlierPolicy::default(),
+        );
+        let run = engine.run(&g);
+        let c = &run.clustering;
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.sizes(), vec![10, 4]);
+        // The big cluster is exactly the 3-subsets of {1..5} (ids 0..10).
+        assert_eq!(c.clusters[0], (0u32..10).collect::<Vec<_>>());
+        assert_eq!(c.clusters[1], (10u32..14).collect::<Vec<_>>());
+    }
+
+    /// Reproduction note: with the market-basket estimate f = 1/3 the
+    /// criterion function E_l itself (§3.3) scores the "A swallows
+    /// {1,2,6},{1,2,7}" split *higher* than the intended Fig.-1 clusters,
+    /// and the greedy faithfully chases it. This pins down that behaviour
+    /// so the f-sensitivity is documented rather than accidental.
+    #[test]
+    fn figure1_f_sensitivity() {
+        use crate::criterion_fn::criterion_value;
+        let ts = crate::testdata::figure1_transactions();
+        let g = NeighborGraph::build(&PointsWith::new(&ts, Jaccard), 0.5);
+        let links = crate::links::compute_links_sparse(&g);
+        let correct = vec![(0u32..10).collect::<Vec<_>>(), (10u32..14).collect()];
+        let swallowed = vec![(0u32..12).collect::<Vec<_>>(), (12u32..14).collect()];
+        let basket = Goodness::new(0.5, BasketF, GoodnessKind::Normalized);
+        assert!(
+            criterion_value(&links, &swallowed, &basket)
+                > criterion_value(&links, &correct, &basket),
+            "with f = 1/3, E_l prefers the swallowed split on this data"
+        );
+        let run = basket_engine(0.5, 2).run(&g);
+        assert_eq!(run.clustering.sizes(), vec![12, 2]);
+        // With the density-faithful f = 1 the preference flips.
+        let dense = Goodness::new(0.5, crate::goodness::ConstantF(1.0), GoodnessKind::Normalized);
+        assert!(
+            criterion_value(&links, &correct, &dense)
+                > criterion_value(&links, &swallowed, &dense)
+        );
+    }
+
+    /// Example 1.1: `{1,4}` and `{6}` share no items, so ROCK must never
+    /// put them in one cluster (they have no links).
+    #[test]
+    fn example_1_1_no_spurious_merge() {
+        let ts = vec![
+            Transaction::from([1, 2, 3, 5]),
+            Transaction::from([2, 3, 4, 5]),
+            Transaction::from([1, 4]),
+            Transaction::from([6]),
+        ];
+        let g = NeighborGraph::build(&PointsWith::new(&ts, Jaccard), 0.2);
+        // Ask for 2 clusters with outlier pruning off so all points remain.
+        let engine = RockAlgorithm::new(
+            Goodness::new(0.2, BasketF, GoodnessKind::Normalized),
+            2,
+            OutlierPolicy::disabled(),
+        );
+        let run = engine.run(&g);
+        let c = &run.clustering;
+        // {6} has no neighbors ⇒ no links ⇒ it can never merge; the loop
+        // stops early with ≥ 2 clusters and 2 and 3 never share a cluster
+        // with disjoint transactions... 2 ({1,4}) links to 0 and 1.
+        let a = c.cluster_of(2);
+        let b = c.cluster_of(3);
+        assert!(a.is_some() && b.is_some());
+        assert_ne!(a, b, "disjoint transactions must not be merged");
+    }
+
+    #[test]
+    fn stops_when_no_links_remain() {
+        // Two separated cliques, k = 1: the loop cannot produce one
+        // cluster because no cross links exist; it must stop at 2 (§4.3).
+        let ts = vec![
+            Transaction::from([1, 2, 3]),
+            Transaction::from([1, 2, 4]),
+            Transaction::from([1, 3, 4]),
+            Transaction::from([10, 11, 12]),
+            Transaction::from([10, 11, 13]),
+            Transaction::from([10, 12, 13]),
+        ];
+        let g = NeighborGraph::build(&PointsWith::new(&ts, Jaccard), 0.5);
+        let run = basket_engine(0.5, 1).run(&g);
+        assert_eq!(run.clustering.num_clusters(), 2);
+        assert_eq!(run.clustering.sizes(), vec![3, 3]);
+    }
+
+    #[test]
+    fn isolated_points_pruned_as_outliers() {
+        let ts = vec![
+            Transaction::from([1, 2, 3]),
+            Transaction::from([1, 2, 4]),
+            Transaction::from([1, 3, 4]),
+            Transaction::from([99]),
+        ];
+        let g = NeighborGraph::build(&PointsWith::new(&ts, Jaccard), 0.5);
+        let run = basket_engine(0.5, 1).run(&g);
+        assert_eq!(run.clustering.outliers, vec![3]);
+        assert_eq!(run.clustering.num_clusters(), 1);
+    }
+
+    #[test]
+    fn weeding_removes_small_clusters() {
+        // One clear 4-clique plus a loose pair far away. Weeding with
+        // min_cluster_size 3 must discard the pair.
+        let ts = vec![
+            Transaction::from([1, 2, 3]),
+            Transaction::from([1, 2, 4]),
+            Transaction::from([1, 3, 4]),
+            Transaction::from([2, 3, 4]),
+            Transaction::from([50, 51, 52]),
+            Transaction::from([50, 51, 53]),
+        ];
+        let g = NeighborGraph::build(&PointsWith::new(&ts, Jaccard), 0.5);
+        let engine = RockAlgorithm::new(
+            Goodness::new(0.5, BasketF, GoodnessKind::Normalized),
+            1,
+            OutlierPolicy {
+                min_neighbors: 1,
+                weed: Some(WeedPolicy {
+                    stop_multiple: 2.0,
+                    min_cluster_size: 3,
+                }),
+            },
+        );
+        let run = engine.run(&g);
+        assert_eq!(run.clustering.num_clusters(), 1);
+        assert_eq!(run.clustering.clusters[0], vec![0, 1, 2, 3]);
+        assert_eq!(run.clustering.outliers, vec![4, 5]);
+    }
+
+    #[test]
+    fn merge_records_are_consistent() {
+        let ts = crate::testdata::figure1_transactions();
+        let g = NeighborGraph::build(&PointsWith::new(&ts, Jaccard), 0.5);
+        let run = basket_engine(0.5, 2).run(&g);
+        // 14 points → 2 clusters needs exactly 12 merges.
+        assert_eq!(run.merges.len(), 12);
+        for m in &run.merges {
+            assert!(m.cross_links > 0, "merged pairs must share links");
+            assert!(m.goodness > 0.0);
+            assert!(m.sizes.0 >= 1 && m.sizes.1 >= 1);
+        }
+    }
+
+    #[test]
+    fn k_greater_than_n_returns_singletons() {
+        let m = SimilarityMatrix::from_fn(3, |_, _| 1.0);
+        let g = NeighborGraph::build(&m, 0.5);
+        let run = RockAlgorithm::new(
+            Goodness::new(0.5, BasketF, GoodnessKind::Normalized),
+            10,
+            OutlierPolicy::disabled(),
+        )
+        .run(&g);
+        assert_eq!(run.clustering.num_clusters(), 3);
+        assert!(run.merges.is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let ts = crate::testdata::figure1_transactions();
+        let g = NeighborGraph::build(&PointsWith::new(&ts, Jaccard), 0.5);
+        let a = basket_engine(0.5, 2).run(&g).clustering;
+        let b = basket_engine(0.5, 2).run(&g).clustering;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target cluster")]
+    fn zero_k_panics() {
+        let _ = RockAlgorithm::new(
+            Goodness::new(0.5, BasketF, GoodnessKind::Normalized),
+            0,
+            OutlierPolicy::disabled(),
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Clustering results.
+
+/// The output of a clustering run: the clusters (as sorted point-id lists)
+/// plus the points set aside as outliers.
+///
+/// Point ids refer to whatever point set the algorithm ran over — the full
+/// data set, or the random sample in the sampled pipeline (§4.1), in which
+/// case [`crate::labeling`] maps the rest of the data onto these clusters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Clustering {
+    /// The clusters, each a sorted list of point ids. Ordered by
+    /// decreasing size (ties broken by smallest member) so cluster numbers
+    /// are deterministic.
+    pub clusters: Vec<Vec<u32>>,
+    /// Points discarded by outlier handling (§4.6), sorted.
+    pub outliers: Vec<u32>,
+}
+
+impl Clustering {
+    /// Builds a clustering, normalising order: members sorted within each
+    /// cluster, clusters by decreasing size then smallest member, outliers
+    /// sorted.
+    pub fn new(mut clusters: Vec<Vec<u32>>, mut outliers: Vec<u32>) -> Self {
+        for c in &mut clusters {
+            c.sort_unstable();
+        }
+        clusters.retain(|c| !c.is_empty());
+        clusters.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+        outliers.sort_unstable();
+        Clustering { clusters, outliers }
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Cluster sizes, in cluster order.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.clusters.iter().map(Vec::len).collect()
+    }
+
+    /// Total points covered (clustered + outliers).
+    pub fn num_points(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum::<usize>() + self.outliers.len()
+    }
+
+    /// Per-point cluster index over a universe of `n` points: `Some(c)` if
+    /// the point is in cluster `c`, `None` for outliers and points the
+    /// clustering never saw.
+    ///
+    /// # Panics
+    /// Panics if any member id is `≥ n`.
+    pub fn assignments(&self, n: usize) -> Vec<Option<usize>> {
+        let mut out = vec![None; n];
+        for (c, members) in self.clusters.iter().enumerate() {
+            for &p in members {
+                assert!((p as usize) < n, "point id {p} out of range {n}");
+                out[p as usize] = Some(c);
+            }
+        }
+        out
+    }
+
+    /// The index of the cluster containing point `p`, if any.
+    pub fn cluster_of(&self, p: u32) -> Option<usize> {
+        self.clusters
+            .iter()
+            .position(|c| c.binary_search(&p).is_ok())
+    }
+}
+
+/// One merge step of the agglomeration, for dendrogram-style inspection.
+///
+/// Cluster ids live in the run's arena: ids `0..initial` are the initial
+/// singleton clusters (see [`crate::algorithm::RockRun::initial_points`]
+/// for the id → point mapping) and each merge mints the next id.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MergeRecord {
+    /// Arena id of the cluster that was at the top of the global heap.
+    pub left: u32,
+    /// Arena id of its best merge partner.
+    pub right: u32,
+    /// Arena id of the merged cluster.
+    pub merged: u32,
+    /// Sizes of the two clusters merged.
+    pub sizes: (usize, usize),
+    /// Cross links between them at merge time.
+    pub cross_links: u64,
+    /// The goodness that won this merge.
+    pub goodness: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_orders_everything() {
+        let c = Clustering::new(
+            vec![vec![5, 2], vec![9, 1, 4], vec![], vec![7, 0, 3]],
+            vec![8, 6],
+        );
+        assert_eq!(c.clusters, vec![vec![0, 3, 7], vec![1, 4, 9], vec![2, 5]]);
+        assert_eq!(c.outliers, vec![6, 8]);
+        assert_eq!(c.sizes(), vec![3, 3, 2]);
+        assert_eq!(c.num_points(), 10);
+    }
+
+    #[test]
+    fn assignments_and_cluster_of() {
+        let c = Clustering::new(vec![vec![0, 1], vec![2]], vec![3]);
+        let a = c.assignments(5);
+        assert_eq!(a, vec![Some(0), Some(0), Some(1), None, None]);
+        assert_eq!(c.cluster_of(2), Some(1));
+        assert_eq!(c.cluster_of(3), None);
+    }
+
+    #[test]
+    fn equal_size_tie_broken_by_smallest_member() {
+        let c = Clustering::new(vec![vec![4, 5], vec![1, 2]], vec![]);
+        assert_eq!(c.clusters, vec![vec![1, 2], vec![4, 5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assignments_range_check() {
+        let c = Clustering::new(vec![vec![10]], vec![]);
+        let _ = c.assignments(5);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for configuration validation at the public API boundary.
+//!
+//! Low-level modules assert their preconditions (programmer errors);
+//! the [`crate::rock::RockBuilder`] validates *user-supplied*
+//! configuration and reports problems as values.
+
+use std::fmt;
+
+/// A configuration error from [`crate::rock::RockBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum RockError {
+    /// θ must lie in `[0, 1]`.
+    InvalidTheta(f64),
+    /// The target cluster count must be ≥ 1.
+    InvalidK(usize),
+    /// `f(θ)` evaluated to something non-finite or negative.
+    InvalidFTheta(f64),
+    /// The labeling fraction must lie in `(0, 1]`.
+    InvalidLabelingFraction(f64),
+    /// The sample size must be ≥ the target cluster count.
+    InvalidSampleSize {
+        /// The configured sample size.
+        sample_size: usize,
+        /// The configured target cluster count.
+        k: usize,
+    },
+    /// A weed policy must have `stop_multiple ≥ 1`.
+    InvalidWeedMultiple(f64),
+    /// Thread count must be ≥ 1.
+    InvalidThreads(usize),
+}
+
+impl fmt::Display for RockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RockError::InvalidTheta(t) => {
+                write!(f, "similarity threshold theta must be in [0, 1], got {t}")
+            }
+            RockError::InvalidK(k) => write!(f, "target cluster count must be >= 1, got {k}"),
+            RockError::InvalidFTheta(v) => {
+                write!(f, "f(theta) must be finite and non-negative, got {v}")
+            }
+            RockError::InvalidLabelingFraction(v) => {
+                write!(f, "labeling fraction must be in (0, 1], got {v}")
+            }
+            RockError::InvalidSampleSize { sample_size, k } => write!(
+                f,
+                "sample size {sample_size} is smaller than the target cluster count {k}"
+            ),
+            RockError::InvalidWeedMultiple(m) => {
+                write!(f, "weed stop multiple must be >= 1, got {m}")
+            }
+            RockError::InvalidThreads(t) => write!(f, "thread count must be >= 1, got {t}"),
+        }
+    }
+}
+
+impl std::error::Error for RockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_values() {
+        let cases: Vec<(RockError, &str)> = vec![
+            (RockError::InvalidTheta(1.5), "1.5"),
+            (RockError::InvalidK(0), "0"),
+            (RockError::InvalidFTheta(f64::NAN), "NaN"),
+            (RockError::InvalidLabelingFraction(0.0), "0"),
+            (
+                RockError::InvalidSampleSize {
+                    sample_size: 3,
+                    k: 10,
+                },
+                "3",
+            ),
+            (RockError::InvalidWeedMultiple(0.5), "0.5"),
+            (RockError::InvalidThreads(0), "0"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&RockError::InvalidK(0));
+    }
+}

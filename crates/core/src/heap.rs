@@ -1,0 +1,329 @@
+//! Addressable max-heaps for the clustering loop (§4.3, Fig. 3).
+//!
+//! ROCK maintains a *local heap* `q[i]` per cluster (candidate merge
+//! partners ordered by goodness) and a *global heap* `Q` of clusters
+//! ordered by their best goodness. Merging requires deleting and updating
+//! arbitrary entries (`delete(q[x], u)`, `update(Q, x, q[x])`), so a plain
+//! `std::collections::BinaryHeap` does not suffice. [`AddressableHeap`] is
+//! a binary max-heap with a key → slot index, giving O(log n)
+//! push/pop/remove/update — the ingredients of the paper's O(n² log n)
+//! clustering bound (§4.5).
+//!
+//! Priorities are `f64` goodness values; ties are broken by the (totally
+//! ordered) key so that runs are deterministic regardless of hash-map
+//! iteration order.
+
+use crate::util::FxHashMap;
+use std::hash::Hash;
+
+/// A binary max-heap over `(key, f64 priority)` pairs supporting O(log n)
+/// removal and priority update by key.
+///
+/// # Panics
+/// All operations panic if handed a NaN priority; goodness measures are
+/// always finite.
+#[derive(Clone, Debug, Default)]
+pub struct AddressableHeap<K> {
+    /// Heap-ordered array.
+    data: Vec<(K, f64)>,
+    /// Key → index into `data`.
+    pos: FxHashMap<K, usize>,
+}
+
+impl<K: Copy + Eq + Hash + Ord> AddressableHeap<K> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        AddressableHeap {
+            data: Vec::new(),
+            pos: FxHashMap::default(),
+        }
+    }
+
+    /// Creates an empty heap with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        AddressableHeap {
+            data: Vec::with_capacity(cap),
+            pos: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.pos.contains_key(key)
+    }
+
+    /// The priority of `key`, if present.
+    pub fn priority(&self, key: &K) -> Option<f64> {
+        self.pos.get(key).map(|&i| self.data[i].1)
+    }
+
+    /// The maximum entry, if any.
+    pub fn peek(&self) -> Option<(K, f64)> {
+        self.data.first().copied()
+    }
+
+    /// Inserts `key` with `priority`, or updates its priority if present.
+    pub fn insert(&mut self, key: K, priority: f64) {
+        assert!(!priority.is_nan(), "NaN priority");
+        if let Some(&i) = self.pos.get(&key) {
+            let old = self.data[i].1;
+            self.data[i].1 = priority;
+            if Self::beats((key, priority), (key, old)) {
+                self.sift_up(i);
+            } else {
+                self.sift_down(i);
+            }
+        } else {
+            let i = self.data.len();
+            self.data.push((key, priority));
+            self.pos.insert(key, i);
+            self.sift_up(i);
+        }
+    }
+
+    /// Removes and returns the maximum entry.
+    pub fn pop(&mut self) -> Option<(K, f64)> {
+        if self.data.is_empty() {
+            return None;
+        }
+        Some(self.remove_at(0))
+    }
+
+    /// Removes `key`, returning its priority if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<f64> {
+        let &i = self.pos.get(key)?;
+        Some(self.remove_at(i).1)
+    }
+
+    /// Iterates over entries in arbitrary (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, f64)> + '_ {
+        self.data.iter().copied()
+    }
+
+    /// Iterates over keys in arbitrary (heap) order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.data.iter().map(|&(k, _)| k)
+    }
+
+    /// Drains the heap, returning entries in arbitrary order.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.pos.clear();
+    }
+
+    /// Total order: higher priority wins; ties broken by larger key so the
+    /// order is deterministic.
+    #[inline]
+    fn beats(a: (K, f64), b: (K, f64)) -> bool {
+        match a.1.partial_cmp(&b.1).expect("NaN priority") {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => a.0 > b.0,
+        }
+    }
+
+    fn remove_at(&mut self, i: usize) -> (K, f64) {
+        let last = self.data.len() - 1;
+        self.data.swap(i, last);
+        let removed = self.data.pop().expect("non-empty");
+        self.pos.remove(&removed.0);
+        if i < self.data.len() {
+            self.pos.insert(self.data[i].0, i);
+            // The swapped-in element may need to move either way.
+            self.sift_up(i);
+            self.sift_down(i);
+        }
+        removed
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::beats(self.data[i], self.data[parent]) {
+                self.data.swap(i, parent);
+                self.pos.insert(self.data[i].0, i);
+                self.pos.insert(self.data[parent].0, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.data.len() && Self::beats(self.data[l], self.data[best]) {
+                best = l;
+            }
+            if r < self.data.len() && Self::beats(self.data[r], self.data[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.data.swap(i, best);
+            self.pos.insert(self.data[i].0, i);
+            self.pos.insert(self.data[best].0, best);
+            i = best;
+        }
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        assert_eq!(self.data.len(), self.pos.len());
+        for (i, &(k, _)) in self.data.iter().enumerate() {
+            assert_eq!(self.pos[&k], i, "position map out of sync for slot {i}");
+            if i > 0 {
+                let parent = (i - 1) / 2;
+                assert!(
+                    !Self::beats(self.data[i], self.data[parent]),
+                    "heap property violated at slot {i}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_in_priority_order() {
+        let mut h = AddressableHeap::new();
+        for (k, p) in [(1u32, 0.5), (2, 0.9), (3, 0.1), (4, 0.7)] {
+            h.insert(k, p);
+            h.check_invariants();
+        }
+        assert_eq!(h.peek(), Some((2, 0.9)));
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop().map(|(k, _)| k)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn ties_broken_by_key_deterministically() {
+        let mut h = AddressableHeap::new();
+        for k in [5u32, 1, 9, 3] {
+            h.insert(k, 0.5);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop().map(|(k, _)| k)).collect();
+        assert_eq!(order, vec![9, 5, 3, 1]);
+    }
+
+    #[test]
+    fn remove_arbitrary_key() {
+        let mut h = AddressableHeap::new();
+        for k in 0u32..50 {
+            h.insert(k, (k as f64 * 7.3) % 1.0);
+        }
+        assert_eq!(h.remove(&25), Some((25.0 * 7.3) % 1.0));
+        assert_eq!(h.remove(&25), None);
+        assert_eq!(h.len(), 49);
+        h.check_invariants();
+        // Remaining pops are still ordered.
+        let mut prev = f64::INFINITY;
+        while let Some((_, p)) = h.pop() {
+            assert!(p <= prev + 1e-15);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn insert_updates_priority() {
+        let mut h = AddressableHeap::new();
+        h.insert(1u32, 0.1);
+        h.insert(2, 0.2);
+        h.insert(3, 0.3);
+        h.insert(1, 0.99); // raise
+        assert_eq!(h.peek(), Some((1, 0.99)));
+        h.insert(1, 0.0); // lower
+        assert_eq!(h.peek(), Some((3, 0.3)));
+        assert_eq!(h.len(), 3);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn negative_infinity_sorts_last() {
+        let mut h = AddressableHeap::new();
+        h.insert(1u32, f64::NEG_INFINITY);
+        h.insert(2, 0.0);
+        assert_eq!(h.pop(), Some((2, 0.0)));
+        assert_eq!(h.pop(), Some((1, f64::NEG_INFINITY)));
+    }
+
+    #[test]
+    fn empty_heap_behaviour() {
+        let mut h: AddressableHeap<u32> = AddressableHeap::new();
+        assert!(h.is_empty());
+        assert_eq!(h.pop(), None);
+        assert_eq!(h.peek(), None);
+        assert_eq!(h.remove(&1), None);
+        assert_eq!(h.priority(&1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_priority_panics() {
+        let mut h = AddressableHeap::new();
+        h.insert(1u32, f64::NAN);
+    }
+
+    #[test]
+    fn randomized_against_reference() {
+        // Drive the heap with a deterministic pseudo-random op sequence and
+        // mirror it in a Vec-based reference implementation.
+        let mut h = AddressableHeap::new();
+        let mut reference: Vec<(u32, f64)> = Vec::new();
+        let mut state = 0x12345678u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..2000 {
+            let op = rand() % 4;
+            let key = rand() % 64;
+            let prio = f64::from(rand() % 1000) / 1000.0;
+            match op {
+                0 | 1 => {
+                    h.insert(key, prio);
+                    if let Some(e) = reference.iter_mut().find(|e| e.0 == key) {
+                        e.1 = prio;
+                    } else {
+                        reference.push((key, prio));
+                    }
+                }
+                2 => {
+                    let got = h.remove(&key);
+                    let idx = reference.iter().position(|e| e.0 == key);
+                    assert_eq!(got, idx.map(|i| reference.swap_remove(i).1));
+                }
+                _ => {
+                    let got = h.pop();
+                    let best = reference
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0))
+                        })
+                        .map(|(i, _)| i);
+                    let want = best.map(|i| reference.swap_remove(i));
+                    assert_eq!(got, want);
+                }
+            }
+            h.check_invariants();
+            assert_eq!(h.len(), reference.len());
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! The labeling phase (§4.6): assigning disk-resident points to the
+//! clusters found on the sample.
+//!
+//! For every cluster `i` a fraction of its sample points is selected as a
+//! labeling set `Lᵢ`. Each remaining data point `p` is assigned to the
+//! cluster maximising its *normalized* neighbor count
+//! `Nᵢ / (|Lᵢ| + 1)^{f(θ)}`, where `Nᵢ` is the number of points of `Lᵢ`
+//! within similarity θ of `p`; the denominator is the expected number of
+//! neighbors `p` would have in `Lᵢ` if it belonged to cluster `i`. Points
+//! with no neighbors in any labeling set are reported as outliers.
+
+use crate::similarity::Similarity;
+use rand::Rng;
+
+/// The per-cluster labeling sets drawn from the clustered sample.
+#[derive(Clone, Debug)]
+pub struct Labeler<P> {
+    /// `sets[i]` = the points of `Lᵢ`.
+    sets: Vec<Vec<P>>,
+    theta: f64,
+    /// `f(θ)` used in the normalisation exponent.
+    ftheta: f64,
+}
+
+/// Result of labeling one data set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Labeling {
+    /// Per input point: assigned cluster, or `None` for outliers.
+    pub assignments: Vec<Option<usize>>,
+    /// Number of points assigned per cluster.
+    pub cluster_counts: Vec<usize>,
+    /// Number of points with no neighbors in any labeling set.
+    pub num_outliers: usize,
+}
+
+impl<P: Clone> Labeler<P> {
+    /// Builds labeling sets by drawing `fraction` of each cluster's sample
+    /// points (at least one per non-empty cluster).
+    ///
+    /// * `sample` — the points that were clustered;
+    /// * `clusters` — the clustering of `sample`, as indices into it;
+    /// * `theta`, `ftheta` — the threshold and `f(θ)` used for clustering.
+    ///
+    /// # Panics
+    /// Panics if `fraction ∉ (0, 1]` or `theta ∉ [0, 1]`.
+    pub fn new<R: Rng + ?Sized>(
+        sample: &[P],
+        clusters: &[Vec<u32>],
+        fraction: f64,
+        theta: f64,
+        ftheta: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "labeling fraction must be in (0, 1], got {fraction}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&theta),
+            "theta must be in [0, 1], got {theta}"
+        );
+        let sets = clusters
+            .iter()
+            .map(|members| {
+                if members.is_empty() {
+                    // An empty cluster gets an empty labeling set (it can
+                    // never win a point); clamp(1, 0) below would panic.
+                    return Vec::new();
+                }
+                let want = ((members.len() as f64 * fraction).round() as usize)
+                    .clamp(1, members.len());
+                crate::sampling::reservoir_sample_r(members.iter().copied(), want, rng)
+                    .into_iter()
+                    .map(|idx| sample[idx as usize].clone())
+                    .collect()
+            })
+            .collect();
+        Labeler {
+            sets,
+            theta,
+            ftheta,
+        }
+    }
+
+    /// Uses every clustered sample point for labeling (fraction = 1,
+    /// deterministic).
+    pub fn full(sample: &[P], clusters: &[Vec<u32>], theta: f64, ftheta: f64) -> Self {
+        let sets = clusters
+            .iter()
+            .map(|members| {
+                members
+                    .iter()
+                    .map(|&idx| sample[idx as usize].clone())
+                    .collect()
+            })
+            .collect();
+        Labeler {
+            sets,
+            theta,
+            ftheta,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Size of labeling set `i`.
+    pub fn set_size(&self, i: usize) -> usize {
+        self.sets[i].len()
+    }
+
+    /// Assigns a single point: the cluster with the maximum normalized
+    /// neighbor count, or `None` if the point has no neighbors in any set.
+    ///
+    /// Ties go to the smaller cluster index (deterministic).
+    pub fn label_point<S: Similarity<P>>(&self, point: &P, sim: &S) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, set) in self.sets.iter().enumerate() {
+            let neighbors = set
+                .iter()
+                .filter(|l| sim.similarity(point, l) >= self.theta)
+                .count();
+            if neighbors == 0 {
+                continue;
+            }
+            // (|Li| + 1)^{f(θ)}: expected neighbors of a member point.
+            let norm = ((set.len() + 1) as f64).powf(self.ftheta);
+            let score = neighbors as f64 / norm;
+            let better = match best {
+                None => true,
+                Some((_, b)) => score > b,
+            };
+            if better {
+                best = Some((i, score));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Labels every point of `data`.
+    pub fn label_all<S: Similarity<P>>(&self, data: &[P], sim: &S) -> Labeling {
+        self.collect(data.iter().map(|p| self.label_point(p, sim)))
+    }
+
+    /// Labels every point of `data` using `threads` worker threads.
+    ///
+    /// The labeling phase is embarrassingly parallel (each point is
+    /// scored against the fixed Lᵢ sets independently); this is the path
+    /// for paper-scale data (114,586 transactions in §5.4).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn label_all_parallel<S>(&self, data: &[P], sim: &S, threads: usize) -> Labeling
+    where
+        S: Similarity<P> + Sync,
+        P: Sync,
+    {
+        assert!(threads > 0, "need at least one thread");
+        if threads == 1 || data.len() < 1024 {
+            return self.label_all(data, sim);
+        }
+        let chunk = data.len().div_ceil(threads);
+        let mut assignments: Vec<Option<usize>> = Vec::with_capacity(data.len());
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for part in data.chunks(chunk) {
+                handles.push(scope.spawn(move |_| {
+                    part.iter()
+                        .map(|p| self.label_point(p, sim))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                assignments.extend(h.join().expect("labeling worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        self.collect(assignments.into_iter())
+    }
+
+    fn collect(&self, labels: impl Iterator<Item = Option<usize>>) -> Labeling {
+        let mut assignments = Vec::new();
+        let mut cluster_counts = vec![0usize; self.sets.len()];
+        let mut num_outliers = 0usize;
+        for a in labels {
+            match a {
+                Some(c) => cluster_counts[c] += 1,
+                None => num_outliers += 1,
+            }
+            assignments.push(a);
+        }
+        Labeling {
+            assignments,
+            cluster_counts,
+            num_outliers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::Transaction;
+    use crate::similarity::Jaccard;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn two_cluster_sample() -> (Vec<Transaction>, Vec<Vec<u32>>) {
+        let sample = vec![
+            Transaction::from([1, 2, 3]),
+            Transaction::from([1, 2, 4]),
+            Transaction::from([2, 3, 4]),
+            Transaction::from([10, 11, 12]),
+            Transaction::from([10, 11, 13]),
+            Transaction::from([11, 12, 13]),
+        ];
+        let clusters = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        (sample, clusters)
+    }
+
+    #[test]
+    fn full_labeler_assigns_to_own_cluster() {
+        let (sample, clusters) = two_cluster_sample();
+        let labeler = Labeler::full(&sample, &clusters, 0.4, 1.0 / 3.0);
+        assert_eq!(labeler.label_point(&Transaction::from([1, 3, 4]), &Jaccard), Some(0));
+        assert_eq!(labeler.label_point(&Transaction::from([10, 12, 13]), &Jaccard), Some(1));
+    }
+
+    #[test]
+    fn unrelated_point_is_outlier() {
+        let (sample, clusters) = two_cluster_sample();
+        let labeler = Labeler::full(&sample, &clusters, 0.4, 1.0 / 3.0);
+        assert_eq!(labeler.label_point(&Transaction::from([77, 88]), &Jaccard), None);
+    }
+
+    #[test]
+    fn label_all_counts() {
+        let (sample, clusters) = two_cluster_sample();
+        let labeler = Labeler::full(&sample, &clusters, 0.4, 1.0 / 3.0);
+        let data = vec![
+            Transaction::from([1, 2, 3]),
+            Transaction::from([2, 3, 4]),
+            Transaction::from([10, 11, 12]),
+            Transaction::from([55, 66, 77]),
+        ];
+        let l = labeler.label_all(&data, &Jaccard);
+        assert_eq!(l.assignments, vec![Some(0), Some(0), Some(1), None]);
+        assert_eq!(l.cluster_counts, vec![2, 1]);
+        assert_eq!(l.num_outliers, 1);
+    }
+
+    #[test]
+    fn fractional_sets_bounded_and_nonempty() {
+        let (sample, clusters) = two_cluster_sample();
+        let mut rng = StdRng::seed_from_u64(3);
+        let labeler = Labeler::new(&sample, &clusters, 0.34, 0.4, 1.0 / 3.0, &mut rng);
+        for i in 0..labeler.num_clusters() {
+            assert_eq!(labeler.set_size(i), 1); // 0.34 * 3 ≈ 1
+        }
+    }
+
+    #[test]
+    fn normalisation_prefers_denser_neighborhood() {
+        // A point with 1 neighbor in a tiny set and 1 neighbor in a huge
+        // set must prefer the tiny set (higher normalized count).
+        let sample = vec![
+            Transaction::from([1, 2]),
+            // big cluster of unrelated-but-self-similar transactions plus
+            // one neighbor of the query
+            Transaction::from([1, 3]),
+            Transaction::from([5, 6]),
+            Transaction::from([5, 7]),
+            Transaction::from([5, 8]),
+            Transaction::from([5, 9]),
+        ];
+        let clusters = vec![vec![0], vec![1, 2, 3, 4, 5]];
+        let labeler = Labeler::full(&sample, &clusters, 0.3, 0.5);
+        // Query {1,2,3}: sim to {1,2} = 2/3 ≥ 0.3 (N₀=1, |L₀|=1);
+        // sim to {1,3} = 2/3 (N₁=1, |L₁|=5). Scores 1/2^0.5 vs 1/6^0.5.
+        assert_eq!(labeler.label_point(&Transaction::from([1, 2, 3]), &Jaccard), Some(0));
+    }
+
+    #[test]
+    fn empty_cluster_gets_empty_labeling_set() {
+        let (sample, _) = two_cluster_sample();
+        let clusters = vec![vec![0, 1, 2], vec![]];
+        let mut rng = StdRng::seed_from_u64(8);
+        let labeler = Labeler::new(&sample, &clusters, 0.5, 0.4, 1.0 / 3.0, &mut rng);
+        assert_eq!(labeler.set_size(1), 0);
+        // Points can still only land in the non-empty cluster.
+        assert_eq!(
+            labeler.label_point(&Transaction::from([1, 2, 4]), &Jaccard),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn parallel_labeling_matches_serial() {
+        let (sample, clusters) = two_cluster_sample();
+        let labeler = Labeler::full(&sample, &clusters, 0.4, 1.0 / 3.0);
+        let data: Vec<Transaction> = (0..3000u32)
+            .map(|i| match i % 3 {
+                0 => Transaction::from([1, 2, 3]),
+                1 => Transaction::from([10, 11, 12]),
+                _ => Transaction::from([70 + i % 5, 90 + i % 7]),
+            })
+            .collect();
+        let serial = labeler.label_all(&data, &Jaccard);
+        for threads in [1, 2, 5] {
+            let par = labeler.label_all_parallel(&data, &Jaccard, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "labeling fraction")]
+    fn zero_fraction_panics() {
+        let (sample, clusters) = two_cluster_sample();
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = Labeler::new(&sample, &clusters, 0.0, 0.4, 0.3, &mut rng);
+    }
+}

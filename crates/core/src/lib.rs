@@ -1,0 +1,102 @@
+//! # rock-core — the ROCK clustering algorithm
+//!
+//! A from-scratch implementation of **ROCK (RObust Clustering using
+//! linKs)** from Guha, Rastogi & Shim, *"ROCK: A Robust Clustering
+//! Algorithm for Categorical Attributes"*, ICDE 1999.
+//!
+//! ROCK clusters data with boolean/categorical attributes — market-basket
+//! transactions, survey records, discretised time series — where distance
+//! metrics and per-pair similarity coefficients mislead traditional
+//! algorithms. Its key idea: call two points *neighbors* when their
+//! similarity exceeds a threshold θ, define `link(p, q)` as the number of
+//! **common neighbors** of `p` and `q`, and agglomeratively merge the pair
+//! of clusters maximising a link-count goodness measure normalised by the
+//! expected number of cross links. Links inject *global* neighborhood
+//! information into every pairwise decision, which is what makes the
+//! algorithm robust to outliers and overlapping clusters.
+//!
+//! ## Pipeline (paper Fig. 2)
+//!
+//! ```text
+//! data  ──►  random sample  ──►  link-based agglomeration  ──►  label data on disk
+//!            (sampling)          (neighbors → links → merges)   (labeling)
+//! ```
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rock_core::points::Transaction;
+//! use rock_core::similarity::Jaccard;
+//! use rock_core::rock::Rock;
+//!
+//! // Two buying patterns: "baby products" and "imported foods".
+//! let baskets = vec![
+//!     Transaction::from([0, 1, 2]), // diapers, baby food, toys
+//!     Transaction::from([0, 1, 3]),
+//!     Transaction::from([0, 2, 3]),
+//!     Transaction::from([10, 11, 12]), // wine, cheese, chocolate
+//!     Transaction::from([10, 11, 13]),
+//!     Transaction::from([10, 12, 13]),
+//! ];
+//!
+//! let rock = Rock::builder().theta(0.5).clusters(2).build().unwrap();
+//! let run = rock.cluster(&baskets, &Jaccard);
+//! assert_eq!(run.clustering.num_clusters(), 2);
+//! ```
+//!
+//! ## Module map
+//!
+//! | Module | Paper | Contents |
+//! |---|---|---|
+//! | [`points`] | §3.1 | transactions, categorical records, schemas |
+//! | [`similarity`] | §3.1 | Jaccard, categorical w/ missing values, Lp, expert tables |
+//! | [`neighbors`] | §3.1 | θ-neighbor graph construction (serial & parallel) |
+//! | [`links`] | §3.2, §4.4 | sparse (Fig. 4) and dense (A²) link computation |
+//! | [`goodness`] | §3.3, §4.2 | f(θ) estimates and the merge goodness measure |
+//! | [`criterion_fn`] | §3.3 | the criterion function E_l |
+//! | [`heap`] | §4.3 | addressable max-heaps for the merge loop |
+//! | [`algorithm`] | §4.3, §4.6 | the Fig.-3 agglomeration with outlier handling |
+//! | [`sampling`] | §4.6 | Vitter reservoir sampling (Algorithms R and X) |
+//! | [`labeling`] | §4.6 | assigning disk-resident points to sample clusters |
+//! | [`rock`] | Fig. 2 | builder-configured end-to-end driver |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod cluster;
+pub mod components;
+pub mod criterion_fn;
+pub mod dendrogram;
+pub mod error;
+pub mod goodness;
+pub mod heap;
+pub mod labeling;
+pub mod links;
+pub mod links_l3;
+pub mod neighbors;
+pub mod points;
+pub mod rock;
+pub mod sampling;
+pub mod similarity;
+pub mod util;
+
+#[cfg(test)]
+pub(crate) mod testdata;
+
+pub use algorithm::{OutlierPolicy, RockAlgorithm, RockRun, WeedPolicy};
+pub use cluster::{Clustering, MergeRecord};
+pub use components::{neighbor_components, DisjointSet};
+pub use dendrogram::Dendrogram;
+pub use error::RockError;
+pub use goodness::{BasketF, ConstantF, FTheta, Goodness, GoodnessKind};
+pub use labeling::{Labeler, Labeling};
+pub use links::{compute_links_auto, compute_links_dense, compute_links_sparse, LinkTable};
+pub use links_l3::{combine_links, compute_links_l3};
+pub use neighbors::NeighborGraph;
+pub use points::{CategoricalRecord, CategoricalSchema, ItemCatalog, Transaction};
+pub use rock::{Rock, RockBuilder, RockConfig, RockResult};
+pub use similarity::{
+    CategoricalJaccard, Hamming, Jaccard, MissingPolicy, NormalizedLp, PairwiseSimilarity,
+    PointsWith, Similarity, SimilarityMatrix,
+};

@@ -1,0 +1,309 @@
+//! Neighbor computation (§3.1).
+//!
+//! A pair of points are *neighbors* if their similarity is at least the
+//! user threshold θ: `sim(pᵢ, pⱼ) ≥ θ`. The [`NeighborGraph`] materialises,
+//! for every point, the sorted list of its neighbors. Following the paper's
+//! worked examples (§3.2, where `{1,2,6}` has exactly 5 links with
+//! `{1,2,7}`), a point is **not** its own neighbor.
+//!
+//! Building the graph is the O(n²) pairwise scan the paper assumes (§4.4:
+//! "the list of neighbors for every point can be computed in O(n²) time").
+//! A multi-threaded builder using `crossbeam` scoped threads is provided
+//! for the large-sample benchmarks.
+
+use crate::similarity::PairwiseSimilarity;
+
+/// The θ-neighbor graph of a point set: `lists[i]` holds the ids of all
+/// points `j ≠ i` with `sim(i, j) ≥ θ`, sorted ascending.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NeighborGraph {
+    lists: Vec<Vec<u32>>,
+    theta: f64,
+}
+
+impl NeighborGraph {
+    /// Builds the neighbor graph with a single-threaded pairwise scan.
+    ///
+    /// Each unordered pair is evaluated exactly once.
+    ///
+    /// # Panics
+    /// Panics if `theta` is not in `[0, 1]` or the point set has more than
+    /// `u32::MAX` points.
+    pub fn build<S: PairwiseSimilarity>(sim: &S, theta: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&theta),
+            "theta must be in [0, 1], got {theta}"
+        );
+        let n = sim.len();
+        assert!(u32::try_from(n).is_ok(), "too many points");
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if sim.sim(i, j) >= theta {
+                    lists[i].push(j as u32);
+                    lists[j].push(i as u32);
+                }
+            }
+        }
+        // Row i receives j > i in ascending order already, but the j < i
+        // entries were appended in ascending i order before them — the
+        // interleaving across the two loops leaves each list sorted only if
+        // we sort. (Entries j < i are pushed while scanning row j, in
+        // ascending j, before any j > i entry is pushed during row i; so
+        // lists are in fact already ascending. Keep a debug check instead
+        // of a sort.)
+        debug_assert!(lists
+            .iter()
+            .all(|l| l.windows(2).all(|w| w[0] < w[1])));
+        NeighborGraph { lists, theta }
+    }
+
+    /// Builds the neighbor graph using `threads` worker threads.
+    ///
+    /// Rows are distributed across threads; every thread evaluates the
+    /// similarity of its rows against all other points, so each pair is
+    /// evaluated twice. This trades ~2× similarity evaluations for perfect
+    /// parallelism and no synchronisation; it wins for any non-trivial
+    /// point count (see `bench/benches/neighbors.rs`).
+    ///
+    /// # Panics
+    /// Panics if `theta ∉ [0, 1]` or `threads == 0`.
+    pub fn build_parallel<S: PairwiseSimilarity + Sync>(
+        sim: &S,
+        theta: f64,
+        threads: usize,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&theta),
+            "theta must be in [0, 1], got {theta}"
+        );
+        assert!(threads > 0, "need at least one thread");
+        let n = sim.len();
+        assert!(u32::try_from(n).is_ok(), "too many points");
+        if threads == 1 || n < 256 {
+            return Self::build(sim, theta);
+        }
+        let chunk = n.div_ceil(threads);
+        let mut lists: Vec<Vec<u32>> = Vec::with_capacity(n);
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    break;
+                }
+                handles.push(scope.spawn(move |_| {
+                    let mut part: Vec<Vec<u32>> = Vec::with_capacity(hi - lo);
+                    for i in lo..hi {
+                        let mut row = Vec::new();
+                        for j in 0..n {
+                            if j != i && sim.sim(i, j) >= theta {
+                                row.push(j as u32);
+                            }
+                        }
+                        part.push(row);
+                    }
+                    part
+                }));
+            }
+            for h in handles {
+                lists.extend(h.join().expect("neighbor worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        NeighborGraph { lists, theta }
+    }
+
+    /// Constructs a graph directly from adjacency lists (for tests and
+    /// generators). Lists are sorted and deduplicated; self-loops are
+    /// removed; symmetry is enforced by mirroring every edge.
+    pub fn from_lists(mut lists: Vec<Vec<u32>>, theta: f64) -> Self {
+        let n = lists.len();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (i, l) in lists.iter().enumerate() {
+            for &j in l {
+                assert!((j as usize) < n, "neighbor id out of range");
+                if j as usize != i {
+                    edges.push((i as u32, j));
+                }
+            }
+        }
+        for l in &mut lists {
+            l.clear();
+        }
+        for (i, j) in edges {
+            lists[i as usize].push(j);
+            lists[j as usize].push(i);
+        }
+        for l in &mut lists {
+            l.sort_unstable();
+            l.dedup();
+        }
+        NeighborGraph { lists, theta }
+    }
+
+    /// The similarity threshold θ the graph was built with.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Whether the graph has no points.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// The sorted neighbor list of point `i`.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.lists[i]
+    }
+
+    /// Number of neighbors of point `i` (`mᵢ` in the paper's complexity
+    /// analysis).
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        self.lists[i].len()
+    }
+
+    /// Whether `i` and `j` are neighbors.
+    pub fn are_neighbors(&self, i: usize, j: usize) -> bool {
+        self.lists[i].binary_search(&(j as u32)).is_ok()
+    }
+
+    /// Average neighbor count `m_a`.
+    pub fn average_degree(&self) -> f64 {
+        if self.lists.is_empty() {
+            return 0.0;
+        }
+        self.lists.iter().map(Vec::len).sum::<usize>() as f64 / self.lists.len() as f64
+    }
+
+    /// Maximum neighbor count `m_m`.
+    pub fn max_degree(&self) -> usize {
+        self.lists.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Ids of points with fewer than `min_neighbors` neighbors — the
+    /// "relatively isolated" points §4.6 discards as outliers before
+    /// clustering.
+    pub fn isolated_points(&self, min_neighbors: usize) -> Vec<u32> {
+        self.lists
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.len() < min_neighbors)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::Transaction;
+    use crate::similarity::{Jaccard, PointsWith, SimilarityMatrix};
+
+    /// §1.1 Example 1.1's four transactions.
+    fn example_1_1() -> Vec<Transaction> {
+        vec![
+            Transaction::from([1, 2, 3, 5]),
+            Transaction::from([2, 3, 4, 5]),
+            Transaction::from([1, 4]),
+            Transaction::from([6]),
+        ]
+    }
+
+    #[test]
+    fn neighbors_at_positive_threshold() {
+        // "a pair of transactions are neighbors if they contain at least
+        // one item in common": any θ in (0, 0.2] realises this for these
+        // transactions. {6} is isolated.
+        let pts = example_1_1();
+        let g = NeighborGraph::build(&PointsWith::new(&pts, Jaccard), 0.1);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.isolated_points(1), vec![3]);
+    }
+
+    #[test]
+    fn theta_one_keeps_only_identical() {
+        let pts = vec![
+            Transaction::from([1, 2]),
+            Transaction::from([1, 2]),
+            Transaction::from([1, 3]),
+        ];
+        let g = NeighborGraph::build(&PointsWith::new(&pts, Jaccard), 1.0);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn theta_zero_connects_everything() {
+        let pts = example_1_1();
+        let g = NeighborGraph::build(&PointsWith::new(&pts, Jaccard), 0.0);
+        for i in 0..4 {
+            assert_eq!(g.degree(i), 3, "point {i}");
+        }
+        assert_eq!(g.average_degree(), 3.0);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn lists_are_sorted_and_symmetric() {
+        let m = SimilarityMatrix::from_fn(20, |i, j| if (i + j) % 3 == 0 { 0.9 } else { 0.1 });
+        let g = NeighborGraph::build(&m, 0.5);
+        for i in 0..20 {
+            let l = g.neighbors(i);
+            assert!(l.windows(2).all(|w| w[0] < w[1]), "unsorted list at {i}");
+            for &j in l {
+                assert!(g.are_neighbors(j as usize, i), "asymmetric edge {i}-{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let m = SimilarityMatrix::from_fn(300, |i, j| {
+            // deterministic pseudo-random pattern
+            let h = (i * 2654435761 + j * 40503) % 1000;
+            h as f64 / 1000.0
+        });
+        let serial = NeighborGraph::build(&m, 0.7);
+        for threads in [1, 2, 3, 8] {
+            let par = NeighborGraph::build_parallel(&m, 0.7, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn from_lists_enforces_invariants() {
+        let g = NeighborGraph::from_lists(vec![vec![1, 1, 0], vec![], vec![0]], 0.5);
+        assert_eq!(g.neighbors(0), &[1, 2]); // self-loop dropped, dup removed, 2 mirrored
+        assert_eq!(g.neighbors(1), &[0]); // mirrored from 0's list
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = SimilarityMatrix::new(0);
+        let g = NeighborGraph::build(&m, 0.5);
+        assert!(g.is_empty());
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in [0, 1]")]
+    fn invalid_theta_panics() {
+        let m = SimilarityMatrix::new(2);
+        let _ = NeighborGraph::build(&m, 1.5);
+    }
+}

@@ -1,0 +1,9 @@
+//! Point representations the paper clusters over: market-basket
+//! transactions (§3.1.1) and categorical records with missing values
+//! (§3.1.2).
+
+pub mod categorical;
+pub mod transaction;
+
+pub use categorical::{AttributeDef, CategoricalRecord, CategoricalSchema};
+pub use transaction::{ItemCatalog, Transaction};

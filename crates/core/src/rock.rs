@@ -1,0 +1,475 @@
+//! The end-to-end ROCK driver (Fig. 2): draw a random sample, cluster it
+//! with links, label the remaining data.
+//!
+//! [`Rock`] is configured through [`RockBuilder`]; see the crate docs for
+//! a worked example.
+
+use crate::algorithm::{OutlierPolicy, RockAlgorithm, RockRun, WeedPolicy};
+use crate::cluster::Clustering;
+use crate::error::RockError;
+use crate::goodness::{BasketF, FTheta, Goodness, GoodnessKind};
+use crate::labeling::{Labeler, Labeling};
+use crate::neighbors::NeighborGraph;
+use crate::similarity::{PairwiseSimilarity, PointsWith, Similarity};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Validated configuration of a ROCK run.
+#[derive(Clone, Copy, Debug)]
+pub struct RockConfig {
+    /// Similarity threshold θ for the neighbor definition (§3.1).
+    pub theta: f64,
+    /// Desired number of clusters `k`. A hint: ROCK may stop with more
+    /// clusters when links run out, or fewer after outlier weeding (§5.2).
+    pub k: usize,
+    /// Resolved `f(θ)` (§3.3).
+    pub ftheta: f64,
+    /// Normalized (paper) or raw-link (ablation) merge goodness.
+    pub goodness_kind: GoodnessKind,
+    /// Outlier handling (§4.6).
+    pub outliers: OutlierPolicy,
+    /// Sample size for the Fig.-2 pipeline; `None` clusters all points.
+    pub sample_size: Option<usize>,
+    /// Fraction of each cluster used as the labeling set Lᵢ (§4.6).
+    pub labeling_fraction: f64,
+    /// RNG seed for sampling/labeling; `None` seeds from the OS.
+    pub seed: Option<u64>,
+    /// Worker threads for neighbor computation (1 = serial).
+    pub threads: usize,
+}
+
+/// Builder for [`Rock`]. All parameters have paper-faithful defaults:
+/// θ = 0.5, k = 2, `f(θ) = (1−θ)/(1+θ)`, normalized goodness,
+/// neighbor-less points pruned as outliers, no sampling, labeling
+/// fraction 0.25, one thread.
+#[derive(Debug)]
+pub struct RockBuilder {
+    theta: f64,
+    k: usize,
+    ftheta: Box<dyn FThetaDyn>,
+    goodness_kind: GoodnessKind,
+    outliers: OutlierPolicy,
+    sample_size: Option<usize>,
+    labeling_fraction: f64,
+    seed: Option<u64>,
+    threads: usize,
+}
+
+/// Object-safe shim over [`FTheta`] so the builder can hold any estimate.
+trait FThetaDyn: std::fmt::Debug {
+    fn f_dyn(&self, theta: f64) -> f64;
+}
+
+impl<T: FTheta + std::fmt::Debug> FThetaDyn for T {
+    fn f_dyn(&self, theta: f64) -> f64 {
+        self.f(theta)
+    }
+}
+
+impl Default for RockBuilder {
+    fn default() -> Self {
+        RockBuilder {
+            theta: 0.5,
+            k: 2,
+            ftheta: Box::new(BasketF),
+            goodness_kind: GoodnessKind::Normalized,
+            outliers: OutlierPolicy::default(),
+            sample_size: None,
+            labeling_fraction: 0.25,
+            seed: None,
+            threads: 1,
+        }
+    }
+}
+
+impl RockBuilder {
+    /// Sets the similarity threshold θ.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Sets the desired number of clusters.
+    pub fn clusters(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the neighbor-exponent estimate `f(θ)` (default [`BasketF`]).
+    pub fn f_theta<F: FTheta + std::fmt::Debug + 'static>(mut self, f: F) -> Self {
+        self.ftheta = Box::new(f);
+        self
+    }
+
+    /// Selects the merge-goodness variant (default normalized).
+    pub fn goodness_kind(mut self, kind: GoodnessKind) -> Self {
+        self.goodness_kind = kind;
+        self
+    }
+
+    /// Sets the outlier policy (default: prune neighbor-less points).
+    pub fn outlier_policy(mut self, policy: OutlierPolicy) -> Self {
+        self.outliers = policy;
+        self
+    }
+
+    /// Enables mid-flight weeding: stop at `stop_multiple · k` clusters and
+    /// discard those smaller than `min_cluster_size` (§4.6).
+    pub fn weed_outliers(mut self, stop_multiple: f64, min_cluster_size: usize) -> Self {
+        self.outliers.weed = Some(WeedPolicy {
+            stop_multiple,
+            min_cluster_size,
+        });
+        self
+    }
+
+    /// Clusters a random sample of this size instead of the full data
+    /// (Fig. 2); remaining points are assigned in the labeling phase.
+    pub fn sample_size(mut self, size: usize) -> Self {
+        self.sample_size = Some(size);
+        self
+    }
+
+    /// Sets the fraction of each cluster used for labeling (§4.6).
+    pub fn labeling_fraction(mut self, fraction: f64) -> Self {
+        self.labeling_fraction = fraction;
+        self
+    }
+
+    /// Fixes the RNG seed for reproducible sampling and labeling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the number of worker threads for neighbor computation.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Validates the configuration and produces the driver.
+    pub fn build(self) -> Result<Rock, RockError> {
+        if !(0.0..=1.0).contains(&self.theta) {
+            return Err(RockError::InvalidTheta(self.theta));
+        }
+        if self.k == 0 {
+            return Err(RockError::InvalidK(self.k));
+        }
+        let ftheta = self.ftheta.f_dyn(self.theta);
+        if !ftheta.is_finite() || ftheta < 0.0 {
+            return Err(RockError::InvalidFTheta(ftheta));
+        }
+        if !(self.labeling_fraction > 0.0 && self.labeling_fraction <= 1.0) {
+            return Err(RockError::InvalidLabelingFraction(self.labeling_fraction));
+        }
+        if let Some(s) = self.sample_size {
+            if s < self.k {
+                return Err(RockError::InvalidSampleSize {
+                    sample_size: s,
+                    k: self.k,
+                });
+            }
+        }
+        if let Some(w) = &self.outliers.weed {
+            if w.stop_multiple < 1.0 {
+                return Err(RockError::InvalidWeedMultiple(w.stop_multiple));
+            }
+        }
+        if self.threads == 0 {
+            return Err(RockError::InvalidThreads(self.threads));
+        }
+        Ok(Rock {
+            config: RockConfig {
+                theta: self.theta,
+                k: self.k,
+                ftheta,
+                goodness_kind: self.goodness_kind,
+                outliers: self.outliers,
+                sample_size: self.sample_size,
+                labeling_fraction: self.labeling_fraction,
+                seed: self.seed,
+                threads: self.threads,
+            },
+        })
+    }
+}
+
+/// The configured ROCK driver.
+///
+/// # Examples
+/// ```
+/// use rock_core::points::Transaction;
+/// use rock_core::similarity::Jaccard;
+/// use rock_core::rock::Rock;
+///
+/// let baskets = vec![
+///     Transaction::from([1, 2, 3]),
+///     Transaction::from([1, 2, 4]),
+///     Transaction::from([1, 3, 4]),
+///     Transaction::from([7, 8, 9]),
+///     Transaction::from([7, 8, 10]),
+///     Transaction::from([7, 9, 10]),
+/// ];
+/// let rock = Rock::builder().theta(0.5).clusters(2).build().unwrap();
+/// let run = rock.cluster(&baskets, &Jaccard);
+/// assert_eq!(run.clustering.num_clusters(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rock {
+    config: RockConfig,
+}
+
+/// Output of the full sampled pipeline ([`Rock::run`]).
+#[derive(Clone, Debug)]
+pub struct RockResult {
+    /// Indices (into the input data) of the clustered sample.
+    pub sample_indices: Vec<usize>,
+    /// The clustering of the sample, with sample-relative point ids.
+    pub sample_run: RockRun,
+    /// Labeling of the *entire* input data set.
+    pub labeling: Labeling,
+}
+
+impl RockResult {
+    /// The clusters over the full data set (point ids index the input
+    /// data), with labeling outliers in `outliers`.
+    pub fn full_clustering(&self) -> Clustering {
+        let k = self.labeling.cluster_counts.len();
+        let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut outliers = Vec::new();
+        for (p, a) in self.labeling.assignments.iter().enumerate() {
+            match a {
+                Some(c) => clusters[*c].push(p as u32),
+                None => outliers.push(p as u32),
+            }
+        }
+        Clustering::new(clusters, outliers)
+    }
+}
+
+impl Rock {
+    /// Starts building a driver.
+    pub fn builder() -> RockBuilder {
+        RockBuilder::default()
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &RockConfig {
+        &self.config
+    }
+
+    fn goodness(&self) -> Goodness {
+        Goodness::new(
+            self.config.theta,
+            crate::goodness::ConstantF(self.config.ftheta),
+            self.config.goodness_kind,
+        )
+    }
+
+    fn algorithm(&self) -> RockAlgorithm {
+        RockAlgorithm::new(self.goodness(), self.config.k, self.config.outliers)
+    }
+
+    fn rng(&self) -> StdRng {
+        match self.config.seed {
+            Some(s) => StdRng::seed_from_u64(s),
+            None => StdRng::from_os_rng(),
+        }
+    }
+
+    /// Clusters `points` in memory (no sampling/labeling).
+    pub fn cluster<P, S>(&self, points: &[P], measure: &S) -> RockRun
+    where
+        S: Similarity<P> + Sync,
+        P: Sync,
+    {
+        let pw = PointsWith::new(points, measure);
+        self.cluster_pairwise(&pw)
+    }
+
+    /// Clusters a point set given only index-pairwise similarities —
+    /// e.g. an expert [`crate::similarity::SimilarityMatrix`] (§1.2).
+    pub fn cluster_pairwise<PS: PairwiseSimilarity + Sync>(&self, sim: &PS) -> RockRun {
+        let graph = if self.config.threads > 1 {
+            NeighborGraph::build_parallel(sim, self.config.theta, self.config.threads)
+        } else {
+            NeighborGraph::build(sim, self.config.theta)
+        };
+        self.algorithm().run(&graph)
+    }
+
+    /// Clusters a prebuilt neighbor graph.
+    ///
+    /// The graph's θ should match the configured θ for the goodness
+    /// normalisation to be meaningful.
+    pub fn cluster_graph(&self, graph: &NeighborGraph) -> RockRun {
+        self.algorithm().run(graph)
+    }
+
+    /// The full Fig.-2 pipeline: draw a random sample (if configured),
+    /// cluster it, then label all of `data`.
+    ///
+    /// Without a configured sample size the whole data set is clustered
+    /// and the labeling phase still runs (useful for assigning outliers
+    /// and for uniform reporting).
+    pub fn run<P, S>(&self, data: &[P], measure: &S) -> RockResult
+    where
+        P: Clone + Sync,
+        S: Similarity<P> + Sync,
+    {
+        let mut rng = self.rng();
+        let sample_indices = match self.config.sample_size {
+            Some(size) if size < data.len() => {
+                crate::sampling::sample_indices(data.len(), size, &mut rng)
+            }
+            _ => (0..data.len()).collect(),
+        };
+        let sample: Vec<P> = sample_indices.iter().map(|&i| data[i].clone()).collect();
+        let sample_run = self.cluster(&sample, measure);
+        let labeler = Labeler::new(
+            &sample,
+            &sample_run.clustering.clusters,
+            self.config.labeling_fraction,
+            self.config.theta,
+            self.config.ftheta,
+            &mut rng,
+        );
+        let labeling = labeler.label_all_parallel(data, measure, self.config.threads);
+        RockResult {
+            sample_indices,
+            sample_run,
+            labeling,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::Transaction;
+    use crate::similarity::Jaccard;
+
+    fn two_basket_clusters(n_each: usize) -> Vec<Transaction> {
+        // Cluster A over items 0..6, cluster B over items 100..106;
+        // transactions are deterministic 3-subsets.
+        let mut data = Vec::new();
+        for c in 0..2u32 {
+            let base = c * 100;
+            let mut i = 0;
+            'outer: for x in 0..6u32 {
+                for y in (x + 1)..6 {
+                    for z in (y + 1)..6 {
+                        data.push(Transaction::from([base + x, base + y, base + z]));
+                        i += 1;
+                        if i >= n_each {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn builder_defaults_build() {
+        let rock = Rock::builder().build().unwrap();
+        assert_eq!(rock.config().theta, 0.5);
+        assert_eq!(rock.config().k, 2);
+        assert!((rock.config().ftheta - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(matches!(
+            Rock::builder().theta(2.0).build(),
+            Err(RockError::InvalidTheta(_))
+        ));
+        assert!(matches!(
+            Rock::builder().clusters(0).build(),
+            Err(RockError::InvalidK(0))
+        ));
+        assert!(matches!(
+            Rock::builder().labeling_fraction(0.0).build(),
+            Err(RockError::InvalidLabelingFraction(_))
+        ));
+        assert!(matches!(
+            Rock::builder().clusters(10).sample_size(5).build(),
+            Err(RockError::InvalidSampleSize { .. })
+        ));
+        assert!(matches!(
+            Rock::builder().weed_outliers(0.5, 2).build(),
+            Err(RockError::InvalidWeedMultiple(_))
+        ));
+        assert!(matches!(
+            Rock::builder().threads(0).build(),
+            Err(RockError::InvalidThreads(0))
+        ));
+    }
+
+    #[test]
+    fn cluster_separates_baskets() {
+        let data = two_basket_clusters(20);
+        let rock = Rock::builder().theta(0.5).clusters(2).build().unwrap();
+        let run = rock.cluster(&data, &Jaccard);
+        assert_eq!(run.clustering.num_clusters(), 2);
+        assert_eq!(run.clustering.sizes(), vec![20, 20]);
+    }
+
+    #[test]
+    fn sampled_pipeline_labels_everything() {
+        let data = two_basket_clusters(20);
+        let rock = Rock::builder()
+            .theta(0.5)
+            .clusters(2)
+            .sample_size(16)
+            .labeling_fraction(1.0)
+            .seed(42)
+            .build()
+            .unwrap();
+        let result = rock.run(&data, &Jaccard);
+        assert_eq!(result.sample_indices.len(), 16);
+        let full = result.full_clustering();
+        assert_eq!(full.num_clusters(), 2);
+        // Every point labeled; the two sides must not mix.
+        assert_eq!(full.num_points(), data.len());
+        for c in &full.clusters {
+            let sides: std::collections::HashSet<bool> =
+                c.iter().map(|&p| (p as usize) < 20).collect();
+            assert_eq!(sides.len(), 1, "cluster mixes the two item universes");
+        }
+    }
+
+    #[test]
+    fn run_without_sampling_uses_all_points() {
+        let data = two_basket_clusters(5);
+        let rock = Rock::builder()
+            .theta(0.5)
+            .clusters(2)
+            .seed(1)
+            .labeling_fraction(1.0)
+            .build()
+            .unwrap();
+        let result = rock.run(&data, &Jaccard);
+        assert_eq!(result.sample_indices.len(), data.len());
+        assert_eq!(result.labeling.assignments.len(), data.len());
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let data = two_basket_clusters(20);
+        let make = || {
+            Rock::builder()
+                .theta(0.5)
+                .clusters(2)
+                .sample_size(16)
+                .seed(7)
+                .build()
+                .unwrap()
+                .run(&data, &Jaccard)
+        };
+        let (a, b) = (make(), make());
+        assert_eq!(a.sample_indices, b.sample_indices);
+        assert_eq!(a.labeling.assignments, b.labeling.assignments);
+    }
+}

@@ -1,0 +1,184 @@
+//! Jaccard similarity over categorical records with missing values
+//! (§3.1.2).
+
+use super::Similarity;
+use crate::points::CategoricalRecord;
+
+/// How missing attribute values participate in the similarity (§3.1.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MissingPolicy {
+    /// The paper's default: a record maps to the transaction of its
+    /// non-missing `A.v` items; a missing attribute simply contributes no
+    /// item to either the intersection or that record's side of the union.
+    #[default]
+    Ignore,
+    /// The paper's time-series refinement: for each *pair* of records, only
+    /// attributes with values present in **both** records are considered.
+    /// Two records identical on their common attributes are maximally
+    /// similar even if one has many missing values (e.g. a young mutual
+    /// fund with no prices before its launch date).
+    CommonAttributes,
+}
+
+/// Jaccard similarity between categorical records (§3.1.2).
+///
+/// Conceptually each record is the transaction `{A.v : value of A is v}`;
+/// the similarity is the Jaccard coefficient of the two induced
+/// transactions. Under [`MissingPolicy::CommonAttributes`] the induced
+/// transactions are restricted, per pair, to the attributes observed in
+/// both records.
+///
+/// Implemented directly on the records (one linear pass over the attribute
+/// arrays) rather than by materialising transactions, since the transaction
+/// view of a record is pair-dependent under `CommonAttributes`.
+///
+/// # Examples
+/// ```
+/// use rock_core::points::CategoricalRecord;
+/// use rock_core::similarity::{CategoricalJaccard, MissingPolicy, Similarity};
+///
+/// let a = CategoricalRecord::new(vec![Some(0), Some(1), None]);
+/// let b = CategoricalRecord::new(vec![Some(0), Some(2), Some(1)]);
+///
+/// // Ignore-missing: items {A0.0, A1.1} vs {A0.0, A1.2, A2.1} → 1/4.
+/// let ignore = CategoricalJaccard::new(MissingPolicy::Ignore);
+/// assert_eq!(ignore.similarity(&a, &b), 0.25);
+///
+/// // Common-attributes: only A0 and A1 are present in both → 1/3.
+/// let common = CategoricalJaccard::new(MissingPolicy::CommonAttributes);
+/// assert!((common.similarity(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CategoricalJaccard {
+    policy: MissingPolicy,
+}
+
+impl CategoricalJaccard {
+    /// Creates the measure with the given missing-value policy.
+    pub fn new(policy: MissingPolicy) -> Self {
+        CategoricalJaccard { policy }
+    }
+
+    /// The configured missing-value policy.
+    pub fn policy(&self) -> MissingPolicy {
+        self.policy
+    }
+}
+
+impl Similarity<CategoricalRecord> for CategoricalJaccard {
+    fn similarity(&self, a: &CategoricalRecord, b: &CategoricalRecord) -> f64 {
+        assert_eq!(
+            a.arity(),
+            b.arity(),
+            "records must share a schema (same arity)"
+        );
+        let mut matches = 0usize; // attributes where both present and equal
+        let mut both = 0usize; // attributes where both present
+        let mut present_a = 0usize;
+        let mut present_b = 0usize;
+        for (va, vb) in a.values().iter().zip(b.values()) {
+            if va.is_some() {
+                present_a += 1;
+            }
+            if vb.is_some() {
+                present_b += 1;
+            }
+            if let (Some(x), Some(y)) = (va, vb) {
+                both += 1;
+                if x == y {
+                    matches += 1;
+                }
+            }
+        }
+        let (inter, union) = match self.policy {
+            // |T_a ∩ T_b| = matches; |T_a ∪ T_b| = present_a + present_b − matches.
+            MissingPolicy::Ignore => (matches, present_a + present_b - matches),
+            // Restricted to common attributes: each contributes one item per
+            // record; matching attributes contribute the same item.
+            MissingPolicy::CommonAttributes => (matches, 2 * both - matches),
+        };
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::{CategoricalSchema, Transaction};
+
+    fn rec(vals: &[Option<u32>]) -> CategoricalRecord {
+        CategoricalRecord::new(vals.to_vec())
+    }
+
+    #[test]
+    fn complete_records_match_transaction_jaccard() {
+        // With no missing values the two policies coincide and must equal
+        // Jaccard on the schema-induced transactions.
+        let schema = CategoricalSchema::from_attributes(&[
+            ("a", vec!["x", "y", "z"]),
+            ("b", vec!["x", "y"]),
+            ("c", vec!["p", "q", "r", "s"]),
+        ]);
+        let r1 = CategoricalRecord::complete(vec![0, 1, 3]);
+        let r2 = CategoricalRecord::complete(vec![0, 0, 3]);
+        let t1: Transaction = schema.to_transaction(&r1);
+        let t2: Transaction = schema.to_transaction(&r2);
+        let expected = t1.jaccard(&t2);
+        for policy in [MissingPolicy::Ignore, MissingPolicy::CommonAttributes] {
+            let got = CategoricalJaccard::new(policy).similarity(&r1, &r2);
+            assert!((got - expected).abs() < 1e-12, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn common_attributes_ignores_one_sided_missing() {
+        // Identical on common attributes → similarity 1 under the
+        // time-series policy, regardless of missing values (young funds).
+        let old_fund = rec(&[Some(1), Some(0), Some(2), Some(1)]);
+        let young_fund = rec(&[None, None, Some(2), Some(1)]);
+        let common = CategoricalJaccard::new(MissingPolicy::CommonAttributes);
+        assert_eq!(common.similarity(&old_fund, &young_fund), 1.0);
+        // The default policy penalises the missing prefix instead.
+        let ignore = CategoricalJaccard::new(MissingPolicy::Ignore);
+        assert_eq!(ignore.similarity(&old_fund, &young_fund), 0.5);
+    }
+
+    #[test]
+    fn no_overlap_in_presence_is_zero() {
+        let a = rec(&[Some(0), None]);
+        let b = rec(&[None, Some(1)]);
+        for policy in [MissingPolicy::Ignore, MissingPolicy::CommonAttributes] {
+            assert_eq!(CategoricalJaccard::new(policy).similarity(&a, &b), 0.0);
+        }
+    }
+
+    #[test]
+    fn all_missing_is_zero() {
+        let a = rec(&[None, None]);
+        for policy in [MissingPolicy::Ignore, MissingPolicy::CommonAttributes] {
+            assert_eq!(CategoricalJaccard::new(policy).similarity(&a, &a), 0.0);
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = rec(&[Some(0), Some(1), None, Some(2)]);
+        let b = rec(&[Some(0), None, Some(3), Some(1)]);
+        for policy in [MissingPolicy::Ignore, MissingPolicy::CommonAttributes] {
+            let m = CategoricalJaccard::new(policy);
+            assert_eq!(m.similarity(&a, &b), m.similarity(&b, &a));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same arity")]
+    fn arity_mismatch_panics() {
+        let a = rec(&[Some(0)]);
+        let b = rec(&[Some(0), Some(1)]);
+        let _ = CategoricalJaccard::default().similarity(&a, &b);
+    }
+}

@@ -1,0 +1,146 @@
+//! Expert-provided similarity tables (§1.2).
+//!
+//! ROCK "naturally extends to non-metric similarity measures that are
+//! relevant in situations where a domain expert/similarity table is the
+//! only source of knowledge". [`SimilarityMatrix`] is that table: an
+//! explicit symmetric n×n matrix of similarities, stored as the lower
+//! triangle.
+
+use super::PairwiseSimilarity;
+
+/// A symmetric matrix of pairwise similarities in `[0, 1]`.
+///
+/// Stored as the strict lower triangle plus an implicit unit diagonal,
+/// i.e. `n·(n−1)/2` entries.
+///
+/// # Examples
+/// ```
+/// use rock_core::similarity::{PairwiseSimilarity, SimilarityMatrix};
+///
+/// let mut m = SimilarityMatrix::new(3);
+/// m.set(0, 1, 0.8);
+/// m.set(1, 2, 0.3);
+/// assert_eq!(m.sim(1, 0), 0.8);
+/// assert_eq!(m.sim(0, 2), 0.0);
+/// assert_eq!(m.sim(2, 2), 1.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimilarityMatrix {
+    n: usize,
+    /// Row-major strict lower triangle: entry (i, j) with i > j lives at
+    /// `i·(i−1)/2 + j`.
+    tri: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// Creates an n×n table with all off-diagonal similarities 0.
+    pub fn new(n: usize) -> Self {
+        SimilarityMatrix {
+            n,
+            tri: vec![0.0; n * n.saturating_sub(1) / 2],
+        }
+    }
+
+    /// Builds the table by evaluating `f(i, j)` for every pair `i > j`.
+    ///
+    /// # Panics
+    /// Panics if `f` returns a value outside `[0, 1]`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut m = SimilarityMatrix::new(n);
+        for i in 1..n {
+            for j in 0..i {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i > j);
+        i * (i - 1) / 2 + j
+    }
+
+    /// Sets the similarity of the (unordered) pair `{i, j}`.
+    ///
+    /// # Panics
+    /// Panics if `i == j`, if either index is out of range, or if `value`
+    /// is outside `[0, 1]`.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "index out of range");
+        assert!(i != j, "the diagonal is fixed at 1");
+        assert!(
+            (0.0..=1.0).contains(&value),
+            "similarity must be in [0, 1], got {value}"
+        );
+        let (i, j) = if i > j { (i, j) } else { (j, i) };
+        let idx = self.index(i, j);
+        self.tri[idx] = value;
+    }
+}
+
+impl PairwiseSimilarity for SimilarityMatrix {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn sim(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        match i.cmp(&j) {
+            std::cmp::Ordering::Equal => 1.0,
+            std::cmp::Ordering::Greater => self.tri[self.index(i, j)],
+            std::cmp::Ordering::Less => self.tri[self.index(j, i)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_symmetric() {
+        let mut m = SimilarityMatrix::new(4);
+        m.set(2, 0, 0.25);
+        m.set(1, 3, 0.75);
+        assert_eq!(m.sim(0, 2), 0.25);
+        assert_eq!(m.sim(2, 0), 0.25);
+        assert_eq!(m.sim(3, 1), 0.75);
+        assert_eq!(m.sim(1, 3), 0.75);
+    }
+
+    #[test]
+    fn diagonal_is_one() {
+        let m = SimilarityMatrix::new(3);
+        for i in 0..3 {
+            assert_eq!(m.sim(i, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn from_fn_fills_all_pairs() {
+        let m = SimilarityMatrix::from_fn(5, |i, j| (i + j) as f64 / 10.0);
+        for i in 0..5 {
+            for j in 0..5 {
+                if i != j {
+                    assert_eq!(m.sim(i, j), (i + j) as f64 / 10.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn out_of_range_value_panics() {
+        let mut m = SimilarityMatrix::new(2);
+        m.set(0, 1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn setting_diagonal_panics() {
+        let mut m = SimilarityMatrix::new(2);
+        m.set(1, 1, 0.5);
+    }
+}

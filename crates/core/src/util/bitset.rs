@@ -1,0 +1,156 @@
+//! Fixed-width bitsets used by the dense link-computation path.
+//!
+//! §4.4 of the paper observes that the link matrix is `A × A` for the 0/1
+//! neighbor-adjacency matrix `A`. Because `A` is boolean, the `(i, j)` entry
+//! of the square is exactly the number of common neighbors, i.e.
+//! `popcount(row_i & row_j)`. Packing rows into `u64` words turns the naive
+//! O(n³) multiplication into O(n³ / 64) word operations, which is the dense
+//! comparator the bench suite measures against the sparse Fig.-4 algorithm.
+
+/// A fixed-capacity bitset backed by `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bitset able to hold `nbits` bits.
+    pub fn new(nbits: usize) -> Self {
+        BitSet {
+            words: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// Number of bits this set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity()`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity()`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Returns whether bit `i` is set.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity()`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of bits set in both `self` and `other`
+    /// (the popcount of the intersection).
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.nbits, other.nbits, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let tz = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_contains_clear() {
+        let mut b = BitSet::new(130);
+        assert!(!b.contains(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.contains(0) && b.contains(63) && b.contains(64) && b.contains(129));
+        assert_eq!(b.count_ones(), 4);
+        b.clear(64);
+        assert!(!b.contains(64));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn intersection_count_matches_manual() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        for i in (0..200).step_by(3) {
+            a.set(i);
+        }
+        for i in (0..200).step_by(5) {
+            b.set(i);
+        }
+        // Multiples of 15 in [0, 200): 0, 15, ..., 195 → 14 values.
+        assert_eq!(a.intersection_count(&b), 14);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut b = BitSet::new(300);
+        let idx = [0usize, 1, 63, 64, 65, 128, 255, 299];
+        for &i in &idx {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut b = BitSet::new(10);
+        b.set(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn intersection_capacity_mismatch_panics() {
+        let a = BitSet::new(10);
+        let b = BitSet::new(11);
+        let _ = a.intersection_count(&b);
+    }
+}

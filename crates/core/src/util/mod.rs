@@ -1,0 +1,7 @@
+//! Internal utilities: fast hashing and bitsets.
+
+pub mod bitset;
+pub mod fxhash;
+
+pub use bitset::BitSet;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -1,0 +1,186 @@
+//! Pair-counting and information-theoretic agreement indices between two
+//! partitions: Rand index, adjusted Rand index, and normalized mutual
+//! information.
+//!
+//! These complement the paper's direct misclassification counts with the
+//! standard external clustering metrics, so experiments can report
+//! comparable numbers to modern work.
+
+/// Validates and zips two label vectors.
+fn check(a: &[usize], b: &[usize]) {
+    assert_eq!(a.len(), b.len(), "label vectors must align");
+}
+
+fn comb2(n: usize) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// Builds the joint count matrix and marginals.
+fn joint_counts(a: &[usize], b: &[usize]) -> (Vec<Vec<usize>>, Vec<usize>, Vec<usize>) {
+    let ka = a.iter().copied().max().map_or(0, |m| m + 1);
+    let kb = b.iter().copied().max().map_or(0, |m| m + 1);
+    let mut joint = vec![vec![0usize; kb]; ka];
+    let mut ma = vec![0usize; ka];
+    let mut mb = vec![0usize; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        joint[x][y] += 1;
+        ma[x] += 1;
+        mb[y] += 1;
+    }
+    (joint, ma, mb)
+}
+
+/// The Rand index: the fraction of point pairs on which the two
+/// partitions agree (same-same or different-different). In `[0, 1]`.
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    check(a, b);
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let (joint, ma, mb) = joint_counts(a, b);
+    let same_both: f64 = joint.iter().flatten().map(|&c| comb2(c)).sum();
+    let same_a: f64 = ma.iter().map(|&c| comb2(c)).sum();
+    let same_b: f64 = mb.iter().map(|&c| comb2(c)).sum();
+    let total = comb2(n);
+    // agreements = pairs together in both + pairs apart in both
+    (total + 2.0 * same_both - same_a - same_b) / total
+}
+
+/// The adjusted Rand index (Hubert & Arabie): Rand index corrected for
+/// chance. 1 = identical partitions, ~0 = random agreement; can be
+/// negative.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    check(a, b);
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let (joint, ma, mb) = joint_counts(a, b);
+    let index: f64 = joint.iter().flatten().map(|&c| comb2(c)).sum();
+    let sum_a: f64 = ma.iter().map(|&c| comb2(c)).sum();
+    let sum_b: f64 = mb.iter().map(|&c| comb2(c)).sum();
+    let expected = sum_a * sum_b / comb2(n);
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate (e.g. both partitions all-singletons or one cluster).
+        return if (index - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+    }
+    (index - expected) / (max_index - expected)
+}
+
+/// Normalized mutual information with arithmetic-mean normalisation:
+/// `NMI = 2·I(A; B) / (H(A) + H(B))`, in `[0, 1]`; defined as 1 when both
+/// partitions are trivial (zero entropy).
+pub fn normalized_mutual_information(a: &[usize], b: &[usize]) -> f64 {
+    check(a, b);
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 1.0;
+    }
+    let (joint, ma, mb) = joint_counts(a, b);
+    let h = |marginal: &[usize]| -> f64 {
+        marginal
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = h(&ma);
+    let hb = h(&mb);
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0;
+    }
+    let mut mi = 0.0;
+    for (x, row) in joint.iter().enumerate() {
+        for (y, &c) in row.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let pxy = c as f64 / n;
+            let px = ma[x] as f64 / n;
+            let py = mb[y] as f64 / n;
+            mi += pxy * (pxy / (px * py)).ln();
+        }
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert_eq!(rand_index(&a, &a), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeled_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert_eq!(rand_index(&a, &b), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_rand_value() {
+        // Classic example: a = {0,0,1,1}, b = {0,1,1,1}.
+        // Pairs: (0,1) split vs together → disagree; (0,2),(0,3) apart in
+        // both → agree; (1,2),(1,3) apart vs together → disagree;
+        // (2,3) together in both → agree. RI = 3/6.
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 1, 1, 1];
+        assert!((rand_index(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_near_zero_for_independent_labels() {
+        // Deterministic pseudo-random independent labelings.
+        let n = 5000;
+        let a: Vec<usize> = (0..n).map(|i| (i * 2654435761usize) % 4).collect();
+        let b: Vec<usize> = (0..n).map(|i| (i * 40503usize + 7) % 5).collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.02, "ARI {ari}");
+    }
+
+    #[test]
+    fn nmi_zero_for_independent_labels() {
+        let n = 5000;
+        let a: Vec<usize> = (0..n).map(|i| (i * 2654435761usize) % 4).collect();
+        let b: Vec<usize> = (0..n).map(|i| (i * 40503usize + 7) % 5).collect();
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(nmi < 0.02, "NMI {nmi}");
+    }
+
+    #[test]
+    fn refinement_ordering() {
+        // A clustering that merges two true clusters scores below the
+        // truth but above a random one.
+        let truth: Vec<usize> = (0..60).map(|i| i / 20).collect();
+        let merged: Vec<usize> = truth.iter().map(|&t| if t == 2 { 1 } else { t }).collect();
+        let ari = adjusted_rand_index(&truth, &merged);
+        assert!(ari > 0.4 && ari < 1.0, "ARI {ari}");
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        assert_eq!(rand_index(&[], &[]), 1.0);
+        assert_eq!(rand_index(&[0], &[0]), 1.0);
+        assert_eq!(adjusted_rand_index(&[0, 0], &[0, 0]), 1.0);
+        assert_eq!(normalized_mutual_information(&[0, 0], &[0, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        let _ = rand_index(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Misclassification counting under the optimal cluster correspondence
+//! (§5.4, Table 6).
+//!
+//! The paper's synthetic experiment reports "the number of transactions
+//! misclassified". Since predicted cluster numbers are arbitrary, we
+//! first find the one-to-one predicted↔true cluster matching maximising
+//! agreement (Hungarian algorithm) and then count every point that falls
+//! outside it. True outliers count as their own class: an outlier
+//! predicted as an outlier is correct, an outlier assigned to a cluster
+//! (or a clustered point called an outlier) is a misclassification.
+
+use crate::hungarian::maximum_value_assignment;
+
+/// Result of the matched comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Misclassification {
+    /// Number of misclassified points.
+    pub misclassified: usize,
+    /// Total points compared.
+    pub total: usize,
+    /// `mapping[predicted] = Some(true cluster)` under the optimal
+    /// matching.
+    pub mapping: Vec<Option<usize>>,
+}
+
+impl Misclassification {
+    /// Misclassification rate in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.misclassified as f64 / self.total as f64
+        }
+    }
+}
+
+/// Counts misclassified points between a predicted and a true clustering,
+/// both given as per-point `Option<cluster>` (with `None` = outlier).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn count_misclassified(
+    pred: &[Option<usize>],
+    truth: &[Option<usize>],
+) -> Misclassification {
+    assert_eq!(pred.len(), truth.len(), "pred and truth must align");
+    let kp = pred.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let kt = truth.iter().flatten().copied().max().map_or(0, |m| m + 1);
+
+    // Overlap matrix between predicted clusters and true clusters.
+    let mut overlap = vec![vec![0.0f64; kt.max(1)]; kp.max(1)];
+    for (p, t) in pred.iter().zip(truth) {
+        if let (Some(p), Some(t)) = (p, t) {
+            overlap[*p][*t] += 1.0;
+        }
+    }
+
+    let mapping: Vec<Option<usize>> = if kp == 0 || kt == 0 {
+        vec![None; kp]
+    } else {
+        maximum_value_assignment(&overlap)
+    };
+
+    let mut correct = 0usize;
+    for (p, t) in pred.iter().zip(truth) {
+        match (p, t) {
+            (None, None) => correct += 1,
+            (Some(p), Some(t)) if mapping.get(*p).copied().flatten() == Some(*t) => {
+                correct += 1;
+            }
+            _ => {}
+        }
+    }
+    Misclassification {
+        misclassified: pred.len() - correct,
+        total: pred.len(),
+        mapping,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_zero_misclassified() {
+        let truth = vec![Some(0), Some(0), Some(1), Some(1), None];
+        // Same partition with permuted cluster numbers.
+        let pred = vec![Some(1), Some(1), Some(0), Some(0), None];
+        let m = count_misclassified(&pred, &truth);
+        assert_eq!(m.misclassified, 0);
+        assert_eq!(m.mapping, vec![Some(1), Some(0)]);
+        assert_eq!(m.rate(), 0.0);
+    }
+
+    #[test]
+    fn single_swap_counts_once() {
+        let truth = vec![Some(0), Some(0), Some(0), Some(1), Some(1), Some(1)];
+        let pred = vec![Some(0), Some(0), Some(1), Some(1), Some(1), Some(1)];
+        let m = count_misclassified(&pred, &truth);
+        assert_eq!(m.misclassified, 1);
+    }
+
+    #[test]
+    fn outlier_confusions_count() {
+        let truth = vec![Some(0), None, Some(0), None];
+        let pred = vec![Some(0), Some(0), None, None];
+        let m = count_misclassified(&pred, &truth);
+        // point 1: outlier → cluster (wrong); point 2: cluster → outlier
+        // (wrong).
+        assert_eq!(m.misclassified, 2);
+    }
+
+    #[test]
+    fn split_cluster_counts_minor_half() {
+        // True cluster of 10 split into 6 + 4: best matching keeps the 6.
+        let truth: Vec<Option<usize>> = (0..10).map(|_| Some(0)).collect();
+        let pred: Vec<Option<usize>> = (0..10).map(|i| Some(usize::from(i >= 6))).collect();
+        let m = count_misclassified(&pred, &truth);
+        assert_eq!(m.misclassified, 4);
+    }
+
+    #[test]
+    fn more_predicted_than_true_clusters() {
+        let truth = vec![Some(0), Some(0), Some(1), Some(1)];
+        let pred = vec![Some(0), Some(1), Some(2), Some(2)];
+        let m = count_misclassified(&pred, &truth);
+        // Best: one of {0,1} → true 0 (1 correct), 2 → true 1 (2 correct).
+        assert_eq!(m.misclassified, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = count_misclassified(&[], &[]);
+        assert_eq!(m.misclassified, 0);
+        assert_eq!(m.rate(), 0.0);
+    }
+}
