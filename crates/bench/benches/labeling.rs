@@ -33,7 +33,8 @@ fn setup() -> (rock_data::SyntheticBasketData, Labeler<rock_core::points::Transa
         0.5,
         1.0 / 3.0,
         &mut StdRng::seed_from_u64(14),
-    );
+    )
+    .expect("bench setup uses a valid labeling fraction");
     (data, labeler)
 }
 

@@ -28,6 +28,17 @@ pub enum RockError {
     InvalidWeedMultiple(f64),
     /// Thread count must be ≥ 1.
     InvalidThreads(usize),
+    /// A user-supplied similarity measure returned NaN or ±∞.
+    ///
+    /// Surfaced by the checked entry points ([`crate::rock::Rock::try_cluster`],
+    /// [`crate::rock::Rock::try_cluster_pairwise`], [`crate::rock::Rock::try_run`]
+    /// and [`crate::labeling::Labeler::label_point_checked`]) instead of
+    /// letting the value poison neighbor decisions or trip heap asserts
+    /// mid-merge.
+    NonFiniteSimilarity {
+        /// The offending similarity value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for RockError {
@@ -51,6 +62,11 @@ impl fmt::Display for RockError {
                 write!(f, "weed stop multiple must be >= 1, got {m}")
             }
             RockError::InvalidThreads(t) => write!(f, "thread count must be >= 1, got {t}"),
+            RockError::NonFiniteSimilarity { value } => write!(
+                f,
+                "similarity measure returned a non-finite value {value}; \
+                 similarities must lie in [0, 1]"
+            ),
         }
     }
 }
@@ -77,6 +93,10 @@ mod tests {
             ),
             (RockError::InvalidWeedMultiple(0.5), "0.5"),
             (RockError::InvalidThreads(0), "0"),
+            (
+                RockError::NonFiniteSimilarity { value: f64::NAN },
+                "NaN",
+            ),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");

@@ -9,6 +9,7 @@
 //! neighbors `p` would have in `Lᵢ` if it belonged to cluster `i`. Points
 //! with no neighbors in any labeling set are reported as outliers.
 
+use crate::error::RockError;
 use crate::similarity::Similarity;
 use rand::Rng;
 
@@ -41,8 +42,11 @@ impl<P: Clone> Labeler<P> {
     /// * `clusters` — the clustering of `sample`, as indices into it;
     /// * `theta`, `ftheta` — the threshold and `f(θ)` used for clustering.
     ///
-    /// # Panics
-    /// Panics if `fraction ∉ (0, 1]` or `theta ∉ [0, 1]`.
+    /// # Errors
+    /// Returns [`RockError::InvalidLabelingFraction`] if
+    /// `fraction ∉ (0, 1]` and [`RockError::InvalidTheta`] if
+    /// `theta ∉ [0, 1]` — user-supplied parameters surface as typed
+    /// errors, never panics.
     pub fn new<R: Rng + ?Sized>(
         sample: &[P],
         clusters: &[Vec<u32>],
@@ -50,15 +54,13 @@ impl<P: Clone> Labeler<P> {
         theta: f64,
         ftheta: f64,
         rng: &mut R,
-    ) -> Self {
-        assert!(
-            fraction > 0.0 && fraction <= 1.0,
-            "labeling fraction must be in (0, 1], got {fraction}"
-        );
-        assert!(
-            (0.0..=1.0).contains(&theta),
-            "theta must be in [0, 1], got {theta}"
-        );
+    ) -> Result<Self, RockError> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(RockError::InvalidLabelingFraction(fraction));
+        }
+        if !(0.0..=1.0).contains(&theta) {
+            return Err(RockError::InvalidTheta(theta));
+        }
         let sets = clusters
             .iter()
             .map(|members| {
@@ -75,11 +77,11 @@ impl<P: Clone> Labeler<P> {
                     .collect()
             })
             .collect();
-        Labeler {
+        Ok(Labeler {
             sets,
             theta,
             ftheta,
-        }
+        })
     }
 
     /// Uses every clustered sample point for labeling (fraction = 1,
@@ -137,6 +139,50 @@ impl<P: Clone> Labeler<P> {
             }
         }
         best.map(|(i, _)| i)
+    }
+
+    /// Like [`Labeler::label_point`], but surfaces a non-finite similarity
+    /// value as a typed error instead of silently treating the pair as
+    /// non-neighbors.
+    ///
+    /// This is the per-record entry point of the resilient streaming
+    /// driver: a record whose similarity evaluation degenerates (NaN from
+    /// a user measure) can be quarantined rather than mislabeled.
+    ///
+    /// # Errors
+    /// Returns [`RockError::NonFiniteSimilarity`] on the first NaN/±∞
+    /// similarity encountered.
+    pub fn label_point_checked<S: Similarity<P>>(
+        &self,
+        point: &P,
+        sim: &S,
+    ) -> Result<Option<usize>, RockError> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, set) in self.sets.iter().enumerate() {
+            let mut neighbors = 0usize;
+            for l in set {
+                let s = sim.similarity(point, l);
+                if !s.is_finite() {
+                    return Err(RockError::NonFiniteSimilarity { value: s });
+                }
+                if s >= self.theta {
+                    neighbors += 1;
+                }
+            }
+            if neighbors == 0 {
+                continue;
+            }
+            let norm = ((set.len() + 1) as f64).powf(self.ftheta);
+            let score = neighbors as f64 / norm;
+            let better = match best {
+                None => true,
+                Some((_, b)) => score > b,
+            };
+            if better {
+                best = Some((i, score));
+            }
+        }
+        Ok(best.map(|(i, _)| i))
     }
 
     /// Labels every point of `data`.
@@ -254,7 +300,7 @@ mod tests {
     fn fractional_sets_bounded_and_nonempty() {
         let (sample, clusters) = two_cluster_sample();
         let mut rng = StdRng::seed_from_u64(3);
-        let labeler = Labeler::new(&sample, &clusters, 0.34, 0.4, 1.0 / 3.0, &mut rng);
+        let labeler = Labeler::new(&sample, &clusters, 0.34, 0.4, 1.0 / 3.0, &mut rng).unwrap();
         for i in 0..labeler.num_clusters() {
             assert_eq!(labeler.set_size(i), 1); // 0.34 * 3 ≈ 1
         }
@@ -286,7 +332,7 @@ mod tests {
         let (sample, _) = two_cluster_sample();
         let clusters = vec![vec![0, 1, 2], vec![]];
         let mut rng = StdRng::seed_from_u64(8);
-        let labeler = Labeler::new(&sample, &clusters, 0.5, 0.4, 1.0 / 3.0, &mut rng);
+        let labeler = Labeler::new(&sample, &clusters, 0.5, 0.4, 1.0 / 3.0, &mut rng).unwrap();
         assert_eq!(labeler.set_size(1), 0);
         // Points can still only land in the non-empty cluster.
         assert_eq!(
@@ -314,10 +360,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "labeling fraction")]
-    fn zero_fraction_panics() {
+    fn bad_parameters_are_typed_errors_not_panics() {
         let (sample, clusters) = two_cluster_sample();
         let mut rng = StdRng::seed_from_u64(3);
-        let _ = Labeler::new(&sample, &clusters, 0.0, 0.4, 0.3, &mut rng);
+        assert!(matches!(
+            Labeler::new(&sample, &clusters, 0.0, 0.4, 0.3, &mut rng),
+            Err(RockError::InvalidLabelingFraction(_))
+        ));
+        assert!(matches!(
+            Labeler::new(&sample, &clusters, 1.5, 0.4, 0.3, &mut rng),
+            Err(RockError::InvalidLabelingFraction(_))
+        ));
+        assert!(matches!(
+            Labeler::new(&sample, &clusters, f64::NAN, 0.4, 0.3, &mut rng),
+            Err(RockError::InvalidLabelingFraction(_))
+        ));
+        assert!(matches!(
+            Labeler::new(&sample, &clusters, 0.5, 1.4, 0.3, &mut rng),
+            Err(RockError::InvalidTheta(_))
+        ));
+    }
+
+    #[test]
+    fn checked_labeling_matches_unchecked_on_finite_measures() {
+        let (sample, clusters) = two_cluster_sample();
+        let labeler = Labeler::full(&sample, &clusters, 0.4, 1.0 / 3.0);
+        for p in [
+            Transaction::from([1, 3, 4]),
+            Transaction::from([10, 12, 13]),
+            Transaction::from([77, 88]),
+        ] {
+            assert_eq!(
+                labeler.label_point_checked(&p, &Jaccard).unwrap(),
+                labeler.label_point(&p, &Jaccard)
+            );
+        }
+    }
+
+    #[test]
+    fn checked_labeling_surfaces_nan_similarity() {
+        struct AlwaysNan;
+        impl Similarity<Transaction> for AlwaysNan {
+            fn similarity(&self, _: &Transaction, _: &Transaction) -> f64 {
+                f64::NAN
+            }
+        }
+        let (sample, clusters) = two_cluster_sample();
+        let labeler = Labeler::full(&sample, &clusters, 0.4, 1.0 / 3.0);
+        let q = Transaction::from([1, 2, 3]);
+        // Unchecked: NaN silently means "no neighbors anywhere" → outlier.
+        assert_eq!(labeler.label_point(&q, &AlwaysNan), None);
+        // Checked: a typed error instead.
+        assert!(matches!(
+            labeler.label_point_checked(&q, &AlwaysNan),
+            Err(RockError::NonFiniteSimilarity { .. })
+        ));
     }
 }

@@ -59,6 +59,19 @@
 //! | [`sampling`] | §4.6 | Vitter reservoir sampling (Algorithms R and X) |
 //! | [`labeling`] | §4.6 | assigning disk-resident points to sample clusters |
 //! | [`rock`] | Fig. 2 | builder-configured end-to-end driver |
+//! | [`report`] | — | structured [`RunReport`] for graceful-degradation visibility |
+//!
+//! ## Robustness
+//!
+//! User-supplied inputs are guarded at the API boundary: configuration
+//! errors are typed [`RockError`]s, and the checked entry points
+//! ([`rock::Rock::try_cluster`], [`rock::Rock::try_run`],
+//! [`labeling::Labeler::label_point_checked`]) surface non-finite
+//! similarities instead of mis-clustering or panicking. The companion
+//! `rock-data` crate adds a resilient streaming ingest/labeling driver
+//! (retries, quarantine, checkpoints) over the same primitives;
+//! [`similarity::FaultySimilarity`] provides the deterministic fault
+//! injection used to test all of it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,6 +89,7 @@ pub mod links;
 pub mod links_l3;
 pub mod neighbors;
 pub mod points;
+pub mod report;
 pub mod rock;
 pub mod sampling;
 pub mod similarity;
@@ -95,8 +109,9 @@ pub use links::{compute_links_auto, compute_links_dense, compute_links_sparse, L
 pub use links_l3::{combine_links, compute_links_l3};
 pub use neighbors::NeighborGraph;
 pub use points::{CategoricalRecord, CategoricalSchema, ItemCatalog, Transaction};
+pub use report::{PhaseTiming, QuarantinedRecord, RunReport};
 pub use rock::{Rock, RockBuilder, RockConfig, RockResult};
 pub use similarity::{
-    CategoricalJaccard, Hamming, Jaccard, MissingPolicy, NormalizedLp, PairwiseSimilarity,
-    PointsWith, Similarity, SimilarityMatrix,
+    CategoricalJaccard, CheckedSimilarity, FaultySimilarity, Hamming, Jaccard, MissingPolicy,
+    NormalizedLp, PairwiseSimilarity, PointsWith, Similarity, SimilarityMatrix,
 };

@@ -1,0 +1,198 @@
+//! Structured run reporting for graceful degradation.
+//!
+//! The paper's Fig.-2 pipeline touches a disk-resident database — the one
+//! place this reproduction meets the messy outside world. When the
+//! resilient drivers skip a comment line, quarantine a malformed record,
+//! retry a transient read or drop a point as an outlier, that decision
+//! must be *visible*, not silent. [`RunReport`] is the single structured
+//! account of everything a run tolerated, returned alongside the results
+//! by [`crate::rock::Rock::try_run`] and by
+//! `rock_data::resilient::label_stream_resilient`.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One malformed or unlabelable input record set aside instead of
+/// aborting the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedRecord {
+    /// 1-based line number in the input stream.
+    pub line: u64,
+    /// Human-readable reason (parse failure, non-finite similarity, …).
+    pub reason: String,
+}
+
+/// Wall-clock duration of one pipeline phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// Phase name (`"sample"`, `"cluster"`, `"label"`, …).
+    pub name: String,
+    /// Elapsed wall-clock time.
+    pub duration: Duration,
+}
+
+/// Structured account of a run: what was read, what was tolerated, and
+/// where the time went.
+///
+/// Counter fields are cumulative over one driver invocation. A resumed
+/// invocation starts its own report (with
+/// [`RunReport::resumed_from_offset`] set); cumulative progress across
+/// invocations lives in the checkpoint, not the report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Records successfully ingested and processed.
+    pub records_read: u64,
+    /// Blank and `#`-comment lines skipped by the basket format.
+    pub records_skipped: u64,
+    /// Malformed or unlabelable records set aside (≤ the configured cap).
+    pub records_quarantined: u64,
+    /// Detail for the first quarantined records (bounded; the counter
+    /// above is authoritative).
+    pub quarantined: Vec<QuarantinedRecord>,
+    /// Transient I/O errors observed (each consumed one retry attempt).
+    pub transient_io_errors: u64,
+    /// Read attempts retried after a transient error.
+    pub io_retries: u64,
+    /// Points labeled as outliers (no neighbors in any labeling set).
+    pub outliers: u64,
+    /// Checkpoints emitted during the run.
+    pub checkpoints_written: u64,
+    /// Byte offset this run resumed from, if it continued a checkpoint.
+    pub resumed_from_offset: Option<u64>,
+    /// Per-phase wall-clock timings, in execution order.
+    pub phases: Vec<PhaseTiming>,
+}
+
+impl RunReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        RunReport::default()
+    }
+
+    /// Appends a phase timing.
+    pub fn record_phase(&mut self, name: &str, duration: Duration) {
+        self.phases.push(PhaseTiming {
+            name: name.to_string(),
+            duration,
+        });
+    }
+
+    /// The recorded duration of phase `name`, if present.
+    pub fn phase_duration(&self, name: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.duration)
+    }
+
+    /// Total wall-clock time across all recorded phases.
+    pub fn total_duration(&self) -> Duration {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Counts a quarantined record, keeping detail for at most
+    /// `detail_cap` of them.
+    pub fn quarantine(&mut self, line: u64, reason: impl Into<String>, detail_cap: usize) {
+        self.records_quarantined += 1;
+        if self.quarantined.len() < detail_cap {
+            self.quarantined.push(QuarantinedRecord {
+                line,
+                reason: reason.into(),
+            });
+        }
+    }
+
+    /// Whether the run degraded in any visible way (quarantines, retries
+    /// or transient errors). Outliers are a normal ROCK outcome and do
+    /// not count as degradation.
+    pub fn degraded(&self) -> bool {
+        self.records_quarantined > 0 || self.transient_io_errors > 0 || self.io_retries > 0
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run report:")?;
+        writeln!(
+            f,
+            "  records: {} read, {} skipped, {} quarantined",
+            self.records_read, self.records_skipped, self.records_quarantined
+        )?;
+        writeln!(
+            f,
+            "  io: {} transient errors, {} retries",
+            self.transient_io_errors, self.io_retries
+        )?;
+        writeln!(f, "  outliers: {}", self.outliers)?;
+        match self.resumed_from_offset {
+            Some(off) => writeln!(
+                f,
+                "  checkpoints: {} written (resumed from byte {off})",
+                self.checkpoints_written
+            )?,
+            None => writeln!(f, "  checkpoints: {} written", self.checkpoints_written)?,
+        }
+        if !self.phases.is_empty() {
+            write!(f, "  phases:")?;
+            for p in &self.phases {
+                write!(f, " {} {:.1?}", p.name, p.duration)?;
+            }
+            writeln!(f)?;
+        }
+        for q in &self.quarantined {
+            writeln!(f, "  quarantined line {}: {}", q.line, q.reason)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantine_caps_detail_but_counts_all() {
+        let mut r = RunReport::new();
+        for i in 0..10 {
+            r.quarantine(i, "bad token", 3);
+        }
+        assert_eq!(r.records_quarantined, 10);
+        assert_eq!(r.quarantined.len(), 3);
+        assert!(r.degraded());
+    }
+
+    #[test]
+    fn phases_accumulate_and_sum() {
+        let mut r = RunReport::new();
+        r.record_phase("sample", Duration::from_millis(2));
+        r.record_phase("cluster", Duration::from_millis(5));
+        assert_eq!(r.phase_duration("cluster"), Some(Duration::from_millis(5)));
+        assert_eq!(r.phase_duration("label"), None);
+        assert_eq!(r.total_duration(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn clean_run_is_not_degraded() {
+        let mut r = RunReport::new();
+        r.records_read = 100;
+        r.outliers = 5;
+        assert!(!r.degraded());
+    }
+
+    #[test]
+    fn display_mentions_every_counter() {
+        let mut r = RunReport::new();
+        r.records_read = 42;
+        r.records_skipped = 3;
+        r.transient_io_errors = 2;
+        r.io_retries = 2;
+        r.outliers = 7;
+        r.checkpoints_written = 1;
+        r.resumed_from_offset = Some(512);
+        r.quarantine(17, "bad item token \"x\"", 8);
+        let s = r.to_string();
+        for needle in ["42", "3 skipped", "2 retries", "7", "512", "line 17"] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+    }
+}

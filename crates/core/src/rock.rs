@@ -10,8 +10,10 @@ use crate::error::RockError;
 use crate::goodness::{BasketF, FTheta, Goodness, GoodnessKind};
 use crate::labeling::{Labeler, Labeling};
 use crate::neighbors::NeighborGraph;
-use crate::similarity::{PairwiseSimilarity, PointsWith, Similarity};
+use crate::report::RunReport;
+use crate::similarity::{CheckedSimilarity, PairwiseSimilarity, PointsWith, Similarity};
 use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
 
 /// Validated configuration of a ROCK run.
 #[derive(Clone, Copy, Debug)]
@@ -306,6 +308,55 @@ impl Rock {
         self.algorithm().run(graph)
     }
 
+    /// Like [`Rock::cluster`], but guards the API boundary against a
+    /// misbehaving measure: any NaN/±∞ similarity is surfaced as
+    /// [`RockError::NonFiniteSimilarity`] instead of silently skewing the
+    /// neighbor graph (NaN compares below every θ) or panicking later in
+    /// the merge heap.
+    ///
+    /// # Errors
+    /// Returns [`RockError::NonFiniteSimilarity`] if `measure` returned a
+    /// non-finite value for any pair.
+    pub fn try_cluster<P, S>(&self, points: &[P], measure: &S) -> Result<RockRun, RockError>
+    where
+        S: Similarity<P> + Sync,
+        P: Sync,
+    {
+        let checked = CheckedSimilarity::new(measure);
+        let pw = PointsWith::new(points, &checked);
+        let graph = if self.config.threads > 1 {
+            NeighborGraph::build_parallel(&pw, self.config.theta, self.config.threads)
+        } else {
+            NeighborGraph::build(&pw, self.config.theta)
+        };
+        if let Some(e) = checked.error() {
+            return Err(e);
+        }
+        Ok(self.algorithm().run(&graph))
+    }
+
+    /// Like [`Rock::cluster_pairwise`], but with the non-finite guard of
+    /// [`Rock::try_cluster`].
+    ///
+    /// # Errors
+    /// Returns [`RockError::NonFiniteSimilarity`] if `sim` returned a
+    /// non-finite value for any pair.
+    pub fn try_cluster_pairwise<PS: PairwiseSimilarity + Sync>(
+        &self,
+        sim: &PS,
+    ) -> Result<RockRun, RockError> {
+        let checked = CheckedSimilarity::new(sim);
+        let graph = if self.config.threads > 1 {
+            NeighborGraph::build_parallel(&checked, self.config.theta, self.config.threads)
+        } else {
+            NeighborGraph::build(&checked, self.config.theta)
+        };
+        if let Some(e) = checked.error() {
+            return Err(e);
+        }
+        Ok(self.algorithm().run(&graph))
+    }
+
     /// The full Fig.-2 pipeline: draw a random sample (if configured),
     /// cluster it, then label all of `data`.
     ///
@@ -333,13 +384,83 @@ impl Rock {
             self.config.theta,
             self.config.ftheta,
             &mut rng,
-        );
+        )
+        .expect("labeling parameters validated by RockBuilder::build");
         let labeling = labeler.label_all_parallel(data, measure, self.config.threads);
         RockResult {
             sample_indices,
             sample_run,
             labeling,
         }
+    }
+
+    /// The full Fig.-2 pipeline with the robustness guarantees of the
+    /// checked entry points, plus a structured [`RunReport`] (per-phase
+    /// wall-clock timings, outlier count) alongside the results.
+    ///
+    /// Produces results identical to [`Rock::run`] under the same seed:
+    /// the two share the sampling and labeling RNG stream.
+    ///
+    /// # Errors
+    /// Returns [`RockError::NonFiniteSimilarity`] if `measure` returned a
+    /// non-finite value during clustering or labeling.
+    pub fn try_run<P, S>(&self, data: &[P], measure: &S) -> Result<(RockResult, RunReport), RockError>
+    where
+        P: Clone + Sync,
+        S: Similarity<P> + Sync,
+    {
+        let mut report = RunReport::new();
+        let checked = CheckedSimilarity::new(measure);
+        let mut rng = self.rng();
+
+        let t = Instant::now();
+        let sample_indices = match self.config.sample_size {
+            Some(size) if size < data.len() => {
+                crate::sampling::sample_indices(data.len(), size, &mut rng)
+            }
+            _ => (0..data.len()).collect(),
+        };
+        let sample: Vec<P> = sample_indices.iter().map(|&i| data[i].clone()).collect();
+        report.record_phase("sample", t.elapsed());
+
+        let t = Instant::now();
+        let pw = PointsWith::new(&sample, &checked);
+        let graph = if self.config.threads > 1 {
+            NeighborGraph::build_parallel(&pw, self.config.theta, self.config.threads)
+        } else {
+            NeighborGraph::build(&pw, self.config.theta)
+        };
+        if let Some(e) = checked.error() {
+            return Err(e);
+        }
+        let sample_run = self.algorithm().run(&graph);
+        report.record_phase("cluster", t.elapsed());
+
+        let t = Instant::now();
+        let labeler = Labeler::new(
+            &sample,
+            &sample_run.clustering.clusters,
+            self.config.labeling_fraction,
+            self.config.theta,
+            self.config.ftheta,
+            &mut rng,
+        )?;
+        let labeling = labeler.label_all_parallel(data, &checked, self.config.threads);
+        if let Some(e) = checked.error() {
+            return Err(e);
+        }
+        report.record_phase("label", t.elapsed());
+
+        report.records_read = data.len() as u64;
+        report.outliers = labeling.num_outliers as u64;
+        Ok((
+            RockResult {
+                sample_indices,
+                sample_run,
+                labeling,
+            },
+            report,
+        ))
     }
 }
 
@@ -453,6 +574,90 @@ mod tests {
         let result = rock.run(&data, &Jaccard);
         assert_eq!(result.sample_indices.len(), data.len());
         assert_eq!(result.labeling.assignments.len(), data.len());
+    }
+
+    #[test]
+    fn try_run_matches_run_and_reports() {
+        let data = two_basket_clusters(20);
+        let rock = Rock::builder()
+            .theta(0.5)
+            .clusters(2)
+            .sample_size(16)
+            .labeling_fraction(1.0)
+            .seed(7)
+            .build()
+            .unwrap();
+        let plain = rock.run(&data, &Jaccard);
+        let (checked, report) = rock.try_run(&data, &Jaccard).unwrap();
+        assert_eq!(plain.sample_indices, checked.sample_indices);
+        assert_eq!(plain.labeling, checked.labeling);
+        assert_eq!(report.records_read, data.len() as u64);
+        assert_eq!(report.outliers, checked.labeling.num_outliers as u64);
+        let phases: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(phases, vec!["sample", "cluster", "label"]);
+        assert!(!report.degraded());
+    }
+
+    #[test]
+    fn nan_measure_is_a_typed_error_not_a_panic() {
+        struct NanSim;
+        impl Similarity<Transaction> for NanSim {
+            fn similarity(&self, _: &Transaction, _: &Transaction) -> f64 {
+                f64::NAN
+            }
+        }
+        let data = two_basket_clusters(5);
+        let rock = Rock::builder().theta(0.5).clusters(2).seed(1).build().unwrap();
+        assert!(matches!(
+            rock.try_cluster(&data, &NanSim),
+            Err(RockError::NonFiniteSimilarity { .. })
+        ));
+        assert!(matches!(
+            rock.try_run(&data, &NanSim),
+            Err(RockError::NonFiniteSimilarity { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_similarity_faults_hit_the_guard() {
+        use crate::similarity::FaultySimilarity;
+        let data = two_basket_clusters(10);
+        let rock = Rock::builder().theta(0.5).clusters(2).build().unwrap();
+        let faulty = FaultySimilarity::new(Jaccard, 3, 0.2);
+        let outcome = rock.try_cluster(&data, &faulty);
+        if faulty.injected() > 0 {
+            assert!(matches!(
+                outcome,
+                Err(RockError::NonFiniteSimilarity { .. })
+            ));
+        } else {
+            assert!(outcome.is_ok());
+        }
+        // At rate 0.2 over 190 pairs the schedule fires essentially
+        // always; make sure the harness actually exercised the guard.
+        assert!(faulty.injected() > 0, "fault schedule never fired");
+    }
+
+    #[test]
+    fn nan_pairwise_source_is_a_typed_error() {
+        struct NanPairs;
+        impl PairwiseSimilarity for NanPairs {
+            fn len(&self) -> usize {
+                6
+            }
+            fn sim(&self, i: usize, j: usize) -> f64 {
+                if i + j == 5 {
+                    f64::NAN
+                } else {
+                    0.4
+                }
+            }
+        }
+        let rock = Rock::builder().theta(0.5).clusters(2).build().unwrap();
+        assert!(matches!(
+            rock.try_cluster_pairwise(&NanPairs),
+            Err(RockError::NonFiniteSimilarity { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Non-finite detection at the clustering API boundary.
+//!
+//! A user-supplied [`Similarity`] that returns NaN is dangerous in two
+//! different ways: `NaN >= θ` is `false`, so the point pair is *silently*
+//! dropped from the neighbor graph, and a NaN that leaks further (e.g.
+//! through a custom goodness) trips the `assert!(!priority.is_nan())` in
+//! the merge heap mid-run. [`CheckedSimilarity`] wraps any measure and
+//! latches the first non-finite value it observes, so driver entry points
+//! ([`crate::rock::Rock::try_cluster`] and friends) can surface a typed
+//! [`RockError::NonFiniteSimilarity`] instead of mis-clustering or
+//! panicking.
+
+use super::{PairwiseSimilarity, Similarity};
+use crate::error::RockError;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Wraps a similarity measure and records the first non-finite value it
+/// returns.
+///
+/// The wrapper is transparent on the happy path — finite values pass
+/// through with a single branch and no atomic traffic — and is `Sync`, so
+/// it works unchanged under the parallel neighbor/labeling builders. Query
+/// [`CheckedSimilarity::error`] *after* the wrapped computation completes
+/// (worker threads joined); the latch is then guaranteed visible.
+#[derive(Debug)]
+pub struct CheckedSimilarity<S> {
+    inner: S,
+    seen: AtomicBool,
+    bits: AtomicU64,
+}
+
+impl<S> CheckedSimilarity<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        CheckedSimilarity {
+            inner,
+            seen: AtomicBool::new(false),
+            bits: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+
+    /// The wrapped measure.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the measure.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    #[inline]
+    fn observe(&self, v: f64) -> f64 {
+        if !v.is_finite() {
+            // First writer wins; later non-finite values only re-arm the
+            // (already set) latch.
+            if !self.seen.swap(true, Ordering::AcqRel) {
+                self.bits.store(v.to_bits(), Ordering::Release);
+            }
+        }
+        v
+    }
+
+    /// The typed error for the first non-finite value seen, if any.
+    pub fn error(&self) -> Option<RockError> {
+        self.seen.load(Ordering::Acquire).then(|| RockError::NonFiniteSimilarity {
+            value: f64::from_bits(self.bits.load(Ordering::Acquire)),
+        })
+    }
+
+    /// Like [`CheckedSimilarity::error`], but clears the latch so the
+    /// wrapper can be reused record-by-record (streaming quarantine).
+    pub fn take_error(&self) -> Option<RockError> {
+        self.seen
+            .swap(false, Ordering::AcqRel)
+            .then(|| RockError::NonFiniteSimilarity {
+                value: f64::from_bits(self.bits.load(Ordering::Acquire)),
+            })
+    }
+}
+
+impl<P, S: Similarity<P>> Similarity<P> for CheckedSimilarity<S> {
+    #[inline]
+    fn similarity(&self, a: &P, b: &P) -> f64 {
+        self.observe(self.inner.similarity(a, b))
+    }
+}
+
+impl<S: PairwiseSimilarity> PairwiseSimilarity for CheckedSimilarity<S> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    #[inline]
+    fn sim(&self, i: usize, j: usize) -> f64 {
+        self.observe(self.inner.sim(i, j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::Transaction;
+    use crate::similarity::Jaccard;
+
+    struct NanAt(usize, std::sync::atomic::AtomicUsize);
+
+    impl Similarity<Transaction> for NanAt {
+        fn similarity(&self, a: &Transaction, b: &Transaction) -> f64 {
+            let i = self.1.fetch_add(1, Ordering::Relaxed);
+            if i == self.0 {
+                f64::NAN
+            } else {
+                Jaccard.similarity(a, b)
+            }
+        }
+    }
+
+    #[test]
+    fn finite_values_pass_through_untouched() {
+        let c = CheckedSimilarity::new(Jaccard);
+        let a = Transaction::from([1, 2]);
+        let b = Transaction::from([2, 3]);
+        assert!((c.similarity(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.error(), None);
+        assert_eq!(c.take_error(), None);
+    }
+
+    #[test]
+    fn latches_first_non_finite_value() {
+        let c = CheckedSimilarity::new(NanAt(1, Default::default()));
+        let a = Transaction::from([1, 2]);
+        let _ = c.similarity(&a, &a); // finite
+        let _ = c.similarity(&a, &a); // NaN
+        let _ = c.similarity(&a, &a); // finite again; latch stays set
+        match c.error() {
+            Some(RockError::NonFiniteSimilarity { value }) => assert!(value.is_nan()),
+            other => panic!("expected NonFiniteSimilarity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn take_error_clears_the_latch() {
+        let c = CheckedSimilarity::new(NanAt(0, Default::default()));
+        let a = Transaction::from([1]);
+        let _ = c.similarity(&a, &a); // NaN
+        assert!(c.take_error().is_some());
+        assert_eq!(c.take_error(), None);
+        assert_eq!(c.error(), None);
+    }
+
+    /// A pairwise source with one non-finite entry (an expert table built
+    /// from a buggy formula; [`SimilarityMatrix`] itself rejects these).
+    struct InfAt01;
+
+    impl PairwiseSimilarity for InfAt01 {
+        fn len(&self) -> usize {
+            3
+        }
+
+        fn sim(&self, i: usize, j: usize) -> f64 {
+            if (i, j) == (0, 1) || (i, j) == (1, 0) {
+                f64::INFINITY
+            } else {
+                0.5
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_wrapper_checks_too() {
+        let c = CheckedSimilarity::new(InfAt01);
+        assert_eq!(c.len(), 3);
+        let _ = c.sim(0, 2);
+        assert_eq!(c.error(), None);
+        let _ = c.sim(0, 1);
+        match c.error() {
+            Some(RockError::NonFiniteSimilarity { value }) => {
+                assert_eq!(value, f64::INFINITY);
+            }
+            other => panic!("expected NonFiniteSimilarity, got {other:?}"),
+        }
+    }
+}

@@ -10,13 +10,22 @@
 //!   This is what the neighbor-computation stage consumes; it admits both
 //!   "points + measure" ([`PointsWith`]) and fully materialised expert
 //!   tables ([`SimilarityMatrix`]) without forcing either representation.
+//!
+//! Two wrappers support the robustness layer: [`CheckedSimilarity`]
+//! latches non-finite values so driver entry points can surface them as
+//! typed errors, and [`FaultySimilarity`] injects seeded NaN faults for
+//! resilience testing.
 
 mod categorical;
+mod checked;
+mod faulty;
 mod jaccard;
 mod lp;
 mod table;
 
 pub use categorical::{CategoricalJaccard, MissingPolicy};
+pub use checked::CheckedSimilarity;
+pub use faulty::FaultySimilarity;
 pub use jaccard::Jaccard;
 pub use lp::{Hamming, NormalizedLp};
 pub use table::SimilarityMatrix;

@@ -1,7 +1,9 @@
-//! Internal utilities: fast hashing and bitsets.
+//! Internal utilities: fast hashing, bitsets and stateless mixing.
 
 pub mod bitset;
 pub mod fxhash;
+pub mod splitmix;
 
 pub use bitset::BitSet;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use splitmix::{seeded_hit, splitmix64};

@@ -15,21 +15,31 @@ use rock_core::points::{ItemCatalog, Transaction};
 use std::io::{self, BufRead, Write};
 
 /// Splits a basket line into item tokens (commas or whitespace).
-fn tokens(line: &str) -> impl Iterator<Item = &str> {
+pub(crate) fn tokens(line: &str) -> impl Iterator<Item = &str> {
     line.split(|c: char| c == ',' || c.is_whitespace())
         .map(str::trim)
         .filter(|t| !t.is_empty())
 }
 
+/// Annotates an I/O error with the 1-based line it occurred on,
+/// preserving its kind so callers can still classify it.
+fn annotate_line(lineno: usize, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("line {lineno}: {e}"))
+}
+
 /// Reads transactions with arbitrary string items, interning through
 /// `catalog`.
+///
+/// I/O errors (including invalid UTF-8, surfaced by `lines()` as
+/// `InvalidData`) name the offending line, matching
+/// [`read_baskets_numeric`]'s error style.
 pub fn read_baskets<R: BufRead>(
     reader: R,
     catalog: &mut ItemCatalog,
 ) -> io::Result<Vec<Transaction>> {
     let mut out = Vec::new();
-    for line in reader.lines() {
-        let line = line?;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| annotate_line(lineno + 1, e))?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -41,11 +51,12 @@ pub fn read_baskets<R: BufRead>(
 
 /// Reads transactions whose items are non-negative integers.
 ///
-/// Returns an `InvalidData` error naming the offending line and token.
+/// Returns an `InvalidData` error naming the offending line and token;
+/// I/O errors are likewise annotated with their line number.
 pub fn read_baskets_numeric<R: BufRead>(reader: R) -> io::Result<Vec<Transaction>> {
     let mut out = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(|e| annotate_line(lineno + 1, e))?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -74,7 +85,7 @@ pub fn stream_baskets<R: BufRead>(
         .lines()
         .enumerate()
         .filter_map(|(lineno, line)| match line {
-            Err(e) => Some(Err(e)),
+            Err(e) => Some(Err(annotate_line(lineno + 1, e))),
             Ok(line) => {
                 let line = line.trim();
                 if line.is_empty() || line.starts_with('#') {
@@ -148,6 +159,28 @@ mod tests {
         let err = read_baskets_numeric(BufReader::new("1 2 x".as_bytes())).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn io_errors_name_the_offending_line() {
+        // Invalid UTF-8 on line 2 surfaces as InvalidData from lines();
+        // every reader must keep the kind and add the line number.
+        let bytes: &[u8] = b"1 2 3\n\xFF\xFE\n4 5\n";
+
+        let err = read_baskets_numeric(BufReader::new(bytes)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "got: {err}");
+
+        let mut catalog = ItemCatalog::new();
+        let err = read_baskets(BufReader::new(bytes), &mut catalog).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "got: {err}");
+
+        let items: Vec<io::Result<Transaction>> =
+            stream_baskets(BufReader::new(bytes)).collect();
+        let err = items[1].as_ref().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "got: {err}");
     }
 
     #[test]

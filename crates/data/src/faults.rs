@@ -1,0 +1,360 @@
+//! Deterministic I/O fault injection — the data half of the workspace's
+//! fault harness (the similarity half is
+//! [`rock_core::similarity::FaultySimilarity`]).
+//!
+//! Real basket databases fail in three characteristic ways: reads fail
+//! *transiently* (network filesystems, flaky disks), lines arrive
+//! *truncated* (torn writes, partial transfers), and tokens arrive as
+//! *garbage* (encoding damage, foreign rows). [`FaultyReader`] injects the
+//! first from a seeded schedule at the `Read` layer; [`corrupt_baskets`]
+//! applies the other two to the data image itself. Every fault is a pure
+//! function of `(seed, position)`, so a schedule reproduces exactly across
+//! runs and across checkpoint resumptions — which is what lets the
+//! resilience tests assert bit-identical resumed output.
+
+use rock_core::util::seeded_hit;
+use std::io::{self, Read};
+
+/// Stream ids separating the independent fault schedules drawn from one
+/// seed.
+const STREAM_TRANSIENT: u64 = 0x10;
+const STREAM_GARBAGE: u64 = 0x20;
+const STREAM_TRUNCATE: u64 = 0x30;
+
+/// A garbage token no numeric basket parser accepts.
+pub const GARBAGE_TOKEN: &str = "x7!";
+
+/// A seeded schedule of injected faults.
+///
+/// All rates are independent per-event Bernoulli probabilities, decided
+/// deterministically from the seed (see
+/// [`rock_core::util::seeded_hit`]). The zero-rate spec injects nothing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for every schedule stream.
+    pub seed: u64,
+    /// Probability that a `read()` call site starts a transient-error
+    /// burst.
+    pub transient_rate: f64,
+    /// Consecutive transient errors per burst (1 = a single retry
+    /// recovers; set above the retry budget to force a hard failure).
+    pub transient_burst: u32,
+    /// Probability that a data line gains a garbage token
+    /// ([`GARBAGE_TOKEN`]).
+    pub garbage_rate: f64,
+    /// Probability that a data line is truncated.
+    pub truncate_rate: f64,
+    /// Maximum bytes delivered per successful `read()` (0 = unlimited).
+    /// A small chunk models a slow device and — because `BufReader`
+    /// otherwise swallows a whole test input in one call — gives the
+    /// transient schedule enough call sites to fire on.
+    pub chunk: usize,
+}
+
+impl FaultSpec {
+    /// A schedule that injects nothing.
+    pub fn none(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            transient_rate: 0.0,
+            transient_burst: 1,
+            garbage_rate: 0.0,
+            truncate_rate: 0.0,
+            chunk: 0,
+        }
+    }
+
+    /// Sets the transient-error rate.
+    pub fn transient(mut self, rate: f64, burst: u32) -> Self {
+        self.transient_rate = rate;
+        self.transient_burst = burst.max(1);
+        self
+    }
+
+    /// Sets the garbage-token rate.
+    pub fn garbage(mut self, rate: f64) -> Self {
+        self.garbage_rate = rate;
+        self
+    }
+
+    /// Sets the line-truncation rate.
+    pub fn truncate(mut self, rate: f64) -> Self {
+        self.truncate_rate = rate;
+        self
+    }
+
+    /// Caps bytes delivered per successful `read()` (0 = unlimited).
+    pub fn chunk(mut self, bytes: usize) -> Self {
+        self.chunk = bytes;
+        self
+    }
+}
+
+/// Wraps a reader and injects transient `io::Error`s on a seeded schedule
+/// of `read()` call indices.
+///
+/// A scheduled call index starts a *burst* of
+/// [`FaultSpec::transient_burst`] consecutive failures; once the burst is
+/// exhausted the retried call reaches the inner reader, so a retry loop
+/// with budget ≥ burst always recovers and the byte stream delivered is
+/// unchanged. Injected errors alternate between
+/// [`io::ErrorKind::WouldBlock`] and [`io::ErrorKind::TimedOut`] — kinds
+/// the resilient drivers classify as transient. (`Interrupted` is
+/// deliberately not injected: `BufRead::read_line` retries it internally,
+/// which would hide the fault from the layer under test.)
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    spec: FaultSpec,
+    calls: u64,
+    pending_burst: u32,
+    injected: u64,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner` under `spec`.
+    pub fn new(inner: R, spec: FaultSpec) -> Self {
+        FaultyReader {
+            inner,
+            spec,
+            calls: 0,
+            pending_burst: 0,
+            injected: 0,
+        }
+    }
+
+    /// Number of transient errors injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Unwraps the inner reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    fn transient_error(&self) -> io::Error {
+        let kind = if self.injected.is_multiple_of(2) {
+            io::ErrorKind::WouldBlock
+        } else {
+            io::ErrorKind::TimedOut
+        };
+        io::Error::new(kind, format!("injected transient fault #{}", self.injected))
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pending_burst > 0 {
+            self.pending_burst -= 1;
+            let e = self.transient_error();
+            self.injected += 1;
+            return Err(e);
+        }
+        let i = self.calls;
+        self.calls += 1;
+        if self.spec.transient_rate > 0.0
+            && seeded_hit(self.spec.seed, STREAM_TRANSIENT, i, self.spec.transient_rate)
+        {
+            self.pending_burst = self.spec.transient_burst.saturating_sub(1);
+            let e = self.transient_error();
+            self.injected += 1;
+            return Err(e);
+        }
+        let cap = match self.spec.chunk {
+            0 => buf.len(),
+            c => buf.len().min(c),
+        };
+        self.inner.read(&mut buf[..cap])
+    }
+}
+
+/// Deterministically corrupts a basket-file image: per the schedule, data
+/// lines gain a [`GARBAGE_TOKEN`] or lose their tail.
+///
+/// Blank and `#`-comment lines are left alone (they are skipped by every
+/// reader anyway, so corrupting them would test nothing). Corruption is
+/// applied to the *image*, before any reader sees it, so an uninterrupted
+/// run and a checkpoint-resumed run observe the same bytes.
+pub fn corrupt_baskets(input: &str, spec: &FaultSpec) -> String {
+    let mut out = String::with_capacity(input.len() + 16);
+    for (lineno, line) in input.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        let i = lineno as u64;
+        if seeded_hit(spec.seed, STREAM_GARBAGE, i, spec.garbage_rate) {
+            out.push_str(line);
+            out.push(' ');
+            out.push_str(GARBAGE_TOKEN);
+        } else if seeded_hit(spec.seed, STREAM_TRUNCATE, i, spec.truncate_rate) && !line.is_empty()
+        {
+            // Cut somewhere strictly inside the line so something is lost.
+            let mut cut = 1 + (seeded_hit_index(spec.seed, i) as usize % line.len().max(1));
+            cut = cut.min(line.len().saturating_sub(1)).max(1);
+            while cut > 0 && !line.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            out.push_str(&line[..cut]);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A deterministic index helper for picking truncation points.
+fn seeded_hit_index(seed: u64, line: u64) -> u64 {
+    rock_core::util::splitmix64(seed ^ STREAM_TRUNCATE ^ line.wrapping_mul(0x9E37_79B9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Cursor};
+
+    #[test]
+    fn zero_spec_is_transparent() {
+        let data = b"1 2 3\n4 5\n".to_vec();
+        let mut r = FaultyReader::new(Cursor::new(data.clone()), FaultSpec::none(9));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(r.injected(), 0);
+    }
+
+    #[test]
+    fn transient_errors_fire_and_bytes_survive_retries() {
+        let data: Vec<u8> = (0..200u32)
+            .flat_map(|i| format!("{i} {} {}\n", i + 1, i + 2).into_bytes())
+            .collect();
+        let spec = FaultSpec::none(7).transient(0.3, 1);
+        let mut r = FaultyReader::new(Cursor::new(data.clone()), spec);
+        // A retry loop with budget 1 per fault must reassemble the exact
+        // byte stream.
+        let mut out = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            match r.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) => {
+                    assert!(
+                        matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ),
+                        "unexpected kind {e:?}"
+                    );
+                }
+            }
+        }
+        assert_eq!(out, data);
+        assert!(r.injected() > 0, "schedule never fired at rate 0.3");
+    }
+
+    #[test]
+    fn burst_length_is_respected() {
+        // Read byte-by-byte and record the length of every consecutive
+        // error run: each scheduled call contributes exactly `burst`
+        // errors, so runs are always multiples of 3 (adjacent scheduled
+        // calls chain into one longer run).
+        let spec = FaultSpec::none(1).transient(0.05, 3);
+        let data = vec![7u8; 400];
+        let mut r = FaultyReader::new(Cursor::new(data.clone()), spec);
+        let mut buf = [0u8; 1];
+        let mut got = 0usize;
+        let mut runs = Vec::new();
+        let mut current = 0u32;
+        loop {
+            match r.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    got += n;
+                    if current > 0 {
+                        runs.push(current);
+                        current = 0;
+                    }
+                }
+                Err(_) => current += 1,
+            }
+        }
+        if current > 0 {
+            runs.push(current);
+        }
+        assert_eq!(got, data.len(), "every payload byte must arrive eventually");
+        assert!(!runs.is_empty(), "schedule never fired at rate 0.05");
+        assert!(
+            runs.iter().all(|&n| n % 3 == 0),
+            "bursts must come in multiples of 3: {runs:?}"
+        );
+    }
+
+    #[test]
+    fn unit_rate_never_recovers() {
+        // Rate 1.0 schedules every fresh call: the reader is permanently
+        // down — the harness's way of forcing a hard failure.
+        let spec = FaultSpec::none(2).transient(1.0, 1);
+        let mut r = FaultyReader::new(Cursor::new(b"abc".to_vec()), spec);
+        let mut buf = [0u8; 4];
+        for _ in 0..20 {
+            assert!(r.read(&mut buf).is_err());
+        }
+    }
+
+    #[test]
+    fn chunking_limits_read_sizes_without_losing_bytes() {
+        let data = b"0123456789abcdef".to_vec();
+        let mut r = FaultyReader::new(Cursor::new(data.clone()), FaultSpec::none(4).chunk(3));
+        let mut out = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            match r.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    assert!(n <= 3, "chunk cap violated: {n}");
+                    out.extend_from_slice(&buf[..n]);
+                }
+                Err(e) => panic!("zero-rate spec errored: {e}"),
+            }
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_bounded() {
+        let clean: String = (0..100).map(|i| format!("{i} {} {}\n", i + 1, i + 2)).collect();
+        let spec = FaultSpec::none(13).garbage(0.1).truncate(0.1);
+        let a = corrupt_baskets(&clean, &spec);
+        let b = corrupt_baskets(&clean, &spec);
+        assert_eq!(a, b, "corruption must be a pure function of (seed, image)");
+        assert_ne!(a, clean, "rates 0.1 over 100 lines should corrupt something");
+        assert!(a.contains(GARBAGE_TOKEN));
+        // Clean spec leaves the image untouched.
+        assert_eq!(corrupt_baskets(&clean, &FaultSpec::none(13)), clean);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_never_corrupted() {
+        let input = "# header\n\n1 2 3\n";
+        let spec = FaultSpec::none(2).garbage(1.0);
+        let out = corrupt_baskets(input, &spec);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "# header");
+        assert_eq!(lines[1], "");
+        assert_eq!(lines[2], format!("1 2 3 {GARBAGE_TOKEN}"));
+    }
+
+    #[test]
+    fn corrupted_stream_still_reads_line_by_line() {
+        let clean: String = (0..50).map(|i| format!("{i}\n")).collect();
+        let spec = FaultSpec::none(3).garbage(0.2).truncate(0.2);
+        let corrupted = corrupt_baskets(&clean, &spec);
+        let reader = BufReader::new(Cursor::new(corrupted.into_bytes()));
+        assert_eq!(reader.lines().count(), 50);
+    }
+}

@@ -20,18 +20,36 @@
 //!
 //! All generators take a caller-supplied `rand::Rng`, so fixed seeds give
 //! fully reproducible data sets.
+//!
+//! ## Resilience
+//!
+//! The Fig.-2 labeling pass reads a disk-resident database, so this crate
+//! also ships the fault-tolerant side of the pipeline:
+//!
+//! * [`resilient`] — streaming ingest/labeling with transient-error
+//!   retries, quarantine of malformed records, periodic [`Checkpoint`]s
+//!   and bit-identical resume after interruption;
+//! * [`faults`] — deterministic fault injection ([`FaultyReader`],
+//!   [`corrupt_baskets`]) used to test all of the above.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod basketio;
 pub mod dist;
+pub mod faults;
 pub mod mushroom;
 pub mod mutualfund;
+pub mod resilient;
 pub mod synthetic;
 pub mod votes;
 
 pub use basketio::{read_baskets, read_baskets_numeric, stream_baskets, write_baskets};
+pub use faults::{corrupt_baskets, FaultSpec, FaultyReader, GARBAGE_TOKEN};
+pub use resilient::{
+    label_stream_resilient, read_baskets_resilient, Checkpoint, IngestError, IngestErrorKind,
+    ResilientConfig, ResilientLabelRun, RetryPolicy,
+};
 pub use mushroom::{generate_mushrooms, parse_mushrooms, Edibility, MushroomData, MushroomSpec};
 pub use mutualfund::{generate_funds, prices_to_record, Fund, FundData, FundSpec};
 pub use synthetic::{generate_baskets, SyntheticBasketData, SyntheticBasketSpec};

@@ -1,0 +1,1098 @@
+//! Fault-tolerant streaming ingest and labeling — the Fig.-2 "label data
+//! on disk" phase hardened for real disks.
+//!
+//! The paper's pipeline clusters a sample in memory and then makes one
+//! sequential pass over the disk-resident database to label every record
+//! (§4.6). On real storage that pass meets transient read errors, torn
+//! lines and garbage tokens. This module makes the pass *resilient*:
+//!
+//! * transient I/O errors ([`io::ErrorKind::Interrupted`],
+//!   [`io::ErrorKind::WouldBlock`], [`io::ErrorKind::TimedOut`]) are
+//!   retried with bounded exponential backoff ([`RetryPolicy`]);
+//! * malformed records — unparsable tokens, or records whose similarity
+//!   evaluation degenerates to NaN — are *quarantined* (skipped and
+//!   recorded in the [`RunReport`]) up to a configurable cap;
+//! * progress is checkpointed periodically ([`Checkpoint`]: byte offset
+//!   plus cumulative labeling counts), and a run interrupted by a hard
+//!   failure can resume from its checkpoint and produce output
+//!   bit-identical to an uninterrupted run over the same bytes;
+//! * every stop is a typed [`IngestError`] carrying the last consistent
+//!   checkpoint and everything salvaged before the failure — never a
+//!   panic, never silent data loss.
+//!
+//! Determinism contract: the drivers themselves are deterministic (no
+//! RNG); given the same bytes, labeler and similarity measure, an
+//! interrupted-then-resumed run yields exactly the assignments and final
+//! checkpoint of an uninterrupted run. The fault-injection harness
+//! ([`crate::faults`]) keeps its schedules deterministic for the same
+//! reason, so the resilience tests can assert bit-identity.
+
+// IngestError is intentionally heavy: it must carry the full salvage
+// state (run report, checkpoint, partial assignments) or an interrupted
+// run could not resume losslessly.
+#![allow(clippy::result_large_err)]
+
+use rock_core::labeling::{Labeler, Labeling};
+use rock_core::points::Transaction;
+use rock_core::report::RunReport;
+use rock_core::similarity::Similarity;
+use rock_core::RockError;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead};
+use std::time::{Duration, Instant};
+
+/// Bounded exponential backoff for transient I/O errors.
+///
+/// The retry budget applies per record: each record read gets up to
+/// `max_retries` retries before the error is surfaced as hard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries per record before a transient error becomes hard.
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles each retry.
+    pub base_delay: Duration,
+    /// Ceiling on the per-retry delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries up to `max_retries` times with no sleeping —
+    /// what tests and in-memory readers want.
+    pub fn no_backoff(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based): `base · 2ᵃ`,
+    /// capped at [`RetryPolicy::max_delay`].
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+
+    /// Whether an I/O error is worth retrying.
+    ///
+    /// `Interrupted` is included for completeness even though
+    /// `BufRead::read_until` already retries it internally.
+    pub fn is_transient(e: &io::Error) -> bool {
+        matches!(
+            e.kind(),
+            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    }
+}
+
+/// Configuration for the resilient drivers.
+#[derive(Clone, Debug)]
+pub struct ResilientConfig {
+    /// Transient-error retry policy.
+    pub retry: RetryPolicy,
+    /// Hard cap on quarantined records (cumulative across resumptions);
+    /// exceeding it aborts with [`IngestErrorKind::QuarantineOverflow`].
+    pub max_quarantine: usize,
+    /// How many quarantined records keep per-record detail in the report
+    /// (the counter is always exact).
+    pub quarantine_detail: usize,
+    /// Emit a checkpoint every this many input lines (0 = no periodic
+    /// checkpoints; the final state is always returned).
+    pub checkpoint_every: u64,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        ResilientConfig {
+            retry: RetryPolicy::default(),
+            max_quarantine: 64,
+            quarantine_detail: 16,
+            checkpoint_every: 1024,
+        }
+    }
+}
+
+/// Resumable progress of a resilient pass: where in the byte stream the
+/// next record starts, plus cumulative counts over *all* invocations so
+/// far (unlike the per-invocation [`RunReport`]).
+///
+/// Serialises to a small line-oriented text format via
+/// [`Checkpoint::encode`] / [`Checkpoint::decode`] so it can be persisted
+/// next to the data without any serialization dependency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Byte offset of the first unprocessed line.
+    pub byte_offset: u64,
+    /// Input lines fully consumed (data, blank and comment alike).
+    pub lines_seen: u64,
+    /// Records successfully labeled/ingested.
+    pub records_read: u64,
+    /// Blank/comment lines skipped.
+    pub records_skipped: u64,
+    /// Records quarantined.
+    pub records_quarantined: u64,
+    /// Cumulative per-cluster assignment counts (labeling driver; empty
+    /// for the plain reader).
+    pub cluster_counts: Vec<u64>,
+    /// Cumulative outliers (labeling driver).
+    pub outliers: u64,
+}
+
+impl Checkpoint {
+    /// A fresh checkpoint at the start of the stream.
+    pub fn new(num_clusters: usize) -> Self {
+        Checkpoint {
+            byte_offset: 0,
+            lines_seen: 0,
+            records_read: 0,
+            records_skipped: 0,
+            records_quarantined: 0,
+            cluster_counts: vec![0; num_clusters],
+            outliers: 0,
+        }
+    }
+
+    /// Encodes the checkpoint as line-oriented text.
+    pub fn encode(&self) -> String {
+        let counts: Vec<String> = self.cluster_counts.iter().map(u64::to_string).collect();
+        format!(
+            "rock-checkpoint v1\n\
+             byte_offset={}\n\
+             lines_seen={}\n\
+             records_read={}\n\
+             records_skipped={}\n\
+             records_quarantined={}\n\
+             outliers={}\n\
+             cluster_counts={}\n",
+            self.byte_offset,
+            self.lines_seen,
+            self.records_read,
+            self.records_skipped,
+            self.records_quarantined,
+            self.outliers,
+            counts.join(",")
+        )
+    }
+
+    /// Decodes a checkpoint produced by [`Checkpoint::encode`].
+    ///
+    /// # Errors
+    /// `InvalidData` on a bad header, an unknown/duplicate/missing field
+    /// or an unparsable number.
+    pub fn decode(text: &str) -> io::Result<Self> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("rock-checkpoint v1") => {}
+            other => return Err(bad(format!("bad checkpoint header: {other:?}"))),
+        }
+        let mut cp = Checkpoint::new(0);
+        let mut seen = [false; 7];
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| bad(format!("bad checkpoint line: {line:?}")))?;
+            let idx = match key {
+                "byte_offset" => 0,
+                "lines_seen" => 1,
+                "records_read" => 2,
+                "records_skipped" => 3,
+                "records_quarantined" => 4,
+                "outliers" => 5,
+                "cluster_counts" => 6,
+                _ => return Err(bad(format!("unknown checkpoint field: {key:?}"))),
+            };
+            if seen[idx] {
+                return Err(bad(format!("duplicate checkpoint field: {key:?}")));
+            }
+            seen[idx] = true;
+            let parse = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| bad(format!("bad value for {key}: {v:?}")))
+            };
+            match idx {
+                0 => cp.byte_offset = parse(value)?,
+                1 => cp.lines_seen = parse(value)?,
+                2 => cp.records_read = parse(value)?,
+                3 => cp.records_skipped = parse(value)?,
+                4 => cp.records_quarantined = parse(value)?,
+                5 => cp.outliers = parse(value)?,
+                _ => {
+                    cp.cluster_counts = value
+                        .split(',')
+                        .filter(|t| !t.is_empty())
+                        .map(parse)
+                        .collect::<io::Result<_>>()?;
+                }
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            let names = [
+                "byte_offset",
+                "lines_seen",
+                "records_read",
+                "records_skipped",
+                "records_quarantined",
+                "outliers",
+                "cluster_counts",
+            ];
+            return Err(bad(format!("missing checkpoint field: {}", names[missing])));
+        }
+        Ok(cp)
+    }
+}
+
+/// Why a resilient pass stopped early.
+#[derive(Debug)]
+pub enum IngestErrorKind {
+    /// A non-transient I/O error, or a transient one that exhausted its
+    /// retry budget.
+    Io(io::Error),
+    /// The cumulative quarantine count exceeded
+    /// [`ResilientConfig::max_quarantine`].
+    QuarantineOverflow {
+        /// The configured cap that was exceeded.
+        cap: usize,
+    },
+    /// The resume checkpoint is inconsistent with this labeler or stream.
+    BadCheckpoint(String),
+}
+
+/// Typed failure of a resilient pass, carrying everything salvaged before
+/// the stop so no processed work is lost.
+///
+/// [`IngestError::checkpoint`] is the last *consistent* state — its byte
+/// offset points at the first unprocessed line, so passing it back as
+/// `resume` continues exactly where this run stopped.
+#[derive(Debug)]
+pub struct IngestError {
+    /// What stopped the run.
+    pub kind: IngestErrorKind,
+    /// 1-based input line at which the run stopped.
+    pub line: u64,
+    /// Degradation observed by this invocation up to the stop.
+    pub report: RunReport,
+    /// Last consistent cumulative state; resume from here.
+    pub checkpoint: Checkpoint,
+    /// Assignments produced by this invocation before the stop (labeling
+    /// driver; empty for the plain reader).
+    pub partial_assignments: Vec<Option<usize>>,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            IngestErrorKind::Io(e) => write!(
+                f,
+                "ingest stopped at line {}: {e} (resume from byte {})",
+                self.line, self.checkpoint.byte_offset
+            ),
+            IngestErrorKind::QuarantineOverflow { cap } => write!(
+                f,
+                "ingest stopped at line {}: quarantine cap {cap} exceeded",
+                self.line
+            ),
+            IngestErrorKind::BadCheckpoint(msg) => {
+                write!(f, "cannot resume: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for IngestError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            IngestErrorKind::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Result of one resilient labeling invocation.
+#[derive(Clone, Debug)]
+pub struct ResilientLabelRun {
+    /// Labeling of the records processed by *this* invocation (a resumed
+    /// run labels only the suffix; concatenate assignments across
+    /// invocations to reconstruct the whole pass).
+    pub labeling: Labeling,
+    /// Degradation and timing for this invocation.
+    pub report: RunReport,
+    /// Cumulative end state (resumable).
+    pub checkpoint: Checkpoint,
+}
+
+/// What the per-record handler did with a parsed record.
+enum Handled {
+    /// Plain ingest: record accepted.
+    Stored,
+    /// Labeling: record assigned to a cluster (`Some`) or declared an
+    /// outlier (`None`).
+    Labeled(Option<usize>),
+    /// Record rejected; quarantine it with this reason.
+    Quarantine(String),
+}
+
+/// Shared mutable state of one ingest loop.
+struct LoopState {
+    checkpoint: Checkpoint,
+    report: RunReport,
+}
+
+/// Reads one line (through `\n` or EOF) with retries, returning the bytes
+/// consumed from the reader. Uses `read_until` on raw bytes so invalid
+/// UTF-8 damages at most the affected record (lossily decoded, then
+/// quarantined by the parser) instead of aborting the pass.
+fn read_record_retry<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    retry: &RetryPolicy,
+    report: &mut RunReport,
+) -> io::Result<usize> {
+    let start = buf.len();
+    let mut attempts = 0u32;
+    loop {
+        match reader.read_until(b'\n', buf) {
+            // Partial bytes from failed attempts are already in `buf`, so
+            // the total consumed is the length delta, not this call's n.
+            Ok(_) => return Ok(buf.len() - start),
+            Err(e) if RetryPolicy::is_transient(&e) => {
+                report.transient_io_errors += 1;
+                if attempts >= retry.max_retries {
+                    return Err(e);
+                }
+                let delay = retry.backoff(attempts);
+                attempts += 1;
+                report.io_retries += 1;
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Discards exactly `n` bytes (the resume skip), retrying transients.
+fn skip_bytes<R: BufRead>(
+    reader: &mut R,
+    mut n: u64,
+    retry: &RetryPolicy,
+    report: &mut RunReport,
+) -> io::Result<()> {
+    let mut attempts = 0u32;
+    while n > 0 {
+        let available = match reader.fill_buf() {
+            Ok(buf) => buf.len(),
+            Err(e) if RetryPolicy::is_transient(&e) => {
+                report.transient_io_errors += 1;
+                if attempts >= retry.max_retries {
+                    return Err(e);
+                }
+                let delay = retry.backoff(attempts);
+                attempts += 1;
+                report.io_retries += 1;
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if available == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("checkpoint offset lies {n} bytes beyond end of stream"),
+            ));
+        }
+        let take = (available as u64).min(n) as usize;
+        reader.consume(take);
+        n -= take as u64;
+    }
+    Ok(())
+}
+
+/// Parses a trimmed non-comment basket line into a numeric transaction.
+fn parse_record(line: &str) -> Result<Transaction, String> {
+    let mut items = Vec::new();
+    for t in crate::basketio::tokens(line) {
+        match t.parse::<u32>() {
+            Ok(item) => items.push(item),
+            Err(_) => return Err(format!("bad item token {t:?}")),
+        }
+    }
+    Ok(Transaction::new(items))
+}
+
+/// The shared record loop: reads lines with retries, parses, hands each
+/// record to `handle`, quarantines rejects, maintains the checkpoint and
+/// emits periodic checkpoints. Returns `(kind, line)` on a hard stop; the
+/// caller owns the salvage.
+fn ingest_loop<R, F, H>(
+    reader: &mut R,
+    config: &ResilientConfig,
+    state: &mut LoopState,
+    on_checkpoint: &mut F,
+    handle: &mut H,
+) -> Result<(), (IngestErrorKind, u64)>
+where
+    R: BufRead,
+    F: FnMut(&Checkpoint),
+    H: FnMut(u64, Transaction) -> Handled,
+{
+    let mut buf = Vec::new();
+    let mut since_checkpoint = 0u64;
+    loop {
+        buf.clear();
+        let consumed = read_record_retry(reader, &mut buf, &config.retry, &mut state.report)
+            .map_err(|e| (IngestErrorKind::Io(e), state.checkpoint.lines_seen + 1))?;
+        if consumed == 0 {
+            return Ok(());
+        }
+        state.checkpoint.byte_offset += consumed as u64;
+        state.checkpoint.lines_seen += 1;
+        let lineno = state.checkpoint.lines_seen;
+
+        let text = String::from_utf8_lossy(&buf);
+        let line = text.trim();
+        if line.is_empty() || line.starts_with('#') {
+            state.checkpoint.records_skipped += 1;
+            state.report.records_skipped += 1;
+        } else {
+            let handled = match parse_record(line) {
+                Ok(txn) => handle(lineno, txn),
+                Err(reason) => Handled::Quarantine(reason),
+            };
+            match handled {
+                Handled::Stored => {
+                    state.checkpoint.records_read += 1;
+                    state.report.records_read += 1;
+                }
+                Handled::Labeled(assignment) => {
+                    state.checkpoint.records_read += 1;
+                    state.report.records_read += 1;
+                    match assignment {
+                        Some(c) => state.checkpoint.cluster_counts[c] += 1,
+                        None => {
+                            state.checkpoint.outliers += 1;
+                            state.report.outliers += 1;
+                        }
+                    }
+                }
+                Handled::Quarantine(reason) => {
+                    state.checkpoint.records_quarantined += 1;
+                    state
+                        .report
+                        .quarantine(lineno, reason, config.quarantine_detail);
+                    if state.checkpoint.records_quarantined > config.max_quarantine as u64 {
+                        return Err((
+                            IngestErrorKind::QuarantineOverflow {
+                                cap: config.max_quarantine,
+                            },
+                            lineno,
+                        ));
+                    }
+                }
+            }
+        }
+        since_checkpoint += 1;
+        if config.checkpoint_every > 0 && since_checkpoint >= config.checkpoint_every {
+            since_checkpoint = 0;
+            on_checkpoint(&state.checkpoint);
+            state.report.checkpoints_written += 1;
+        }
+    }
+}
+
+/// Prepares the loop state for a run, validating any resume checkpoint.
+fn start_state(
+    resume: Option<&Checkpoint>,
+    num_clusters: usize,
+) -> Result<LoopState, IngestError> {
+    let mut report = RunReport::new();
+    let checkpoint = match resume {
+        Some(cp) => {
+            if cp.cluster_counts.len() != num_clusters {
+                return Err(IngestError {
+                    kind: IngestErrorKind::BadCheckpoint(format!(
+                        "checkpoint has {} cluster counters but the labeler has {} clusters",
+                        cp.cluster_counts.len(),
+                        num_clusters
+                    )),
+                    line: cp.lines_seen,
+                    report: RunReport::new(),
+                    checkpoint: cp.clone(),
+                    partial_assignments: Vec::new(),
+                });
+            }
+            report.resumed_from_offset = Some(cp.byte_offset);
+            cp.clone()
+        }
+        None => Checkpoint::new(num_clusters),
+    };
+    Ok(LoopState { report, checkpoint })
+}
+
+/// Streams numeric basket lines from `reader`, labeling each record
+/// against `labeler` (§4.6) with retries, quarantine and checkpoints.
+///
+/// * `resume` — a [`Checkpoint`] from an earlier interrupted run over the
+///   same byte stream; the driver skips to its byte offset and continues.
+///   Pass `None` to start from the beginning.
+/// * `on_checkpoint` — invoked with the cumulative state every
+///   [`ResilientConfig::checkpoint_every`] input lines; persist it (e.g.
+///   [`Checkpoint::encode`]) to make the pass resumable.
+///
+/// Records whose tokens fail to parse, or whose similarity to any
+/// labeling point is non-finite
+/// ([`rock_core::RockError::NonFiniteSimilarity`], detected via
+/// [`Labeler::label_point_checked`]), are quarantined rather than
+/// mislabeled. The returned [`ResilientLabelRun`] holds this invocation's
+/// [`Labeling`], its [`RunReport`] and the final cumulative
+/// [`Checkpoint`].
+///
+/// # Errors
+/// [`IngestError`] on a hard I/O failure, quarantine overflow or an
+/// inconsistent resume checkpoint — always carrying the partial results
+/// and a resumable checkpoint.
+pub fn label_stream_resilient<R, S, F>(
+    mut reader: R,
+    labeler: &Labeler<Transaction>,
+    sim: &S,
+    config: &ResilientConfig,
+    resume: Option<&Checkpoint>,
+    mut on_checkpoint: F,
+) -> Result<ResilientLabelRun, IngestError>
+where
+    R: BufRead,
+    S: Similarity<Transaction>,
+    F: FnMut(&Checkpoint),
+{
+    let started = Instant::now();
+    let num_clusters = labeler.num_clusters();
+    let mut state = start_state(resume, num_clusters)?;
+    let mut assignments: Vec<Option<usize>> = Vec::new();
+
+    let outcome = match skip_bytes(
+        &mut reader,
+        state.checkpoint.byte_offset,
+        &config.retry,
+        &mut state.report,
+    ) {
+        Err(e) => Err((IngestErrorKind::Io(e), state.checkpoint.lines_seen)),
+        Ok(()) => ingest_loop(
+            &mut reader,
+            config,
+            &mut state,
+            &mut on_checkpoint,
+            &mut |_lineno, txn| match labeler.label_point_checked(&txn, sim) {
+                Ok(assignment) => {
+                    assignments.push(assignment);
+                    Handled::Labeled(assignment)
+                }
+                Err(RockError::NonFiniteSimilarity { value }) => {
+                    Handled::Quarantine(format!("non-finite similarity {value}"))
+                }
+                Err(e) => Handled::Quarantine(e.to_string()),
+            },
+        ),
+    };
+
+    state.report.record_phase("label-stream", started.elapsed());
+    let labeling = collect_labeling(&assignments, num_clusters);
+    match outcome {
+        Ok(()) => Ok(ResilientLabelRun {
+            labeling,
+            report: state.report,
+            checkpoint: state.checkpoint,
+        }),
+        Err((kind, line)) => Err(IngestError {
+            kind,
+            line,
+            report: state.report,
+            checkpoint: state.checkpoint,
+            partial_assignments: assignments,
+        }),
+    }
+}
+
+/// Reads numeric basket records with retries, quarantine and checkpoints
+/// but no labeling — the resilient counterpart of
+/// [`crate::basketio::read_baskets_numeric`].
+///
+/// # Errors
+/// [`IngestError`] on a hard I/O failure or quarantine overflow (its
+/// `partial_assignments` is always empty for this driver).
+pub fn read_baskets_resilient<R: BufRead>(
+    mut reader: R,
+    config: &ResilientConfig,
+    resume: Option<&Checkpoint>,
+) -> Result<(Vec<Transaction>, RunReport, Checkpoint), IngestError> {
+    let started = Instant::now();
+    let mut state = start_state(resume, resume.map_or(0, |cp| cp.cluster_counts.len()))?;
+    let mut out = Vec::new();
+
+    let outcome = match skip_bytes(
+        &mut reader,
+        state.checkpoint.byte_offset,
+        &config.retry,
+        &mut state.report,
+    ) {
+        Err(e) => Err((IngestErrorKind::Io(e), state.checkpoint.lines_seen)),
+        Ok(()) => ingest_loop(
+            &mut reader,
+            config,
+            &mut state,
+            &mut |_cp| {},
+            &mut |_lineno, txn| {
+                out.push(txn);
+                Handled::Stored
+            },
+        ),
+    };
+
+    state.report.record_phase("ingest", started.elapsed());
+    match outcome {
+        Ok(()) => Ok((out, state.report, state.checkpoint)),
+        Err((kind, line)) => Err(IngestError {
+            kind,
+            line,
+            report: state.report,
+            checkpoint: state.checkpoint,
+            partial_assignments: Vec::new(),
+        }),
+    }
+}
+
+/// Folds per-invocation assignments into a [`Labeling`].
+fn collect_labeling(assignments: &[Option<usize>], num_clusters: usize) -> Labeling {
+    let mut cluster_counts = vec![0usize; num_clusters];
+    let mut num_outliers = 0usize;
+    for a in assignments {
+        match a {
+            Some(c) => cluster_counts[*c] += 1,
+            None => num_outliers += 1,
+        }
+    }
+    Labeling {
+        assignments: assignments.to_vec(),
+        cluster_counts,
+        num_outliers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultSpec, FaultyReader};
+    use rock_core::similarity::Jaccard;
+    use std::io::BufReader;
+
+    fn test_labeler() -> Labeler<Transaction> {
+        let sample = vec![
+            Transaction::from([1, 2, 3]),
+            Transaction::from([1, 2, 4]),
+            Transaction::from([2, 3, 4]),
+            Transaction::from([10, 11, 12]),
+            Transaction::from([10, 11, 13]),
+            Transaction::from([11, 12, 13]),
+        ];
+        let clusters = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        Labeler::full(&sample, &clusters, 0.4, 1.0 / 3.0)
+    }
+
+    fn no_sleep_config() -> ResilientConfig {
+        ResilientConfig {
+            retry: RetryPolicy::no_backoff(8),
+            ..ResilientConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_stream_labels_like_label_all() {
+        let labeler = test_labeler();
+        let input = "1 2 3\n# comment\n\n10 11 12\n55 66 77\n2 3 4\n";
+        let run = label_stream_resilient(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &no_sleep_config(),
+            None,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(
+            run.labeling.assignments,
+            vec![Some(0), Some(1), None, Some(0)]
+        );
+        assert_eq!(run.labeling.cluster_counts, vec![2, 1]);
+        assert_eq!(run.labeling.num_outliers, 1);
+        assert_eq!(run.checkpoint.records_read, 4);
+        assert_eq!(run.checkpoint.records_skipped, 2);
+        assert_eq!(run.checkpoint.byte_offset, input.len() as u64);
+        assert_eq!(run.checkpoint.cluster_counts, vec![2, 1]);
+        assert_eq!(run.checkpoint.outliers, 1);
+        assert!(!run.report.degraded());
+        assert!(run.report.phase_duration("label-stream").is_some());
+    }
+
+    #[test]
+    fn garbage_lines_are_quarantined_not_fatal() {
+        let labeler = test_labeler();
+        let input = "1 2 3\n1 2 x7!\n10 11 12\n";
+        let run = label_stream_resilient(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &no_sleep_config(),
+            None,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(run.labeling.assignments, vec![Some(0), Some(1)]);
+        assert_eq!(run.checkpoint.records_quarantined, 1);
+        assert_eq!(run.report.quarantined.len(), 1);
+        assert_eq!(run.report.quarantined[0].line, 2);
+        assert!(run.report.quarantined[0].reason.contains("x7!"));
+        assert!(run.report.degraded());
+    }
+
+    #[test]
+    fn quarantine_cap_aborts_with_salvage() {
+        let labeler = test_labeler();
+        let input = "1 2 3\nbad\nworse\nworst\n10 11 12\n";
+        let config = ResilientConfig {
+            max_quarantine: 2,
+            ..no_sleep_config()
+        };
+        let err = label_stream_resilient(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &config,
+            None,
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.kind,
+            IngestErrorKind::QuarantineOverflow { cap: 2 }
+        ));
+        assert_eq!(err.line, 4);
+        assert_eq!(err.partial_assignments, vec![Some(0)]);
+        // The checkpoint is consistent: the overflowing line was consumed.
+        assert_eq!(err.checkpoint.lines_seen, 4);
+        assert!(err.to_string().contains("quarantine cap 2"));
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_reported() {
+        let labeler = test_labeler();
+        let input: String = (0..100)
+            .map(|i| {
+                if i % 2 == 0 {
+                    "1 2 3\n".to_string()
+                } else {
+                    "10 11 12\n".to_string()
+                }
+            })
+            .collect();
+        let spec = FaultSpec::none(11).transient(0.15, 1).chunk(8);
+        let faulty = FaultyReader::new(input.as_bytes(), spec);
+        let run = label_stream_resilient(
+            BufReader::new(faulty),
+            &labeler,
+            &Jaccard,
+            &no_sleep_config(),
+            None,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(run.checkpoint.records_read, 100);
+        assert!(run.report.transient_io_errors > 0, "no faults fired");
+        assert_eq!(run.report.io_retries, run.report.transient_io_errors);
+        assert!(run.report.degraded());
+        // Retried output matches a clean pass bit for bit.
+        let clean = label_stream_resilient(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &no_sleep_config(),
+            None,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(run.labeling, clean.labeling);
+        assert_eq!(run.checkpoint, clean.checkpoint);
+    }
+
+    #[test]
+    fn burst_beyond_retry_budget_is_a_hard_error_with_checkpoint() {
+        let labeler = test_labeler();
+        let input: String = (0..50).map(|_| "1 2 3\n").collect();
+        // Burst of 6 against a budget of 2 → hard failure mid-stream.
+        let spec = FaultSpec::none(5).transient(0.2, 6).chunk(8);
+        let faulty = FaultyReader::new(input.as_bytes(), spec);
+        let config = ResilientConfig {
+            retry: RetryPolicy::no_backoff(2),
+            ..ResilientConfig::default()
+        };
+        let err = label_stream_resilient(
+            BufReader::new(faulty),
+            &labeler,
+            &Jaccard,
+            &config,
+            None,
+            |_| {},
+        )
+        .unwrap_err();
+        let IngestErrorKind::Io(e) = &err.kind else {
+            panic!("expected Io error, got {:?}", err.kind);
+        };
+        assert!(RetryPolicy::is_transient(e));
+        // Resume from the checkpoint over a clean reader finishes the job.
+        let resumed = label_stream_resilient(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &config,
+            Some(&err.checkpoint),
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(resumed.report.resumed_from_offset, Some(err.checkpoint.byte_offset));
+        let mut all = err.partial_assignments.clone();
+        all.extend(resumed.labeling.assignments.iter().copied());
+        assert_eq!(all, vec![Some(0); 50]);
+        assert_eq!(resumed.checkpoint.records_read, 50);
+        assert_eq!(resumed.checkpoint.byte_offset, input.len() as u64);
+    }
+
+    #[test]
+    fn periodic_checkpoints_fire_and_resume_mid_stream() {
+        let labeler = test_labeler();
+        let input: String = (0..20)
+            .map(|i| if i < 10 { "1 2 3\n" } else { "10 11 12\n" })
+            .collect();
+        let config = ResilientConfig {
+            checkpoint_every: 7,
+            ..no_sleep_config()
+        };
+        let mut checkpoints = Vec::new();
+        let full = label_stream_resilient(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &config,
+            None,
+            |cp| checkpoints.push(cp.clone()),
+        )
+        .unwrap();
+        assert_eq!(checkpoints.len(), 2); // lines 7 and 14 of 20
+        assert_eq!(full.report.checkpoints_written, 2);
+        // Resume from each periodic checkpoint; totals must match the
+        // uninterrupted run exactly.
+        for cp in &checkpoints {
+            let resumed = label_stream_resilient(
+                BufReader::new(input.as_bytes()),
+                &labeler,
+                &Jaccard,
+                &config,
+                Some(cp),
+                |_| {},
+            )
+            .unwrap();
+            assert_eq!(resumed.checkpoint, full.checkpoint, "resume from {cp:?}");
+            assert_eq!(
+                resumed.labeling.assignments,
+                full.labeling.assignments[cp.records_read as usize..].to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_text() {
+        let cp = Checkpoint {
+            byte_offset: 12345,
+            lines_seen: 100,
+            records_read: 90,
+            records_skipped: 7,
+            records_quarantined: 3,
+            cluster_counts: vec![40, 0, 50],
+            outliers: 2,
+        };
+        assert_eq!(Checkpoint::decode(&cp.encode()).unwrap(), cp);
+        // Empty cluster counts (plain-reader checkpoints) round-trip too.
+        let cp0 = Checkpoint::new(0);
+        assert_eq!(Checkpoint::decode(&cp0.encode()).unwrap(), cp0);
+    }
+
+    #[test]
+    fn checkpoint_decode_rejects_damage() {
+        let good = Checkpoint::new(2).encode();
+        for bad in [
+            "".to_string(),
+            "rock-checkpoint v2\n".to_string(),
+            good.replace("byte_offset=0", "byte_offset=zero"),
+            good.replace("outliers=0\n", ""),
+            good.replace("lines_seen=0", "lines_seen=0\nlines_seen=1"),
+            good.replace("records_read", "records_devoured"),
+        ] {
+            let e = Checkpoint::decode(&bad).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn mismatched_resume_checkpoint_is_rejected() {
+        let labeler = test_labeler(); // 2 clusters
+        let cp = Checkpoint::new(5);
+        let err = label_stream_resilient(
+            BufReader::new("1 2 3\n".as_bytes()),
+            &labeler,
+            &Jaccard,
+            &no_sleep_config(),
+            Some(&cp),
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind, IngestErrorKind::BadCheckpoint(_)));
+        assert!(err.to_string().contains("cannot resume"));
+    }
+
+    #[test]
+    fn checkpoint_beyond_eof_is_unexpected_eof() {
+        let labeler = test_labeler();
+        let mut cp = Checkpoint::new(2);
+        cp.byte_offset = 10_000;
+        let err = label_stream_resilient(
+            BufReader::new("1 2 3\n".as_bytes()),
+            &labeler,
+            &Jaccard,
+            &no_sleep_config(),
+            Some(&cp),
+            |_| {},
+        )
+        .unwrap_err();
+        let IngestErrorKind::Io(e) = &err.kind else {
+            panic!("expected Io, got {:?}", err.kind);
+        };
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn nan_similarity_quarantines_the_record() {
+        struct NanOnBigItems;
+        impl Similarity<Transaction> for NanOnBigItems {
+            fn similarity(&self, a: &Transaction, b: &Transaction) -> f64 {
+                if a.items().iter().chain(b.items()).any(|&i| i >= 100) {
+                    f64::NAN
+                } else {
+                    Jaccard.similarity(a, b)
+                }
+            }
+        }
+        let labeler = test_labeler();
+        let input = "1 2 3\n100 2 3\n10 11 12\n";
+        let run = label_stream_resilient(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &NanOnBigItems,
+            &no_sleep_config(),
+            None,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(run.labeling.assignments, vec![Some(0), Some(1)]);
+        assert_eq!(run.checkpoint.records_quarantined, 1);
+        assert!(run.report.quarantined[0]
+            .reason
+            .contains("non-finite similarity"));
+    }
+
+    #[test]
+    fn invalid_utf8_is_quarantined_not_fatal() {
+        let labeler = test_labeler();
+        let mut bytes = b"1 2 3\n".to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+        bytes.extend_from_slice(b"10 11 12\n");
+        let run = label_stream_resilient(
+            BufReader::new(bytes.as_slice()),
+            &labeler,
+            &Jaccard,
+            &no_sleep_config(),
+            None,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(run.labeling.assignments, vec![Some(0), Some(1)]);
+        assert_eq!(run.checkpoint.records_quarantined, 1);
+    }
+
+    #[test]
+    fn resilient_reader_matches_plain_reader_on_clean_input() {
+        let input = "1 2 3\n# c\n10 11\n";
+        let (ts, report, cp) = read_baskets_resilient(
+            BufReader::new(input.as_bytes()),
+            &no_sleep_config(),
+            None,
+        )
+        .unwrap();
+        let plain =
+            crate::basketio::read_baskets_numeric(BufReader::new(input.as_bytes())).unwrap();
+        assert_eq!(ts, plain);
+        assert_eq!(report.records_read, 2);
+        assert_eq!(cp.byte_offset, input.len() as u64);
+        assert!(report.phase_duration("ingest").is_some());
+    }
+
+    #[test]
+    fn resilient_reader_quarantines_and_resumes() {
+        let input = "1 2 3\nnot numbers\n10 11\n";
+        let (ts, report, cp) = read_baskets_resilient(
+            BufReader::new(input.as_bytes()),
+            &no_sleep_config(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(report.records_quarantined, 1);
+        // Resuming from the final checkpoint reads nothing more.
+        let (rest, _, cp2) = read_baskets_resilient(
+            BufReader::new(input.as_bytes()),
+            &no_sleep_config(),
+            Some(&cp),
+        )
+        .unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(cp2.byte_offset, cp.byte_offset);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(35),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(35));
+        assert_eq!(p.backoff(63), Duration::from_millis(35));
+        assert_eq!(RetryPolicy::no_backoff(3).backoff(5), Duration::ZERO);
+    }
+}

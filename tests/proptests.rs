@@ -257,4 +257,112 @@ proptest! {
         prop_assert_eq!(m.misclassified, 0);
         prop_assert_eq!(m.total, labels.len());
     }
+
+    #[test]
+    fn readers_never_panic_on_arbitrary_bytes(bytes in vec(any::<u8>(), 0..512)) {
+        use std::io::BufReader;
+        // Every reader must turn arbitrary corrupted/truncated bytes into
+        // Ok or Err — never a panic.
+        let mut catalog = rock::points::ItemCatalog::new();
+        let _ = rock_data::read_baskets(BufReader::new(bytes.as_slice()), &mut catalog);
+        let _ = rock_data::read_baskets_numeric(BufReader::new(bytes.as_slice()));
+        for item in rock_data::stream_baskets(BufReader::new(bytes.as_slice())) {
+            let _ = item;
+        }
+        let config = rock_data::ResilientConfig {
+            retry: rock_data::RetryPolicy::no_backoff(2),
+            max_quarantine: usize::MAX,
+            ..rock_data::ResilientConfig::default()
+        };
+        let _ = rock_data::read_baskets_resilient(
+            BufReader::new(bytes.as_slice()),
+            &config,
+            None,
+        );
+        let labeler = rock::labeling::Labeler::full(
+            &[Transaction::from([1, 2, 3]), Transaction::from([9, 10])],
+            &[vec![0], vec![1]],
+            0.4,
+            1.0 / 3.0,
+        );
+        let _ = rock_data::label_stream_resilient(
+            BufReader::new(bytes.as_slice()),
+            &labeler,
+            &Jaccard,
+            &config,
+            None,
+            |_| {},
+        );
+    }
+
+    #[test]
+    fn corrupted_images_never_panic_readers(
+        lines in vec(vec(0u32..1000, 0..6), 0..40),
+        seed in any::<u64>(),
+        garbage in 0.0f64..=1.0,
+        truncate in 0.0f64..=1.0
+    ) {
+        use std::io::BufReader;
+        let image: String = lines
+            .iter()
+            .map(|l| {
+                let toks: Vec<String> = l.iter().map(u32::to_string).collect();
+                format!("{}\n", toks.join(" "))
+            })
+            .collect();
+        let spec = rock_data::FaultSpec::none(seed).garbage(garbage).truncate(truncate);
+        let corrupted = rock_data::corrupt_baskets(&image, &spec);
+        // Corruption never changes the line count.
+        prop_assert_eq!(corrupted.lines().count(), image.lines().count());
+        let _ = rock_data::read_baskets_numeric(BufReader::new(corrupted.as_bytes()));
+        let config = rock_data::ResilientConfig {
+            retry: rock_data::RetryPolicy::no_backoff(2),
+            max_quarantine: usize::MAX,
+            ..rock_data::ResilientConfig::default()
+        };
+        let (ts, report, cp) = rock_data::read_baskets_resilient(
+            BufReader::new(corrupted.as_bytes()),
+            &config,
+            None,
+        )
+        .expect("quarantine absorbs all corruption");
+        prop_assert_eq!(
+            cp.records_read + cp.records_skipped + cp.records_quarantined,
+            corrupted.lines().count() as u64
+        );
+        prop_assert_eq!(ts.len() as u64, report.records_read);
+    }
+
+    #[test]
+    fn checkpoint_decode_never_panics(text in ".{0,300}") {
+        let _ = rock_data::Checkpoint::decode(&text);
+    }
+
+    #[test]
+    fn faulty_reader_delivers_exact_bytes_through_retries(
+        payload in vec(any::<u8>(), 0..600),
+        seed in any::<u64>(),
+        rate in 0.0f64..0.5,
+        burst in 1u32..4,
+        chunk in 1usize..32
+    ) {
+        use std::io::Read;
+        let spec = rock_data::FaultSpec::none(seed)
+            .transient(rate, burst)
+            .chunk(chunk);
+        let mut reader = rock_data::FaultyReader::new(payload.as_slice(), spec);
+        let mut out = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            match reader.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) => prop_assert!(
+                    rock_data::RetryPolicy::is_transient(&e),
+                    "injected fault must look transient, got {e:?}"
+                ),
+            }
+        }
+        prop_assert_eq!(out, payload, "fault injection corrupted the byte stream");
+    }
 }
