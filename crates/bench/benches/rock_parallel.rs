@@ -1,0 +1,132 @@
+//! Sequential-vs-parallel regression bench for the PR-2 kernel engine,
+//! on the §5.3 synthetic market-basket generator.
+//!
+//! Four stages of the pipeline are measured, each as `seq` (the reference
+//! single-thread path) against `parN` (the rayon kernels at N workers):
+//!
+//! * `neighbors` — the O(n²) θ-neighbor scan, over both the per-pair
+//!   sorted-merge `Transaction` substrate and the bit-packed
+//!   [`PackedBaskets`] popcount rows;
+//! * `links_sparse` — the Fig.-4 link computation: legacy hashmap
+//!   reference vs the sharded pair-stream CSR kernel;
+//! * `links_dense` — the §4.4 boolean-A² path: blocked popcount squaring;
+//! * `labeling` — the §4.6 disk-labeling scan, partitioned across workers.
+//!
+//! `scripts/bench_snapshot.sh` runs this bench with `BENCH_JSON` set and
+//! packages the records into `BENCH_rock.json` (see DESIGN.md,
+//! "Performance model", for how to read it). All parallel paths are
+//! bit-identical to sequential by construction, so the ids here only vary
+//! in speed, never in output — enforced by `tests/parallel_determinism.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use rock_core::labeling::Labeler;
+use rock_core::links::compute_links_sparse;
+use rock_core::links_matrix::LinkMatrix;
+use rock_core::neighbors::NeighborGraph;
+use rock_core::points::Transaction;
+use rock_core::similarity::{Jaccard, PointsWith};
+use rock_data::packed::PackedBaskets;
+use rock_data::{generate_baskets, SyntheticBasketSpec};
+use std::hint::black_box;
+
+const THETA: f64 = 0.5;
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn pool() -> Vec<Transaction> {
+    // ~5.7k transactions of the paper's §5.3 distribution.
+    let spec = SyntheticBasketSpec::paper_scaled(0.05);
+    generate_baskets(&spec, &mut StdRng::seed_from_u64(42)).transactions
+}
+
+fn bench_neighbors(c: &mut Criterion) {
+    let pool = pool();
+    let sample = &pool[..1500.min(pool.len())];
+    let packed = PackedBaskets::new(sample);
+    let mut group = c.benchmark_group("neighbors");
+    group.bench_function("transactions_seq", |b| {
+        let points = PointsWith::new(sample, Jaccard);
+        b.iter(|| black_box(NeighborGraph::build(&points, THETA)))
+    });
+    group.bench_function("packed_seq", |b| {
+        b.iter(|| black_box(NeighborGraph::build(&packed, THETA)))
+    });
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("packed_par", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(NeighborGraph::build_parallel(&packed, THETA, threads)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_links(c: &mut Criterion) {
+    let pool = pool();
+    let sample = &pool[..1500.min(pool.len())];
+    let graph = NeighborGraph::build(&PackedBaskets::new(sample), THETA);
+
+    let mut sparse = c.benchmark_group("links_sparse");
+    sparse.bench_function("reference_hashmap", |b| {
+        b.iter(|| black_box(compute_links_sparse(&graph)))
+    });
+    sparse.bench_function("csr_seq", |b| {
+        b.iter(|| black_box(LinkMatrix::compute_sparse(&graph, 1)))
+    });
+    for threads in THREAD_COUNTS {
+        sparse.bench_with_input(
+            BenchmarkId::new("csr_par", threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(LinkMatrix::compute_sparse(&graph, threads))),
+        );
+    }
+    sparse.finish();
+
+    let mut dense = c.benchmark_group("links_dense");
+    dense.bench_function("csr_seq", |b| {
+        b.iter(|| black_box(LinkMatrix::compute_dense(&graph, 1)))
+    });
+    for threads in THREAD_COUNTS {
+        dense.bench_with_input(
+            BenchmarkId::new("csr_par", threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(LinkMatrix::compute_dense(&graph, threads))),
+        );
+    }
+    dense.finish();
+}
+
+fn bench_labeling(c: &mut Criterion) {
+    let pool = pool();
+    // Cluster a 500-point sample, then label the whole pool against it —
+    // the Fig.-2 shape of the labeling phase.
+    let sample = &pool[..500.min(pool.len())];
+    let clusters: Vec<Vec<u32>> = vec![
+        (0..sample.len() as u32 / 2).collect(),
+        (sample.len() as u32 / 2..sample.len() as u32).collect(),
+    ];
+    let labeler = Labeler::full(sample, &clusters, THETA, 1.0 / 3.0);
+    let mut group = c.benchmark_group("labeling");
+    group.bench_function("seq", |b| {
+        b.iter(|| black_box(labeler.label_all(&pool, &Jaccard)))
+    });
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("par", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(labeler.label_all_parallel(&pool, &Jaccard, threads)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_neighbors, bench_links, bench_labeling
+}
+criterion_main!(benches);

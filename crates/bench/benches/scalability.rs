@@ -61,9 +61,37 @@ fn bench_thetas(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_threads(c: &mut Criterion) {
+    // End-to-end run at a fixed size across worker counts: neighbors,
+    // links and the merge loop all behind `run_parallel` — bit-identical
+    // output for every thread count, so this group measures speed only.
+    let pool = pool();
+    let sample = &pool[..800.min(pool.len())];
+    let mut group = c.benchmark_group("rock_threads");
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let goodness = Goodness::new(0.5, BasketF, GoodnessKind::Normalized);
+                let algo = RockAlgorithm::new(goodness, 10, OutlierPolicy::default());
+                b.iter(|| {
+                    let graph = NeighborGraph::build_parallel(
+                        &PointsWith::new(sample, Jaccard),
+                        0.5,
+                        threads,
+                    );
+                    black_box(algo.run_parallel(&graph, threads))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_sizes, bench_thetas
+    targets = bench_sizes, bench_thetas, bench_threads
 }
 criterion_main!(benches);

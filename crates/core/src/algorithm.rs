@@ -22,6 +22,7 @@ use crate::cluster::{Clustering, MergeRecord};
 use crate::goodness::Goodness;
 use crate::heap::AddressableHeap;
 use crate::links::LinkTable;
+use crate::links_matrix::LinkMatrix;
 use crate::neighbors::NeighborGraph;
 use crate::util::FxHashMap;
 
@@ -117,15 +118,41 @@ impl RockAlgorithm {
         self.k
     }
 
-    /// Clusters the points of `graph`: computes links (Fig. 4) and runs
-    /// the merge loop (Fig. 3).
+    /// Clusters the points of `graph`: computes links (auto-selected CSR
+    /// kernel, see [`LinkMatrix::compute_auto`]) and runs the merge loop
+    /// (Fig. 3), single-threaded.
     pub fn run(&self, graph: &NeighborGraph) -> RockRun {
-        let links = crate::links::compute_links_auto(graph);
-        self.run_with_links(graph, &links)
+        self.run_parallel(graph, 1)
+    }
+
+    /// As [`run`](Self::run) with the link computation spread over
+    /// `threads` workers. The clustering result is bit-identical to the
+    /// single-threaded run for every thread count (the link kernels are
+    /// deterministic; the merge loop is sequential either way).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn run_parallel(&self, graph: &NeighborGraph, threads: usize) -> RockRun {
+        let links = LinkMatrix::compute_auto(graph, threads);
+        self.run_with_matrix(graph, &links)
+    }
+
+    /// As [`run`](Self::run), with a precomputed CSR link matrix.
+    ///
+    /// # Panics
+    /// Panics if `links` is not defined over exactly `graph.len()` points.
+    pub fn run_with_matrix(&self, graph: &NeighborGraph, links: &LinkMatrix) -> RockRun {
+        assert_eq!(
+            links.num_points(),
+            graph.len(),
+            "link matrix and neighbor graph disagree on point count"
+        );
+        self.run_from_pairs(graph, links.iter_upper())
     }
 
     /// As [`run`](Self::run), with a precomputed link table (e.g. from
-    /// [`crate::links::compute_links_dense`]).
+    /// [`crate::links::compute_links_dense`] or
+    /// [`crate::links_l3::combine_links`]).
     ///
     /// # Panics
     /// Panics if `links` is not defined over exactly `graph.len()` points.
@@ -135,6 +162,16 @@ impl RockAlgorithm {
             graph.len(),
             "link table and neighbor graph disagree on point count"
         );
+        self.run_from_pairs(graph, links.iter())
+    }
+
+    /// The Fig.-3 merge loop seeded from a stream of `((i, j), count)`
+    /// linked pairs (`i < j`, each pair at most once, any order).
+    fn run_from_pairs(
+        &self,
+        graph: &NeighborGraph,
+        pairs: impl Iterator<Item = ((u32, u32), u32)>,
+    ) -> RockRun {
         let n = graph.len();
 
         // §4.6 first pruning: points with too few neighbors are outliers.
@@ -154,8 +191,8 @@ impl RockAlgorithm {
         let initial = members.len();
         let mut state = State::new(members, self.goodness);
 
-        // Initial cross-link maps and local heaps from the link table.
-        for ((i, j), c) in links.iter() {
+        // Initial cross-link maps and local heaps from the linked pairs.
+        for ((i, j), c) in pairs {
             let (Some(ci), Some(cj)) = (
                 cluster_of_point[i as usize],
                 cluster_of_point[j as usize],

@@ -190,11 +190,16 @@ impl<P: Clone> Labeler<P> {
         self.collect(data.iter().map(|p| self.label_point(p, sim)))
     }
 
-    /// Labels every point of `data` using `threads` worker threads.
+    /// Labels every point of `data` using `threads` rayon workers.
     ///
     /// The labeling phase is embarrassingly parallel (each point is
     /// scored against the fixed Lᵢ sets independently); this is the path
     /// for paper-scale data (114,586 transactions in §5.4).
+    ///
+    /// **Determinism:** worker `t` writes the slots of its own chunk of
+    /// points in place, so the assignment vector — and the aggregate
+    /// counts derived from it — is bit-identical to [`Labeler::label_all`]
+    /// for every thread count.
     ///
     /// # Panics
     /// Panics if `threads == 0`.
@@ -208,21 +213,16 @@ impl<P: Clone> Labeler<P> {
             return self.label_all(data, sim);
         }
         let chunk = data.len().div_ceil(threads);
-        let mut assignments: Vec<Option<usize>> = Vec::with_capacity(data.len());
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for part in data.chunks(chunk) {
-                handles.push(scope.spawn(move |_| {
-                    part.iter()
-                        .map(|p| self.label_point(p, sim))
-                        .collect::<Vec<_>>()
-                }));
+        let mut assignments: Vec<Option<usize>> = vec![None; data.len()];
+        rayon::scope(|scope| {
+            for (part, slots) in data.chunks(chunk).zip(assignments.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    for (p, slot) in part.iter().zip(slots.iter_mut()) {
+                        *slot = self.label_point(p, sim);
+                    }
+                });
             }
-            for h in handles {
-                assignments.extend(h.join().expect("labeling worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
+        });
         self.collect(assignments.into_iter())
     }
 

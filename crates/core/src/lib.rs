@@ -51,7 +51,8 @@
 //! | [`points`] | §3.1 | transactions, categorical records, schemas |
 //! | [`similarity`] | §3.1 | Jaccard, categorical w/ missing values, Lp, expert tables |
 //! | [`neighbors`] | §3.1 | θ-neighbor graph construction (serial & parallel) |
-//! | [`links`] | §3.2, §4.4 | sparse (Fig. 4) and dense (A²) link computation |
+//! | [`links`] | §3.2, §4.4 | sparse (Fig. 4) and dense (A²) link computation (reference) |
+//! | [`links_matrix`] | §3.2, §4.4 | parallel CSR link kernels — the hot path |
 //! | [`goodness`] | §3.3, §4.2 | f(θ) estimates and the merge goodness measure |
 //! | [`criterion_fn`] | §3.3 | the criterion function E_l |
 //! | [`heap`] | §4.3 | addressable max-heaps for the merge loop |
@@ -87,6 +88,7 @@ pub mod heap;
 pub mod labeling;
 pub mod links;
 pub mod links_l3;
+pub mod links_matrix;
 pub mod neighbors;
 pub mod points;
 pub mod report;
@@ -106,7 +108,8 @@ pub use error::RockError;
 pub use goodness::{BasketF, ConstantF, FTheta, Goodness, GoodnessKind};
 pub use labeling::{Labeler, Labeling};
 pub use links::{compute_links_auto, compute_links_dense, compute_links_sparse, LinkTable};
-pub use links_l3::{combine_links, compute_links_l3};
+pub use links_l3::{combine_links, compute_links_l3, compute_links_l3_parallel};
+pub use links_matrix::LinkMatrix;
 pub use neighbors::NeighborGraph;
 pub use points::{CategoricalRecord, CategoricalSchema, ItemCatalog, Transaction};
 pub use report::{PhaseTiming, QuarantinedRecord, RunReport};

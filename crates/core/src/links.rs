@@ -106,17 +106,27 @@ impl LinkTable {
 
 /// Fig. 4: computes all pairwise link counts from the neighbor graph by
 /// crediting, for every point, each pair of its neighbors with one link.
+///
+/// This is the reference implementation: [`crate::links_matrix::LinkMatrix`]
+/// is the CSR engine used on the clustering hot path, and the test suites
+/// cross-check it against this table.
 pub fn compute_links_sparse(graph: &NeighborGraph) -> LinkTable {
     let n = graph.len();
-    // Pre-size the map: each point with m neighbors contributes at most
-    // m·(m−1)/2 distinct pairs, but pairs repeat across points; the number
-    // of *distinct* linked pairs is bounded by Σ m_i² / 2 and by n·m_m.
-    let hint: usize = graph
-        .average_degree()
-        .mul_add(graph.average_degree(), 1.0)
-        .min(1e7) as usize;
+    // Pre-size the map from the Fig.-4 work bound: point i contributes
+    // m_i·(m_i−1)/2 increments, so Σᵢ mᵢ²/2 bounds the number of distinct
+    // linked pairs. It can overshoot (pairs repeat across points), so cap
+    // by the n²/4 pair-count bound and an absolute allocation ceiling;
+    // this keeps the hot loop free of rehashing without overcommitting on
+    // dense graphs.
+    let sum_sq: f64 = (0..n)
+        .map(|i| {
+            let m = graph.degree(i) as f64;
+            m * m
+        })
+        .sum();
+    let hint = (sum_sq / 2.0).min(n as f64 * n as f64 / 4.0).min(1e7) as usize;
     let mut table = LinkTable {
-        counts: FxHashMap::with_capacity_and_hasher(hint.min(n * 4), Default::default()),
+        counts: FxHashMap::with_capacity_and_hasher(hint.max(16), Default::default()),
         n,
     };
     for i in 0..n {

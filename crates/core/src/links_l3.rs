@@ -61,6 +61,74 @@ pub fn compute_links_l3(graph: &NeighborGraph) -> LinkTable {
     table
 }
 
+/// As [`compute_links_l3`], with source rows sharded across `threads`
+/// rayon workers.
+///
+/// Each worker owns a contiguous range of sources `i` and produces the
+/// complete set of `(i, j)` entries for its range (the sequential kernel
+/// is already per-source independent), so the resulting table is
+/// identical to the sequential one for every thread count.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn compute_links_l3_parallel(graph: &NeighborGraph, threads: usize) -> LinkTable {
+    assert!(threads > 0, "need at least one thread");
+    let n = graph.len();
+    if threads == 1 || n < 64 {
+        return compute_links_l3(graph);
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); threads.min(n)];
+    rayon::scope(|scope| {
+        for (t, out) in partials.iter_mut().enumerate() {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            scope.spawn(move |_| {
+                let mut w2 = vec![0u32; n];
+                let mut w3 = vec![0u64; n];
+                for i in lo..hi {
+                    w2.iter_mut().for_each(|x| *x = 0);
+                    w3.iter_mut().for_each(|x| *x = 0);
+                    for &k in graph.neighbors(i) {
+                        for &l in graph.neighbors(k as usize) {
+                            w2[l as usize] += 1;
+                        }
+                    }
+                    for (l, &count) in w2.iter().enumerate() {
+                        if count == 0 {
+                            continue;
+                        }
+                        for &j in graph.neighbors(l) {
+                            w3[j as usize] += u64::from(count);
+                        }
+                    }
+                    for (j, &walks) in w3.iter().enumerate().skip(i + 1) {
+                        let a_ij = u64::from(graph.are_neighbors(i, j));
+                        let degenerate =
+                            a_ij * (graph.degree(i) as u64 + graph.degree(j) as u64 - 1);
+                        let paths = walks.saturating_sub(degenerate);
+                        if paths > 0 {
+                            out.push((
+                                i as u32,
+                                j as u32,
+                                u32::try_from(paths).unwrap_or(u32::MAX),
+                            ));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut table = LinkTable::new(n);
+    for (i, j, c) in partials.into_iter().flatten() {
+        table.add(i as usize, j as usize, c);
+    }
+    table
+}
+
 /// Combines two link tables as `base + weight · extra`, rounding down —
 /// e.g. `link₂ + ½·link₃` (§3.2's hypothetical richer link).
 ///
@@ -165,6 +233,22 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn parallel_l3_matches_serial() {
+        let m = SimilarityMatrix::from_fn(90, |i, j| {
+            ((i * j).wrapping_mul(2654435761) % 100) as f64 / 100.0
+        });
+        let g = NeighborGraph::build(&m, 0.5);
+        let serial = compute_links_l3(&g);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                compute_links_l3_parallel(&g, threads),
+                serial,
+                "threads={threads}"
+            );
         }
     }
 

@@ -1,0 +1,575 @@
+//! CSR link matrix — the parallel hot-path replacement for [`LinkTable`].
+//!
+//! The Fig.-4 link pass and the §4.4 matrix-square both produce, for every
+//! point, the sorted list of partners it shares common neighbors with.
+//! [`LinkMatrix`] stores exactly that as compressed sparse rows: one
+//! `offsets` array plus parallel `cols`/`counts` arrays holding both
+//! directions of every linked pair. Compared to the
+//! `FxHashMap<(u32,u32),u32>`-backed [`LinkTable`], lookups are a binary
+//! search in a contiguous row, iteration is a linear scan, and
+//! construction is a sort — all cache-friendly and parallelisable.
+//!
+//! Two construction kernels are provided, selected by [`LinkMatrix::compute_auto`]:
+//!
+//! * [`LinkMatrix::compute_sparse`] — Fig. 4 reformulated as a pair
+//!   stream: every point emits one `(j, l)` pair per pair of its
+//!   neighbors; points are sharded across workers (balanced by the
+//!   per-point `mᵢ²` cost), each worker counting-sorts its own stream
+//!   (histogram by smaller endpoint, scatter, dense per-segment count),
+//!   and the per-shard `(key, count)` runs are k-way merged with counts
+//!   summed. The multiset of emitted pairs — and therefore the merged,
+//!   sorted result — is independent of the shard boundaries, so output
+//!   is **bit-identical for every thread count**.
+//! * [`LinkMatrix::compute_dense`] — §4.4's boolean `A²` over bit-packed
+//!   adjacency rows: worker `t` owns a block of rows and computes
+//!   `popcount(rowᵢ & rowⱼ)` for `j > i`, writing into its own block, so
+//!   again no merge order can affect the result.
+//!
+//! See DESIGN.md §"Performance model" for layout diagrams and the
+//! measured crossover between the kernels.
+
+use crate::links::LinkTable;
+use crate::neighbors::NeighborGraph;
+use crate::util::BitSet;
+
+/// Symmetric link counts in compressed-sparse-row form.
+///
+/// Row `i` lists, ascending, every `j` with `link(i, j) > 0` together
+/// with the count; every linked pair therefore appears twice (once per
+/// endpoint), exactly like the adjacency view of [`LinkTable::per_point`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkMatrix {
+    /// Row boundaries: row `i` occupies `cols[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<usize>,
+    /// Partner ids, ascending within each row.
+    cols: Vec<u32>,
+    /// Link counts, parallel to `cols`.
+    counts: Vec<u32>,
+}
+
+impl LinkMatrix {
+    /// An empty matrix over `n` points.
+    pub fn new(n: usize) -> Self {
+        LinkMatrix {
+            offsets: vec![0; n + 1],
+            cols: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Number of points the matrix is defined over.
+    pub fn num_points(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The link count of the pair `{i, j}` (0 if absent or `i == j`).
+    #[inline]
+    pub fn count(&self, i: usize, j: usize) -> u32 {
+        let (cols, counts) = self.row(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(pos) => counts[pos],
+            Err(_) => 0,
+        }
+    }
+
+    /// Row `i` as `(partner ids, counts)` slices, partners ascending.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[u32]) {
+        let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
+        (&self.cols[lo..hi], &self.counts[lo..hi])
+    }
+
+    /// Number of point pairs with at least one link.
+    pub fn num_linked_pairs(&self) -> usize {
+        debug_assert!(self.cols.len().is_multiple_of(2));
+        self.cols.len() / 2
+    }
+
+    /// Total number of links over all pairs.
+    pub fn total_links(&self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum::<u64>() / 2
+    }
+
+    /// Iterates over `((i, j), count)` with `i < j`, ascending by `(i, j)`.
+    pub fn iter_upper(&self) -> impl Iterator<Item = ((u32, u32), u32)> + '_ {
+        (0..self.num_points()).flat_map(move |i| {
+            let (cols, counts) = self.row(i);
+            let start = cols.partition_point(|&j| (j as usize) <= i);
+            cols[start..]
+                .iter()
+                .zip(&counts[start..])
+                .map(move |(&j, &c)| ((i as u32, j), c))
+        })
+    }
+
+    /// Converts to the hashmap-backed reference representation.
+    pub fn to_table(&self) -> LinkTable {
+        let mut table = LinkTable::new(self.num_points());
+        for ((i, j), c) in self.iter_upper() {
+            table.add(i as usize, j as usize, c);
+        }
+        table
+    }
+
+    /// Builds a matrix from the hashmap-backed reference representation.
+    pub fn from_table(table: &LinkTable) -> Self {
+        let mut pairs: Vec<(u64, u32)> = table
+            .iter()
+            .map(|((i, j), c)| (pack(i, j), c))
+            .collect();
+        pairs.sort_unstable_by_key(|&(key, _)| key);
+        Self::assemble(table.num_points(), &pairs)
+    }
+
+    /// Approximate heap footprint in bytes (for the auto heuristic and
+    /// benchmark reports).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.cols.len() * 4
+            + self.counts.len() * 4
+    }
+
+    /// Fig. 4 via the sharded pair-stream kernel. `threads == 1` runs the
+    /// same kernel on one shard; output is identical for every `threads`.
+    ///
+    /// Each worker counting-sorts its shard's pair stream instead of
+    /// comparison-sorting it: a histogram over the smaller endpoint `j`
+    /// (O(Σmᵢ), exploiting that point `i`'s ascending neighbor list
+    /// contributes `mᵢ−1−a` pairs with smaller endpoint `nbrs[a]`), a
+    /// linear scatter of the larger endpoints into per-`j` segments, then
+    /// a dense per-segment count. O(pairs) total, vs O(pairs·log pairs)
+    /// for a sort — the difference that makes this kernel beat the
+    /// hashmap reference instead of losing to it.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn compute_sparse(graph: &NeighborGraph, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let n = graph.len();
+        // Per-point pair emission cost mᵢ·(mᵢ−1)/2 drives the shard
+        // boundaries so workers finish together even when a few hub
+        // points dominate (the mushroom data set's species cliques).
+        let cost = |i: usize| {
+            let m = graph.degree(i) as u64;
+            m * m.saturating_sub(1) / 2
+        };
+        let shards = balanced_ranges(n, threads, cost);
+
+        let mut per_shard: Vec<Vec<(u64, u32)>> = Vec::with_capacity(shards.len());
+        per_shard.resize_with(shards.len(), Vec::new);
+        rayon::scope(|scope| {
+            for (range, out) in shards.iter().zip(per_shard.iter_mut()) {
+                let range = range.clone();
+                scope.spawn(move |_| {
+                    // Histogram: pairs whose smaller endpoint is j.
+                    let mut offsets = vec![0usize; n + 1];
+                    for i in range.clone() {
+                        let nbrs = graph.neighbors(i);
+                        let m = nbrs.len();
+                        for (a, &j) in nbrs.iter().enumerate() {
+                            offsets[j as usize + 1] += m - 1 - a;
+                        }
+                    }
+                    for j in 0..n {
+                        offsets[j + 1] += offsets[j];
+                    }
+                    // Scatter the larger endpoints into per-j segments.
+                    // Neighbor lists are ascending ⇒ (j, l) is already the
+                    // normalised (min, max) pair.
+                    let mut data = vec![0u32; offsets[n]];
+                    let mut cursor: Vec<usize> = offsets[..n].to_vec();
+                    for i in range {
+                        let nbrs = graph.neighbors(i);
+                        for (a, &j) in nbrs.iter().enumerate() {
+                            let mut c = cursor[j as usize];
+                            for &l in &nbrs[a + 1..] {
+                                data[c] = l;
+                                c += 1;
+                            }
+                            cursor[j as usize] = c;
+                        }
+                    }
+                    // Dense count per segment → sorted (key, count) runs.
+                    let mut scratch = vec![0u32; n];
+                    let mut partners: Vec<u32> = Vec::new();
+                    let mut pairs: Vec<(u64, u32)> = Vec::new();
+                    for j in 0..n {
+                        let seg = &data[offsets[j]..offsets[j + 1]];
+                        if seg.is_empty() {
+                            continue;
+                        }
+                        for &l in seg {
+                            if scratch[l as usize] == 0 {
+                                partners.push(l);
+                            }
+                            scratch[l as usize] += 1;
+                        }
+                        partners.sort_unstable();
+                        for &l in &partners {
+                            pairs.push((pack(j as u32, l), scratch[l as usize]));
+                            scratch[l as usize] = 0;
+                        }
+                        partners.clear();
+                    }
+                    *out = pairs;
+                });
+            }
+        });
+
+        let pairs = merge_counts(per_shard);
+        Self::assemble(n, &pairs)
+    }
+
+    /// §4.4's boolean matrix square over bit-packed rows, blocked across
+    /// workers. Output is identical to [`Self::compute_sparse`].
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn compute_dense(graph: &NeighborGraph, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let n = graph.len();
+        let mut rows: Vec<BitSet> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut row = BitSet::new(n);
+            for &j in graph.neighbors(i) {
+                row.set(j as usize);
+            }
+            rows.push(row);
+        }
+        let rows = &rows;
+
+        // Row i of the upper triangle costs (n − i) popcount-AND sweeps.
+        let shards = balanced_ranges(n, threads, |i| (n - i) as u64);
+        let mut upper: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        rayon::scope(|scope| {
+            let mut rest = upper.as_mut_slice();
+            let mut consumed = 0;
+            for range in &shards {
+                let (block, tail) = rest.split_at_mut(range.end - consumed);
+                rest = tail;
+                let lo = consumed;
+                consumed = range.end;
+                scope.spawn(move |_| {
+                    for (offset, out) in block.iter_mut().enumerate() {
+                        let i = lo + offset;
+                        for j in (i + 1)..n {
+                            let c = rows[i].intersection_count(&rows[j]);
+                            if c > 0 {
+                                out.push((j as u32, c as u32));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        let pairs: Vec<(u64, u32)> = upper
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| {
+                row.iter().map(move |&(j, c)| (pack(i as u32, j), c))
+            })
+            .collect();
+        Self::assemble(n, &pairs)
+    }
+
+    /// Chooses between the sparse and dense kernels by estimated cost.
+    ///
+    /// The pair-stream kernel touches each of its ~`Σᵢ mᵢ²/2` pairs a
+    /// constant number of times (histogram, scatter, count); the bitset
+    /// square costs `n²/2 · ⌈n/64⌉` word ANDs plus O(n²/8) bytes of row
+    /// storage. One counted pair costs ~1.5× a popcount-AND word op
+    /// (measured with `bench/benches/rock_parallel.rs` on the §5.3
+    /// generator — far below the ~8× of the old hash-increment path,
+    /// which is why the crossover moved), and both kernels parallelise
+    /// evenly so `threads` does not shift it. Dense is refused above
+    /// 64 MiB of row storage regardless.
+    pub fn compute_auto(graph: &NeighborGraph, threads: usize) -> Self {
+        let n = graph.len() as f64;
+        let sparse_cost: f64 = (0..graph.len())
+            .map(|i| {
+                let m = graph.degree(i) as f64;
+                m * m
+            })
+            .sum::<f64>()
+            / 2.0
+            * 1.5;
+        let dense_cost = n * n / 2.0 * (n / 64.0).max(1.0);
+        let dense_bytes = n * n / 8.0;
+        if dense_cost < sparse_cost && dense_bytes < 64.0 * 1024.0 * 1024.0 {
+            Self::compute_dense(graph, threads)
+        } else {
+            Self::compute_sparse(graph, threads)
+        }
+    }
+
+    /// Builds the symmetric CSR from upper-triangle pairs sorted
+    /// ascending by packed `(i, j)` key.
+    fn assemble(n: usize, pairs: &[(u64, u32)]) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(key, _) in pairs {
+            let (i, j) = unpack(key);
+            degree[i as usize] += 1;
+            degree[j as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let total = offsets[n];
+        let mut cols = vec![0u32; total];
+        let mut counts = vec![0u32; total];
+        let mut cursor = offsets.clone();
+        // Scanning pairs in ascending (i, j) order fills every row
+        // ascending: row r first receives partners h < r (from pairs
+        // (h, r), ascending h), then partners j > r (from pairs (r, j),
+        // ascending j) — all lower-partner pairs sort before any
+        // upper-partner pair of the same row.
+        for &(key, c) in pairs {
+            let (i, j) = unpack(key);
+            cols[cursor[i as usize]] = j;
+            counts[cursor[i as usize]] = c;
+            cursor[i as usize] += 1;
+            cols[cursor[j as usize]] = i;
+            counts[cursor[j as usize]] = c;
+            cursor[j as usize] += 1;
+        }
+        debug_assert!((0..n).all(|i| {
+            let (lo, hi) = (offsets[i], offsets[i + 1]);
+            cols[lo..hi].windows(2).all(|w| w[0] < w[1])
+        }));
+        LinkMatrix {
+            offsets,
+            cols,
+            counts,
+        }
+    }
+}
+
+#[inline]
+fn pack(i: u32, j: u32) -> u64 {
+    (u64::from(i) << 32) | u64::from(j)
+}
+
+#[inline]
+fn unpack(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// Splits `0..n` into at most `threads` contiguous ranges of roughly
+/// equal total `cost`. Never returns an empty range; returns fewer
+/// ranges when `n < threads` or the cost mass is concentrated.
+fn balanced_ranges(n: usize, threads: usize, cost: impl Fn(usize) -> u64) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: u64 = (0..n).map(&cost).sum();
+    let target = total / threads as u64 + 1;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0;
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc += cost(i);
+        let remaining_shards = threads - ranges.len();
+        if acc >= target && remaining_shards > 1 && i + 1 < n {
+            ranges.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+        if ranges.len() + 1 == threads {
+            break;
+        }
+    }
+    ranges.push(start..n);
+    ranges
+}
+
+/// K-way merges per-shard sorted `(key, count)` streams, summing the
+/// counts of keys present in several shards. The result depends only on
+/// the union multiset of pairs, not on how shards split it.
+fn merge_counts(mut shards: Vec<Vec<(u64, u32)>>) -> Vec<(u64, u32)> {
+    shards.retain(|s| !s.is_empty());
+    match shards.len() {
+        0 => Vec::new(),
+        1 => shards.pop().expect("one shard"),
+        _ => {
+            let total: usize = shards.iter().map(Vec::len).sum();
+            let mut out: Vec<(u64, u32)> = Vec::with_capacity(total);
+            let mut heads = vec![0usize; shards.len()];
+            loop {
+                // Linear scan over ≤ threads heads; shard count is small
+                // so this beats a binary heap's bookkeeping.
+                let mut min: Option<(usize, u64)> = None;
+                for (s, shard) in shards.iter().enumerate() {
+                    if let Some(&(key, _)) = shard.get(heads[s]) {
+                        if min.is_none_or(|(_, k)| key < k) {
+                            min = Some((s, key));
+                        }
+                    }
+                }
+                let Some((s, key)) = min else { break };
+                let count = shards[s][heads[s]].1;
+                heads[s] += 1;
+                match out.last_mut() {
+                    Some((k, c)) if *k == key => *c += count,
+                    _ => out.push((key, count)),
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::links::compute_links_sparse;
+    use crate::points::Transaction;
+    use crate::similarity::{Jaccard, PointsWith, SimilarityMatrix};
+
+    fn pseudo_graph(n: usize, theta: f64) -> NeighborGraph {
+        let m = SimilarityMatrix::from_fn(n, |i, j| {
+            ((i * j).wrapping_mul(2654435761) % 1000) as f64 / 1000.0
+        });
+        NeighborGraph::build(&m, theta)
+    }
+
+    #[test]
+    fn matches_reference_table() {
+        let g = pseudo_graph(90, 0.6);
+        let reference = compute_links_sparse(&g);
+        let matrix = LinkMatrix::compute_sparse(&g, 1);
+        assert_eq!(matrix.to_table(), reference);
+        assert_eq!(matrix.num_linked_pairs(), reference.num_linked_pairs());
+        assert_eq!(matrix.total_links(), reference.total_links());
+        for i in 0..g.len() {
+            for j in 0..g.len() {
+                assert_eq!(
+                    matrix.count(i, j),
+                    reference.count(i, j),
+                    "pair ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_kernel_is_thread_count_invariant() {
+        let g = pseudo_graph(150, 0.5);
+        let one = LinkMatrix::compute_sparse(&g, 1);
+        for threads in [2, 3, 5, 8, 16] {
+            assert_eq!(
+                LinkMatrix::compute_sparse(&g, threads),
+                one,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_kernel_matches_sparse_kernel() {
+        for theta in [0.2, 0.5, 0.8] {
+            let g = pseudo_graph(120, theta);
+            let sparse = LinkMatrix::compute_sparse(&g, 3);
+            for threads in [1, 4] {
+                assert_eq!(
+                    LinkMatrix::compute_dense(&g, threads),
+                    sparse,
+                    "theta={theta} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_matches_explicit_kernels() {
+        for theta in [0.15, 0.9] {
+            let g = pseudo_graph(140, theta);
+            assert_eq!(
+                LinkMatrix::compute_auto(&g, 2),
+                LinkMatrix::compute_sparse(&g, 1),
+                "theta={theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn rows_are_sorted_and_symmetric() {
+        let g = pseudo_graph(100, 0.45);
+        let m = LinkMatrix::compute_sparse(&g, 4);
+        for i in 0..m.num_points() {
+            let (cols, counts) = m.row(i);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {i} unsorted");
+            for (&j, &c) in cols.iter().zip(counts) {
+                assert!(c > 0);
+                assert_eq!(m.count(j as usize, i), c, "asymmetric ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_upper_is_sorted_and_complete() {
+        let g = pseudo_graph(80, 0.5);
+        let m = LinkMatrix::compute_sparse(&g, 2);
+        let pairs: Vec<((u32, u32), u32)> = m.iter_upper().collect();
+        assert_eq!(pairs.len(), m.num_linked_pairs());
+        assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "unsorted pairs");
+        for &((i, j), c) in &pairs {
+            assert!(i < j);
+            assert_eq!(m.count(i as usize, j as usize), c);
+        }
+    }
+
+    #[test]
+    fn from_table_round_trips() {
+        let g = pseudo_graph(70, 0.55);
+        let table = compute_links_sparse(&g);
+        let m = LinkMatrix::from_table(&table);
+        assert_eq!(m, LinkMatrix::compute_sparse(&g, 1));
+        assert_eq!(m.to_table(), table);
+    }
+
+    #[test]
+    fn paper_example_links_figure1() {
+        // Same §3.2 counts the LinkTable tests pin down.
+        let ts = crate::testdata::figure1_transactions();
+        let find = |items: [u32; 3]| {
+            let t = Transaction::from(items);
+            ts.iter().position(|x| *x == t).expect("present")
+        };
+        let g = NeighborGraph::build(&PointsWith::new(&ts, Jaccard), 0.5);
+        let m = LinkMatrix::compute_auto(&g, 2);
+        assert_eq!(m.count(find([1, 2, 6]), find([1, 2, 7])), 5);
+        assert_eq!(m.count(find([1, 2, 6]), find([1, 2, 3])), 3);
+        assert_eq!(m.count(find([1, 6, 7]), find([1, 2, 6])), 2);
+        assert_eq!(m.count(find([1, 6, 7]), find([3, 4, 5])), 0);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let empty = LinkMatrix::new(0);
+        assert_eq!(empty.num_points(), 0);
+        assert_eq!(empty.iter_upper().count(), 0);
+
+        let g = NeighborGraph::from_lists(vec![vec![], vec![], vec![]], 0.5);
+        let m = LinkMatrix::compute_sparse(&g, 2);
+        assert_eq!(m.num_points(), 3);
+        assert_eq!(m.num_linked_pairs(), 0);
+        assert_eq!(m.count(0, 1), 0);
+    }
+
+    #[test]
+    fn balanced_ranges_cover_everything() {
+        for (n, threads) in [(10, 3), (1, 8), (100, 1), (7, 7), (5, 16)] {
+            let ranges = balanced_ranges(n, threads, |i| (i as u64 % 5) + 1);
+            assert!(ranges.len() <= threads);
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            assert_eq!(ranges.last().map(|r| r.end), Some(n));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap or overlap");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+        assert!(balanced_ranges(0, 4, |_| 1).is_empty());
+    }
+}

@@ -8,8 +8,10 @@
 //!
 //! Building the graph is the O(n²) pairwise scan the paper assumes (§4.4:
 //! "the list of neighbors for every point can be computed in O(n²) time").
-//! A multi-threaded builder using `crossbeam` scoped threads is provided
-//! for the large-sample benchmarks.
+//! [`NeighborGraph::build_parallel`] shards rows across rayon scoped
+//! workers; each worker writes its rows in place, so the result is
+//! bit-identical to the sequential scan for every thread count (see
+//! DESIGN.md §"Performance model").
 
 use crate::similarity::PairwiseSimilarity;
 
@@ -45,26 +47,30 @@ impl NeighborGraph {
                 }
             }
         }
-        // Row i receives j > i in ascending order already, but the j < i
-        // entries were appended in ascending i order before them — the
-        // interleaving across the two loops leaves each list sorted only if
-        // we sort. (Entries j < i are pushed while scanning row j, in
-        // ascending j, before any j > i entry is pushed during row i; so
-        // lists are in fact already ascending. Keep a debug check instead
-        // of a sort.)
-        debug_assert!(lists
-            .iter()
-            .all(|l| l.windows(2).all(|w| w[0] < w[1])));
+        // The upper-triangle scan happens to emit each list in ascending
+        // order, but the "lists sorted" invariant every consumer relies on
+        // (binary_search in are_neighbors, merge joins in the link
+        // kernels) is enforced here, in one place, rather than implied by
+        // push order. Sorting an already-sorted run is a linear-time scan
+        // for the pattern-defeating quicksort behind sort_unstable.
+        for l in &mut lists {
+            l.sort_unstable();
+        }
         NeighborGraph { lists, theta }
     }
 
-    /// Builds the neighbor graph using `threads` worker threads.
+    /// Builds the neighbor graph using `threads` rayon workers.
     ///
-    /// Rows are distributed across threads; every thread evaluates the
-    /// similarity of its rows against all other points, so each pair is
-    /// evaluated twice. This trades ~2× similarity evaluations for perfect
-    /// parallelism and no synchronisation; it wins for any non-trivial
-    /// point count (see `bench/benches/neighbors.rs`).
+    /// Rows are sharded into contiguous blocks, one rayon task per block;
+    /// every worker evaluates the similarity of its rows against all other
+    /// points, so each pair is evaluated twice. This trades ~2× similarity
+    /// evaluations for perfect parallelism and no synchronisation; it wins
+    /// for any non-trivial point count (see `bench/benches/neighbors.rs`).
+    ///
+    /// **Determinism:** each worker writes its own rows in place, and a
+    /// row's content (`j` ascending) does not depend on which worker
+    /// produced it or where shard boundaries fall — the result is
+    /// bit-identical to [`NeighborGraph::build`] for every `threads`.
     ///
     /// # Panics
     /// Panics if `theta ∉ [0, 1]` or `threads == 0`.
@@ -84,34 +90,22 @@ impl NeighborGraph {
             return Self::build(sim, theta);
         }
         let chunk = n.div_ceil(threads);
-        let mut lists: Vec<Vec<u32>> = Vec::with_capacity(n);
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        rayon::scope(|scope| {
+            for (t, shard) in lists.chunks_mut(chunk).enumerate() {
                 let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                if lo >= hi {
-                    break;
-                }
-                handles.push(scope.spawn(move |_| {
-                    let mut part: Vec<Vec<u32>> = Vec::with_capacity(hi - lo);
-                    for i in lo..hi {
-                        let mut row = Vec::new();
+                scope.spawn(move |_| {
+                    for (offset, row) in shard.iter_mut().enumerate() {
+                        let i = lo + offset;
                         for j in 0..n {
                             if j != i && sim.sim(i, j) >= theta {
                                 row.push(j as u32);
                             }
                         }
-                        part.push(row);
                     }
-                    part
-                }));
+                });
             }
-            for h in handles {
-                lists.extend(h.join().expect("neighbor worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
+        });
         NeighborGraph { lists, theta }
     }
 
@@ -265,6 +259,36 @@ mod tests {
             assert!(l.windows(2).all(|w| w[0] < w[1]), "unsorted list at {i}");
             for &j in l {
                 assert!(g.are_neighbors(j as usize, i), "asymmetric edge {i}-{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_invariant_holds_for_both_builders() {
+        // The "lists sorted" invariant is enforced by the post-pass sort in
+        // `build` and by per-row ascending scans in `build_parallel`; both
+        // must yield strictly ascending (no duplicate), symmetric,
+        // self-loop-free lists.
+        let m = SimilarityMatrix::from_fn(301, |i, j| {
+            ((i * j).wrapping_mul(2654435761) % 1000) as f64 / 1000.0
+        });
+        for (which, g) in [
+            ("serial", NeighborGraph::build(&m, 0.55)),
+            ("parallel", NeighborGraph::build_parallel(&m, 0.55, 4)),
+        ] {
+            for i in 0..g.len() {
+                let l = g.neighbors(i);
+                assert!(
+                    l.windows(2).all(|w| w[0] < w[1]),
+                    "{which}: unsorted or duplicated list at {i}"
+                );
+                assert!(!g.are_neighbors(i, i), "{which}: self-loop at {i}");
+                for &j in l {
+                    assert!(
+                        g.are_neighbors(j as usize, i),
+                        "{which}: asymmetric edge {i}-{j}"
+                    );
+                }
             }
         }
     }

@@ -35,7 +35,8 @@ pub struct RockConfig {
     pub labeling_fraction: f64,
     /// RNG seed for sampling/labeling; `None` seeds from the OS.
     pub seed: Option<u64>,
-    /// Worker threads for neighbor computation (1 = serial).
+    /// Worker threads for the neighbor, link and labeling kernels
+    /// (1 = serial). Results are bit-identical for every value.
     pub threads: usize,
 }
 
@@ -143,7 +144,8 @@ impl RockBuilder {
         self
     }
 
-    /// Sets the number of worker threads for neighbor computation.
+    /// Sets the number of worker threads used by the neighbor, link and
+    /// labeling kernels. The clustering result does not depend on it.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -297,7 +299,7 @@ impl Rock {
         } else {
             NeighborGraph::build(sim, self.config.theta)
         };
-        self.algorithm().run(&graph)
+        self.algorithm().run_parallel(&graph, self.config.threads)
     }
 
     /// Clusters a prebuilt neighbor graph.
@@ -305,7 +307,7 @@ impl Rock {
     /// The graph's θ should match the configured θ for the goodness
     /// normalisation to be meaningful.
     pub fn cluster_graph(&self, graph: &NeighborGraph) -> RockRun {
-        self.algorithm().run(graph)
+        self.algorithm().run_parallel(graph, self.config.threads)
     }
 
     /// Like [`Rock::cluster`], but guards the API boundary against a
@@ -332,7 +334,7 @@ impl Rock {
         if let Some(e) = checked.error() {
             return Err(e);
         }
-        Ok(self.algorithm().run(&graph))
+        Ok(self.algorithm().run_parallel(&graph, self.config.threads))
     }
 
     /// Like [`Rock::cluster_pairwise`], but with the non-finite guard of
@@ -354,7 +356,7 @@ impl Rock {
         if let Some(e) = checked.error() {
             return Err(e);
         }
-        Ok(self.algorithm().run(&graph))
+        Ok(self.algorithm().run_parallel(&graph, self.config.threads))
     }
 
     /// The full Fig.-2 pipeline: draw a random sample (if configured),
@@ -433,7 +435,7 @@ impl Rock {
         if let Some(e) = checked.error() {
             return Err(e);
         }
-        let sample_run = self.algorithm().run(&graph);
+        let sample_run = self.algorithm().run_parallel(&graph, self.config.threads);
         report.record_phase("cluster", t.elapsed());
 
         let t = Instant::now();

@@ -16,6 +16,8 @@
 //!   values) and the §5.1 Up/Down/No discretisation;
 //! * [`basketio`] — market-basket file IO, including lazy streaming for
 //!   reservoir sampling straight off disk;
+//! * [`packed`] — bit-packed CSR transaction storage whose popcount
+//!   Jaccard kernel feeds the parallel neighbor-graph builder;
 //! * [`dist`] — the Normal sampler (Box–Muller) the generators share.
 //!
 //! All generators take a caller-supplied `rand::Rng`, so fixed seeds give
@@ -40,15 +42,17 @@ pub mod dist;
 pub mod faults;
 pub mod mushroom;
 pub mod mutualfund;
+pub mod packed;
 pub mod resilient;
 pub mod synthetic;
 pub mod votes;
 
 pub use basketio::{read_baskets, read_baskets_numeric, stream_baskets, write_baskets};
 pub use faults::{corrupt_baskets, FaultSpec, FaultyReader, GARBAGE_TOKEN};
+pub use packed::PackedBaskets;
 pub use resilient::{
-    label_stream_resilient, read_baskets_resilient, Checkpoint, IngestError, IngestErrorKind,
-    ResilientConfig, ResilientLabelRun, RetryPolicy,
+    label_stream_resilient, label_stream_resilient_parallel, read_baskets_resilient, Checkpoint,
+    IngestError, IngestErrorKind, ResilientConfig, ResilientLabelRun, RetryPolicy,
 };
 pub use mushroom::{generate_mushrooms, parse_mushrooms, Edibility, MushroomData, MushroomSpec};
 pub use mutualfund::{generate_funds, prices_to_record, Fund, FundData, FundSpec};

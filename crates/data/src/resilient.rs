@@ -347,10 +347,78 @@ enum Handled {
     Quarantine(String),
 }
 
+/// What one consumed input line turned out to be.
+enum LineOutcome {
+    /// Blank or comment line.
+    Skip,
+    /// A record the handler processed (or rejected).
+    Record(Handled),
+}
+
 /// Shared mutable state of one ingest loop.
 struct LoopState {
     checkpoint: Checkpoint,
     report: RunReport,
+}
+
+/// Folds one consumed line's outcome into the loop state — quarantine
+/// accounting, cluster counters and the periodic-checkpoint cadence.
+///
+/// Both the sequential [`ingest_loop`] and the batched parallel driver
+/// ([`label_stream_resilient_parallel`]) route every line through this
+/// single function, which is what makes their checkpoints and reports
+/// bit-identical. The caller has already advanced `byte_offset` and
+/// `lines_seen` for this line.
+fn fold_outcome<F: FnMut(&Checkpoint)>(
+    state: &mut LoopState,
+    config: &ResilientConfig,
+    lineno: u64,
+    outcome: LineOutcome,
+    since_checkpoint: &mut u64,
+    on_checkpoint: &mut F,
+) -> Result<(), (IngestErrorKind, u64)> {
+    match outcome {
+        LineOutcome::Skip => {
+            state.checkpoint.records_skipped += 1;
+            state.report.records_skipped += 1;
+        }
+        LineOutcome::Record(Handled::Stored) => {
+            state.checkpoint.records_read += 1;
+            state.report.records_read += 1;
+        }
+        LineOutcome::Record(Handled::Labeled(assignment)) => {
+            state.checkpoint.records_read += 1;
+            state.report.records_read += 1;
+            match assignment {
+                Some(c) => state.checkpoint.cluster_counts[c] += 1,
+                None => {
+                    state.checkpoint.outliers += 1;
+                    state.report.outliers += 1;
+                }
+            }
+        }
+        LineOutcome::Record(Handled::Quarantine(reason)) => {
+            state.checkpoint.records_quarantined += 1;
+            state
+                .report
+                .quarantine(lineno, reason, config.quarantine_detail);
+            if state.checkpoint.records_quarantined > config.max_quarantine as u64 {
+                return Err((
+                    IngestErrorKind::QuarantineOverflow {
+                        cap: config.max_quarantine,
+                    },
+                    lineno,
+                ));
+            }
+        }
+    }
+    *since_checkpoint += 1;
+    if config.checkpoint_every > 0 && *since_checkpoint >= config.checkpoint_every {
+        *since_checkpoint = 0;
+        on_checkpoint(&state.checkpoint);
+        state.report.checkpoints_written += 1;
+    }
+    Ok(())
 }
 
 /// Reads one line (through `\n` or EOF) with retries, returning the bytes
@@ -469,52 +537,22 @@ where
 
         let text = String::from_utf8_lossy(&buf);
         let line = text.trim();
-        if line.is_empty() || line.starts_with('#') {
-            state.checkpoint.records_skipped += 1;
-            state.report.records_skipped += 1;
+        let outcome = if line.is_empty() || line.starts_with('#') {
+            LineOutcome::Skip
         } else {
-            let handled = match parse_record(line) {
+            LineOutcome::Record(match parse_record(line) {
                 Ok(txn) => handle(lineno, txn),
                 Err(reason) => Handled::Quarantine(reason),
-            };
-            match handled {
-                Handled::Stored => {
-                    state.checkpoint.records_read += 1;
-                    state.report.records_read += 1;
-                }
-                Handled::Labeled(assignment) => {
-                    state.checkpoint.records_read += 1;
-                    state.report.records_read += 1;
-                    match assignment {
-                        Some(c) => state.checkpoint.cluster_counts[c] += 1,
-                        None => {
-                            state.checkpoint.outliers += 1;
-                            state.report.outliers += 1;
-                        }
-                    }
-                }
-                Handled::Quarantine(reason) => {
-                    state.checkpoint.records_quarantined += 1;
-                    state
-                        .report
-                        .quarantine(lineno, reason, config.quarantine_detail);
-                    if state.checkpoint.records_quarantined > config.max_quarantine as u64 {
-                        return Err((
-                            IngestErrorKind::QuarantineOverflow {
-                                cap: config.max_quarantine,
-                            },
-                            lineno,
-                        ));
-                    }
-                }
-            }
-        }
-        since_checkpoint += 1;
-        if config.checkpoint_every > 0 && since_checkpoint >= config.checkpoint_every {
-            since_checkpoint = 0;
-            on_checkpoint(&state.checkpoint);
-            state.report.checkpoints_written += 1;
-        }
+            })
+        };
+        fold_outcome(
+            state,
+            config,
+            lineno,
+            outcome,
+            &mut since_checkpoint,
+            on_checkpoint,
+        )?;
     }
 }
 
@@ -628,6 +666,203 @@ where
             partial_assignments: assignments,
         }),
     }
+}
+
+/// Lines per read-score-fold round of the parallel labeling driver.
+/// Large enough to amortise the scatter/gather, small enough that a hard
+/// failure wastes at most one batch of speculative scoring.
+const PARALLEL_LABEL_BATCH: usize = 4096;
+
+/// A read-ahead line awaiting the sequential fold.
+enum PreLine {
+    /// Blank or comment line.
+    Skip,
+    /// Parsed record; index into this batch's scoring slots.
+    Txn(usize),
+    /// Parse failure to quarantine.
+    Bad(String),
+}
+
+/// As [`label_stream_resilient`], with similarity scoring fanned out
+/// across `threads` rayon workers.
+///
+/// The stream is processed in rounds of [`PARALLEL_LABEL_BATCH`] lines:
+/// reads (with retries) and parsing stay sequential, the per-record
+/// [`Labeler::label_point_checked`] calls — the O(sample)·O(stream) hot
+/// loop — run in parallel over contiguous chunks of the batch, and the
+/// results are folded back through the *same* per-line state machine as
+/// the sequential driver ([`fold_outcome`]). Scoring is pure, chunk
+/// results land in pre-assigned slots, and the fold walks lines in input
+/// order, so assignments, [`RunReport`], periodic checkpoint cadence and
+/// every salvaged [`IngestError`] are bit-identical to
+/// [`label_stream_resilient`] for any thread count — including resuming
+/// a sequential run from a parallel run's checkpoint and vice versa.
+///
+/// On a mid-batch hard stop (quarantine overflow), lines read beyond the
+/// stopping line were speculatively scored but are *not* folded: the
+/// returned checkpoint's byte offset still points at the first
+/// unprocessed line.
+///
+/// # Errors
+/// Exactly the errors of [`label_stream_resilient`].
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn label_stream_resilient_parallel<R, S, F>(
+    mut reader: R,
+    labeler: &Labeler<Transaction>,
+    sim: &S,
+    config: &ResilientConfig,
+    resume: Option<&Checkpoint>,
+    mut on_checkpoint: F,
+    threads: usize,
+) -> Result<ResilientLabelRun, IngestError>
+where
+    R: BufRead,
+    S: Similarity<Transaction> + Sync,
+    F: FnMut(&Checkpoint),
+{
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 {
+        return label_stream_resilient(reader, labeler, sim, config, resume, on_checkpoint);
+    }
+    let started = Instant::now();
+    let num_clusters = labeler.num_clusters();
+    let mut state = start_state(resume, num_clusters)?;
+    let mut assignments: Vec<Option<usize>> = Vec::new();
+    let mut since_checkpoint = 0u64;
+
+    let finish_err = |state: LoopState,
+                      assignments: Vec<Option<usize>>,
+                      kind: IngestErrorKind,
+                      line: u64| {
+        let mut report = state.report;
+        report.record_phase("label-stream", started.elapsed());
+        Err(IngestError {
+            kind,
+            line,
+            report,
+            checkpoint: state.checkpoint,
+            partial_assignments: assignments,
+        })
+    };
+
+    if let Err(e) = skip_bytes(
+        &mut reader,
+        state.checkpoint.byte_offset,
+        &config.retry,
+        &mut state.report,
+    ) {
+        let line = state.checkpoint.lines_seen;
+        return finish_err(state, assignments, IngestErrorKind::Io(e), line);
+    }
+
+    let mut buf = Vec::new();
+    'rounds: loop {
+        // Phase 1 — sequential read-ahead of one batch.
+        let mut lines: Vec<(u64, PreLine)> = Vec::with_capacity(PARALLEL_LABEL_BATCH);
+        let mut batch_txns: Vec<Transaction> = Vec::new();
+        let mut read_error: Option<io::Error> = None;
+        let mut eof = false;
+        while lines.len() < PARALLEL_LABEL_BATCH {
+            buf.clear();
+            match read_record_retry(&mut reader, &mut buf, &config.retry, &mut state.report) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(consumed) => {
+                    let text = String::from_utf8_lossy(&buf);
+                    let line = text.trim();
+                    let pre = if line.is_empty() || line.starts_with('#') {
+                        PreLine::Skip
+                    } else {
+                        match parse_record(line) {
+                            Ok(txn) => {
+                                batch_txns.push(txn);
+                                PreLine::Txn(batch_txns.len() - 1)
+                            }
+                            Err(reason) => PreLine::Bad(reason),
+                        }
+                    };
+                    lines.push((consumed as u64, pre));
+                }
+                Err(e) => {
+                    // Fold what we have, then surface the error at the
+                    // line after the last consumed one — as the
+                    // sequential driver would.
+                    read_error = Some(e);
+                    break;
+                }
+            }
+        }
+
+        // Phase 2 — parallel scoring of this batch's parsed records.
+        let mut scored: Vec<Option<Result<Option<usize>, RockError>>> =
+            vec![None; batch_txns.len()];
+        if !batch_txns.is_empty() {
+            let chunk = batch_txns.len().div_ceil(threads);
+            rayon::scope(|scope| {
+                for (part, slots) in batch_txns.chunks(chunk).zip(scored.chunks_mut(chunk)) {
+                    scope.spawn(move |_| {
+                        for (txn, slot) in part.iter().zip(slots.iter_mut()) {
+                            *slot = Some(labeler.label_point_checked(txn, sim));
+                        }
+                    });
+                }
+            });
+        }
+
+        // Phase 3 — sequential fold through the shared state machine.
+        for (consumed, pre) in lines {
+            state.checkpoint.byte_offset += consumed;
+            state.checkpoint.lines_seen += 1;
+            let lineno = state.checkpoint.lines_seen;
+            let outcome = match pre {
+                PreLine::Skip => LineOutcome::Skip,
+                PreLine::Bad(reason) => LineOutcome::Record(Handled::Quarantine(reason)),
+                PreLine::Txn(slot) => {
+                    let result = scored[slot].take().expect("every parsed record is scored");
+                    LineOutcome::Record(match result {
+                        Ok(assignment) => {
+                            assignments.push(assignment);
+                            Handled::Labeled(assignment)
+                        }
+                        Err(RockError::NonFiniteSimilarity { value }) => {
+                            Handled::Quarantine(format!("non-finite similarity {value}"))
+                        }
+                        Err(e) => Handled::Quarantine(e.to_string()),
+                    })
+                }
+            };
+            if let Err((kind, line)) = fold_outcome(
+                &mut state,
+                config,
+                lineno,
+                outcome,
+                &mut since_checkpoint,
+                &mut on_checkpoint,
+            ) {
+                return finish_err(state, assignments, kind, line);
+            }
+        }
+
+        if let Some(e) = read_error {
+            let line = state.checkpoint.lines_seen + 1;
+            return finish_err(state, assignments, IngestErrorKind::Io(e), line);
+        }
+        if eof {
+            break 'rounds;
+        }
+    }
+
+    state.report.record_phase("label-stream", started.elapsed());
+    let labeling = collect_labeling(&assignments, num_clusters);
+    Ok(ResilientLabelRun {
+        labeling,
+        report: state.report,
+        checkpoint: state.checkpoint,
+    })
 }
 
 /// Reads numeric basket records with retries, quarantine and checkpoints
@@ -1080,6 +1315,169 @@ mod tests {
         .unwrap();
         assert!(rest.is_empty());
         assert_eq!(cp2.byte_offset, cp.byte_offset);
+    }
+
+    #[test]
+    fn parallel_labeling_is_bit_identical_to_sequential() {
+        let labeler = test_labeler();
+        // Mix of labels, outliers, comments, blanks and garbage.
+        let input: String = (0..500)
+            .map(|i| match i % 7 {
+                0 => "1 2 3\n".to_string(),
+                1 => "10 11 12\n".to_string(),
+                2 => "55 66 77\n".to_string(), // outlier
+                3 => "# comment\n".to_string(),
+                4 => "\n".to_string(),
+                5 => "2 3 4\n".to_string(),
+                _ => "11 12 13\n".to_string(),
+            })
+            .collect();
+        let config = ResilientConfig {
+            checkpoint_every: 37,
+            ..no_sleep_config()
+        };
+        let mut seq_cps = Vec::new();
+        let seq = label_stream_resilient(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &config,
+            None,
+            |cp| seq_cps.push(cp.clone()),
+        )
+        .unwrap();
+        for threads in [2, 3, 8] {
+            let mut par_cps = Vec::new();
+            let par = label_stream_resilient_parallel(
+                BufReader::new(input.as_bytes()),
+                &labeler,
+                &Jaccard,
+                &config,
+                None,
+                |cp| par_cps.push(cp.clone()),
+                threads,
+            )
+            .unwrap();
+            assert_eq!(par.labeling, seq.labeling, "threads={threads}");
+            assert_eq!(par.checkpoint, seq.checkpoint, "threads={threads}");
+            assert_eq!(par_cps, seq_cps, "threads={threads}");
+            assert_eq!(
+                par.report.checkpoints_written,
+                seq.report.checkpoints_written
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_quarantine_overflow_salvage_matches_sequential() {
+        let labeler = test_labeler();
+        let input = "1 2 3\nbad\n10 11 12\nworse\nworst\n1 2 3\n";
+        let config = ResilientConfig {
+            max_quarantine: 2,
+            ..no_sleep_config()
+        };
+        let seq = label_stream_resilient(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &config,
+            None,
+            |_| {},
+        )
+        .unwrap_err();
+        let par = label_stream_resilient_parallel(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &config,
+            None,
+            |_| {},
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            par.kind,
+            IngestErrorKind::QuarantineOverflow { cap: 2 }
+        ));
+        assert_eq!(par.line, seq.line);
+        assert_eq!(par.checkpoint, seq.checkpoint);
+        assert_eq!(par.partial_assignments, seq.partial_assignments);
+    }
+
+    #[test]
+    fn parallel_run_resumes_from_sequential_checkpoint_and_back() {
+        let labeler = test_labeler();
+        let input: String = (0..60)
+            .map(|i| if i % 2 == 0 { "1 2 3\n" } else { "10 11 12\n" })
+            .collect();
+        let config = ResilientConfig {
+            checkpoint_every: 13,
+            ..no_sleep_config()
+        };
+        let mut cps = Vec::new();
+        let full = label_stream_resilient(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &config,
+            None,
+            |cp| cps.push(cp.clone()),
+        )
+        .unwrap();
+        assert!(!cps.is_empty());
+        // Resume a parallel run from a sequential periodic checkpoint.
+        let resumed = label_stream_resilient_parallel(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &config,
+            Some(&cps[0]),
+            |_| {},
+            3,
+        )
+        .unwrap();
+        assert_eq!(resumed.checkpoint, full.checkpoint);
+        assert_eq!(
+            resumed.labeling.assignments,
+            full.labeling.assignments[cps[0].records_read as usize..].to_vec()
+        );
+    }
+
+    #[test]
+    fn parallel_labeling_with_transient_faults_matches_clean_run() {
+        let labeler = test_labeler();
+        let input: String = (0..120)
+            .map(|i| {
+                if i % 3 == 0 {
+                    "1 2 3\n".to_string()
+                } else {
+                    "10 11 12\n".to_string()
+                }
+            })
+            .collect();
+        let spec = FaultSpec::none(23).transient(0.1, 1).chunk(8);
+        let faulty = FaultyReader::new(input.as_bytes(), spec);
+        let run = label_stream_resilient_parallel(
+            BufReader::new(faulty),
+            &labeler,
+            &Jaccard,
+            &no_sleep_config(),
+            None,
+            |_| {},
+            4,
+        )
+        .unwrap();
+        let clean = label_stream_resilient(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &no_sleep_config(),
+            None,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(run.labeling, clean.labeling);
+        assert_eq!(run.checkpoint, clean.checkpoint);
     }
 
     #[test]

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_rock.json from the rock_parallel bench.
+#
+# Usage:
+#   scripts/bench_snapshot.sh [output.json]
+#
+# Environment:
+#   BENCH_SAMPLE_SIZE  override the per-benchmark sample count (smoke: 1)
+#   BENCH_FILTER       substring filter on benchmark ids (default: all)
+#
+# The bench harness (shims/criterion) appends one JSON record per
+# benchmark to $BENCH_JSON; this script wraps those records together with
+# host metadata into a single checked-in snapshot. Read it via DESIGN.md,
+# "Performance model": compare <group>/seq against <group>/par<N> means
+# on a host with >= N cores; host_cpus below records how many cores the
+# snapshot machine actually had.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_rock.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+args=(bench -p bench --bench rock_parallel)
+if [[ -n "${BENCH_FILTER:-}" ]]; then
+    args+=(-- "$BENCH_FILTER")
+fi
+BENCH_JSON="$tmp" cargo "${args[@]}"
+
+if [[ ! -s "$tmp" ]]; then
+    echo "bench_snapshot: no records produced (filter too narrow?)" >&2
+    exit 1
+fi
+
+records="$(paste -sd, - <"$tmp")"
+{
+    printf '{\n'
+    printf '  "bench": "rock_parallel",\n'
+    printf '  "generator": "SyntheticBasketSpec::paper_scaled(0.05), seed 42 (section 5.3)",\n'
+    printf '  "generated_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "git_rev": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    printf '  "host_cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+    printf '  "rustc": "%s",\n' "$(rustc --version | tr -d '\n')"
+    printf '  "units": "nanoseconds (wall clock; mean/min/max over samples)",\n'
+    printf '  "results": [\n'
+    printf '%s\n' "$records" | sed 's/},{/},\n    {/g; s/^/    /'
+    printf '  ]\n'
+    printf '}\n'
+} >"$out"
+
+echo "bench_snapshot: wrote $(grep -c '"id"' "$out") records to $out"

@@ -1,0 +1,325 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The registry is unreachable in this build environment, so the bench
+//! harness is vendored: same macro surface (`criterion_group!` /
+//! `criterion_main!`), same group/bencher call shapes
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`), but measurement is a plain
+//! wall-clock sampler — no outlier analysis, no HTML reports.
+//!
+//! Output:
+//! - human-readable mean/min/max per benchmark on stdout;
+//! - when `BENCH_JSON` names a file, one JSON object per benchmark is
+//!   appended to it (consumed by `scripts/bench_snapshot.sh`).
+//!
+//! CLI: any non-flag argument is a substring filter on the benchmark id
+//! (matching `cargo bench -- <filter>`); `--bench`/`--test` and other
+//! flags cargo forwards are ignored. `BENCH_SAMPLE_SIZE` overrides the
+//! configured sample count (CI smoke runs set it to 1).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples (plus one
+    /// untimed warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _warmup = routine();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Record {
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+/// Benchmark driver: collects samples, prints a summary line per
+/// benchmark, and optionally appends JSON records to `$BENCH_JSON`.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            filter: None,
+            json_path: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies CLI args (`<filter>` substring) and env overrides
+    /// (`BENCH_SAMPLE_SIZE`, `BENCH_JSON`). Called by `criterion_group!`.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                self.filter = Some(arg);
+            }
+        }
+        if let Some(n) = std::env::var("BENCH_SAMPLE_SIZE")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            self.sample_size = n.max(1);
+        }
+        self.json_path = std::env::var("BENCH_JSON").ok();
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        if !self.matches(&id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        if bencher.samples.is_empty() {
+            return;
+        }
+        let ns: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e9)
+            .collect();
+        let record = Record {
+            id,
+            mean_ns: ns.iter().sum::<f64>() / ns.len() as f64,
+            min_ns: ns.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ns: ns.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            samples: ns.len(),
+        };
+        println!(
+            "bench {:<60} mean {:>12}  min {:>12}  max {:>12}  ({} samples)",
+            record.id,
+            human_time(record.mean_ns),
+            human_time(record.min_ns),
+            human_time(record.max_ns),
+            record.samples
+        );
+        if let Some(path) = &self.json_path {
+            if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(
+                    file,
+                    "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}",
+                    record.id.replace('"', "'"),
+                    record.mean_ns,
+                    record.min_ns,
+                    record.max_ns,
+                    record.samples
+                );
+            }
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run_one(id.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named collection of benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let samples = self.effective_samples();
+        let saved = self.criterion.sample_size;
+        self.criterion.sample_size = samples;
+        self.criterion.run_one(full, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (summary is emitted per-benchmark as it runs).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        // 3 timed samples + 1 warm-up.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn group_ids_and_filter() {
+        let mut c = Criterion {
+            sample_size: 1,
+            filter: Some("keep".to_string()),
+            json_path: None,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut hit = false;
+        group.bench_with_input(BenchmarkId::new("keep", 7), &7, |b, _| {
+            b.iter(|| hit = true)
+        });
+        let mut missed = false;
+        group.bench_function(BenchmarkId::from_parameter("skip"), |b| {
+            b.iter(|| missed = true)
+        });
+        group.finish();
+        assert!(hit && !missed);
+    }
+}

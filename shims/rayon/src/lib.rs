@@ -1,0 +1,187 @@
+//! Offline stand-in for `rayon` (fork-join subset).
+//!
+//! The build environment cannot fetch crates, so this shim provides the
+//! slice of the rayon-core API the workspace's parallel kernels use —
+//! [`scope`], [`join`], [`current_num_threads`], and a token
+//! [`ThreadPoolBuilder`] — implemented over `std::thread::scope`.
+//!
+//! Unlike real rayon there is no work-stealing pool: every `spawn` is an
+//! OS thread joined when the scope ends. The kernels in `rock-core`
+//! spawn one task per worker shard (not per item), so the per-spawn cost
+//! is amortised over large chunks and the semantics (all tasks complete
+//! before `scope` returns, panics propagate) match what the callers rely
+//! on.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads the current "pool" would use: the installed
+/// pool override if inside [`ThreadPool::install`], else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Fork-join scope. All tasks spawned on the scope complete before
+/// `scope` returns; a panic in any task propagates to the caller.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task on this scope. The task receives a scope handle so
+    /// it can spawn nested tasks, mirroring rayon's signature.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a fork-join scope à la `rayon::scope`.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let b = s.spawn(oper_b);
+        let ra = oper_a();
+        (ra, b.join().expect("rayon::join: second closure panicked"))
+    })
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a logical thread pool. The shim's "pool" only records the
+/// requested width, which [`current_num_threads`] reports inside
+/// [`ThreadPool::install`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default width (machine parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool width; `0` means machine parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the logical pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Logical thread pool: scopes the thread-count seen by
+/// [`current_num_threads`] while a closure runs.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Reported pool width.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with [`current_num_threads`] reporting this pool's width.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(Some(self.num_threads)));
+        let out = f();
+        POOL_THREADS.with(|t| t.set(prev));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scope_allows_disjoint_mut_chunks() {
+        let mut data = vec![0u32; 100];
+        scope(|s| {
+            for (i, chunk) in data.chunks_mut(30).enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk {
+                        *v = i as u32 + 1;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn pool_install_overrides_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+}
