@@ -19,12 +19,15 @@
 //!   threshold, and then continues towards `k`.
 
 use crate::cluster::{Clustering, MergeRecord};
-use crate::goodness::Goodness;
+use crate::error::RockError;
+use crate::goodness::{Goodness, GoodnessKind};
+use crate::governor::{Phase, RunGovernor};
 use crate::heap::AddressableHeap;
 use crate::links::LinkTable;
 use crate::links_matrix::LinkMatrix;
 use crate::neighbors::NeighborGraph;
 use crate::util::FxHashMap;
+use crate::wal::{parse_wal, MergeWal, WalBegin, WalSnapshot};
 
 /// §4.6 outlier handling knobs.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -165,6 +168,139 @@ impl RockAlgorithm {
         self.run_from_pairs(graph, links.iter())
     }
 
+    /// As [`run_parallel`](Self::run_parallel), but governed: budgets and
+    /// cancellation are checked at phase boundaries and every
+    /// `check_every` merges, and every merge decision is appended to
+    /// `wal` (if given) *before* it is counted as done, so an
+    /// interrupted run can be continued by [`resume`](Self::resume).
+    ///
+    /// With an unlimited governor the result is bit-identical to
+    /// [`run_parallel`](Self::run_parallel).
+    ///
+    /// # Errors
+    /// [`RockError::Interrupted`] when the governor trips; `resumable`
+    /// is `true` iff a WAL was being written.
+    pub fn run_governed(
+        &self,
+        graph: &NeighborGraph,
+        threads: usize,
+        governor: &RunGovernor,
+        wal: Option<&mut MergeWal>,
+    ) -> Result<RockRun, RockError> {
+        governor.check(Phase::Links)?;
+        let links = LinkMatrix::compute_auto(graph, threads);
+        let link_bytes = links.memory_bytes() as u64;
+        governor.charge(link_bytes);
+        let result = governor
+            .check(Phase::Links)
+            .and_then(|()| self.run_with_matrix_governed(graph, &links, governor, wal));
+        governor.release(link_bytes);
+        result
+    }
+
+    /// As [`run_with_matrix`](Self::run_with_matrix), governed and
+    /// optionally WAL-logged (see [`run_governed`](Self::run_governed)).
+    ///
+    /// # Errors
+    /// [`RockError::Interrupted`] when the governor trips.
+    ///
+    /// # Panics
+    /// Panics if `links` is not defined over exactly `graph.len()` points.
+    pub fn run_with_matrix_governed(
+        &self,
+        graph: &NeighborGraph,
+        links: &LinkMatrix,
+        governor: &RunGovernor,
+        mut wal: Option<&mut MergeWal>,
+    ) -> Result<RockRun, RockError> {
+        assert_eq!(
+            links.num_points(),
+            graph.len(),
+            "link matrix and neighbor graph disagree on point count"
+        );
+        let mut engine = self.init_from_pairs(graph, links.iter_upper());
+        if let Some(w) = wal.as_deref_mut() {
+            w.append_begin(&self.wal_begin(graph.len(), &engine));
+        }
+        self.drive(&mut engine, governor, wal.as_deref_mut())?;
+        Ok(self.finish(engine, wal))
+    }
+
+    /// Resumes an interrupted run from the bytes of a merge WAL:
+    /// replays the logged prefix (verifying every record against the
+    /// deterministically re-derived state) and continues the merge loop
+    /// to completion. The final clustering, merge trace and dendrogram
+    /// are **bit-identical** to those of an uninterrupted run.
+    ///
+    /// If the WAL carries a snapshot, `graph` may be `None` — the state
+    /// is restored from the snapshot and links are not recomputed.
+    /// Without a snapshot the original neighbor graph is required.
+    ///
+    /// A fresh, self-contained continuation log is written to `wal_out`
+    /// (if given): the full merge history is re-logged and a snapshot of
+    /// the restored state appended, so a chain of interruptions can be
+    /// resumed WAL-from-WAL without ever revisiting the input data.
+    ///
+    /// # Errors
+    /// * [`RockError::WalCorrupt`] — the log is damaged beyond its torn
+    ///   tail (bad magic / Begin).
+    /// * [`RockError::WalMismatch`] — the log is from a different
+    ///   configuration or input, or contradicts the replayed state.
+    /// * [`RockError::Interrupted`] — the governor tripped again.
+    pub fn resume(
+        &self,
+        wal_bytes: &[u8],
+        graph: Option<&NeighborGraph>,
+        threads: usize,
+        governor: &RunGovernor,
+        mut wal_out: Option<&mut MergeWal>,
+    ) -> Result<RockRun, RockError> {
+        let replay = parse_wal(wal_bytes)?;
+        self.validate_begin(&replay.begin, graph)?;
+
+        let mut engine = match &replay.snapshot {
+            Some(snap) => self.engine_from_snapshot(&replay.begin, &replay.merges, snap)?,
+            None => {
+                let Some(graph) = graph else {
+                    return Err(RockError::WalMismatch {
+                        detail: "WAL carries no snapshot; the neighbor graph is required \
+                                 to resume"
+                            .into(),
+                    });
+                };
+                let links = LinkMatrix::compute_auto(graph, threads);
+                let engine = self.init_from_pairs(graph, links.iter_upper());
+                if engine.initial_points != replay.begin.initial_points
+                    || engine.outliers != replay.begin.pruned_outliers
+                {
+                    return Err(RockError::WalMismatch {
+                        detail: "initial singletons differ from the logged run \
+                                 (different input data or θ?)"
+                            .into(),
+                    });
+                }
+                engine
+            }
+        };
+
+        // Replay the logged merges the snapshot hasn't already baked in.
+        let already = engine.merges.len();
+        for rec in &replay.merges[already..] {
+            self.replay_one(&mut engine, rec)?;
+        }
+
+        // Make the continuation log self-contained before continuing.
+        if let Some(w) = wal_out.as_deref_mut() {
+            w.append_begin(&replay.begin);
+            for rec in &engine.merges {
+                w.append_merge(rec);
+            }
+            w.append_snapshot(&engine.snapshot());
+        }
+        self.drive(&mut engine, governor, wal_out.as_deref_mut())?;
+        Ok(self.finish(engine, wal_out))
+    }
+
     /// The Fig.-3 merge loop seeded from a stream of `((i, j), count)`
     /// linked pairs (`i < j`, each pair at most once, any order).
     fn run_from_pairs(
@@ -172,6 +308,20 @@ impl RockAlgorithm {
         graph: &NeighborGraph,
         pairs: impl Iterator<Item = ((u32, u32), u32)>,
     ) -> RockRun {
+        let mut engine = self.init_from_pairs(graph, pairs);
+        let governor = RunGovernor::unlimited();
+        self.drive(&mut engine, &governor, None)
+            .expect("an unlimited governor never trips");
+        self.finish(engine, None)
+    }
+
+    /// Builds the initial engine state: §4.6 first pruning, singleton
+    /// clusters, cross-link maps and the two-level heaps.
+    fn init_from_pairs(
+        &self,
+        graph: &NeighborGraph,
+        pairs: impl Iterator<Item = ((u32, u32), u32)>,
+    ) -> Engine {
         let n = graph.len();
 
         // §4.6 first pruning: points with too few neighbors are outliers.
@@ -209,47 +359,319 @@ impl RockAlgorithm {
             state.refresh_global(id as u32);
         }
 
-        // Mid-flight weeding threshold (§4.6).
-        let weed_at = self.outliers.weed.map(|w| {
-            ((w.stop_multiple * self.k as f64).ceil() as usize).max(self.k)
-        });
-        let mut weeded = false;
-        let mut merges = Vec::new();
-
-        while state.live > self.k {
-            if let (Some(at), Some(w), false) = (weed_at, self.outliers.weed, weeded) {
-                if state.live <= at {
-                    state.weed(w.min_cluster_size, &mut outliers);
-                    weeded = true;
-                    continue;
-                }
-            }
-            let Some((u, best)) = state.global.peek() else {
-                break;
-            };
-            if best.is_infinite() && best < 0.0 {
-                // No cluster has any linked partner left (§4.3's early stop).
-                break;
-            }
-            merges.push(state.merge(u));
-        }
-        // If the loop ended before the weed threshold was reached (small
-        // inputs), still apply the weeding so the policy is honoured.
-        if let (Some(w), false) = (self.outliers.weed, weeded) {
-            state.weed(w.min_cluster_size, &mut outliers);
-        }
-
-        let clusters: Vec<Vec<u32>> = state
-            .members
-            .into_iter()
-            .flatten()
-            .collect();
-        RockRun {
-            clustering: Clustering::new(clusters, outliers),
-            merges,
+        Engine {
+            state,
+            outliers,
             initial_points,
+            merges: Vec::new(),
+            weeded: false,
         }
     }
+
+    /// The §4.6 weeding trigger: live-cluster count at which to weed.
+    fn weed_threshold(&self) -> Option<(usize, WeedPolicy)> {
+        self.outliers.weed.map(|w| {
+            let at = ((w.stop_multiple * self.k as f64).ceil() as usize).max(self.k);
+            (at, w)
+        })
+    }
+
+    /// One transition of the merge loop. Weeding and early stops are
+    /// *derived* (not logged): replay re-takes the same transitions.
+    fn step(&self, engine: &mut Engine) -> Step {
+        if engine.state.live <= self.k {
+            return Step::Done;
+        }
+        if let Some((at, w)) = self.weed_threshold() {
+            if !engine.weeded && engine.state.live <= at {
+                engine.state.weed(w.min_cluster_size, &mut engine.outliers);
+                engine.weeded = true;
+                return Step::Weeded;
+            }
+        }
+        let Some((u, best)) = engine.state.global.peek() else {
+            return Step::Done;
+        };
+        if best.is_infinite() && best < 0.0 {
+            // No cluster has any linked partner left (§4.3's early stop).
+            return Step::Done;
+        }
+        Step::Merged(engine.state.merge(u))
+    }
+
+    /// Runs the merge loop to completion (or a governor trip), logging
+    /// each committed merge — and periodic snapshots — to `wal`.
+    fn drive(
+        &self,
+        engine: &mut Engine,
+        governor: &RunGovernor,
+        mut wal: Option<&mut MergeWal>,
+    ) -> Result<(), RockError> {
+        loop {
+            if let Err(e) = governor.check_at(Phase::Merge, engine.merges.len() as u64) {
+                return Err(mark_resumable(e, wal.is_some()));
+            }
+            match self.step(engine) {
+                Step::Done => return Ok(()),
+                Step::Weeded => continue,
+                Step::Merged(rec) => {
+                    if let Some(w) = wal.as_deref_mut() {
+                        w.append_merge(&rec);
+                    }
+                    engine.merges.push(rec);
+                    if let Some(w) = wal.as_deref_mut() {
+                        let every = w.snapshot_every();
+                        if every > 0 && (engine.merges.len() as u64).is_multiple_of(every) {
+                            w.append_snapshot(&engine.snapshot());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Post-loop weeding (if still pending), the Finish record, and the
+    /// final [`RockRun`].
+    fn finish(&self, mut engine: Engine, wal: Option<&mut MergeWal>) -> RockRun {
+        // If the loop ended before the weed threshold was reached (small
+        // inputs), still apply the weeding so the policy is honoured.
+        if let (Some(w), false) = (self.outliers.weed, engine.weeded) {
+            engine.state.weed(w.min_cluster_size, &mut engine.outliers);
+        }
+        if let Some(w) = wal {
+            w.append_finish(engine.merges.len() as u64);
+        }
+        let clusters: Vec<Vec<u32>> = engine.state.members.into_iter().flatten().collect();
+        RockRun {
+            clustering: Clustering::new(clusters, engine.outliers),
+            merges: engine.merges,
+            initial_points: engine.initial_points,
+        }
+    }
+
+    /// Applies one logged merge during replay, verifying it against the
+    /// deterministically re-derived state.
+    fn replay_one(&self, engine: &mut Engine, rec: &MergeRecord) -> Result<(), RockError> {
+        loop {
+            match self.step(engine) {
+                Step::Weeded => continue,
+                Step::Done => {
+                    return Err(RockError::WalMismatch {
+                        detail: format!(
+                            "log records merge #{} but the replayed run is already \
+                             finished",
+                            engine.merges.len()
+                        ),
+                    });
+                }
+                Step::Merged(applied) => {
+                    if applied != *rec {
+                        return Err(RockError::WalMismatch {
+                            detail: format!(
+                                "merge #{} diverges from the log: logged {rec:?}, \
+                                 replayed {applied:?}",
+                                engine.merges.len()
+                            ),
+                        });
+                    }
+                    engine.merges.push(applied);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// The Begin record for a fresh WAL: configuration fingerprint plus
+    /// the initial arena.
+    fn wal_begin(&self, n_points: usize, engine: &Engine) -> WalBegin {
+        WalBegin {
+            n_points: n_points as u32,
+            k: self.k as u32,
+            exponent_bits: self.goodness.exponent().to_bits(),
+            kind: kind_code(self.goodness.kind()),
+            min_neighbors: self.outliers.min_neighbors as u32,
+            weed: self
+                .outliers
+                .weed
+                .map(|w| (w.stop_multiple.to_bits(), w.min_cluster_size as u32)),
+            initial_points: engine.initial_points.clone(),
+            pruned_outliers: engine.outliers.clone(),
+        }
+    }
+
+    /// Checks a logged configuration fingerprint against this engine
+    /// (and `graph`, when supplied).
+    fn validate_begin(
+        &self,
+        begin: &WalBegin,
+        graph: Option<&NeighborGraph>,
+    ) -> Result<(), RockError> {
+        let mismatch = |detail: String| Err(RockError::WalMismatch { detail });
+        if begin.k as usize != self.k {
+            return mismatch(format!("target k differs: log {}, engine {}", begin.k, self.k));
+        }
+        if begin.exponent_bits != self.goodness.exponent().to_bits() {
+            return mismatch("goodness exponent differs from the logged run".into());
+        }
+        if begin.kind != kind_code(self.goodness.kind()) {
+            return mismatch("goodness kind differs from the logged run".into());
+        }
+        if begin.min_neighbors as usize != self.outliers.min_neighbors {
+            return mismatch("outlier pruning threshold differs from the logged run".into());
+        }
+        let weed = self
+            .outliers
+            .weed
+            .map(|w| (w.stop_multiple.to_bits(), w.min_cluster_size as u32));
+        if begin.weed != weed {
+            return mismatch("weed policy differs from the logged run".into());
+        }
+        if let Some(g) = graph {
+            if g.len() != begin.n_points as usize {
+                return mismatch(format!(
+                    "point count differs: log {}, graph {}",
+                    begin.n_points,
+                    g.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the engine from a WAL snapshot. The Fig.-3 heaps are not
+    /// stored in the log; they are reconstructed here from the invariant
+    /// that every heap entry is `goodness(link[i][j], |i|, |j|)`.
+    fn engine_from_snapshot(
+        &self,
+        begin: &WalBegin,
+        merges: &[MergeRecord],
+        snap: &WalSnapshot,
+    ) -> Result<Engine, RockError> {
+        let mismatch = |detail: String| RockError::WalMismatch { detail };
+        let arena_len = snap.arena_len as usize;
+        if arena_len != begin.initial_points.len() + snap.merges_done as usize {
+            return Err(mismatch(
+                "snapshot arena length inconsistent with its merge count".into(),
+            ));
+        }
+        let mut members: Vec<Option<Vec<u32>>> = vec![None; arena_len];
+        for (id, m) in &snap.clusters {
+            let slot = members
+                .get_mut(*id as usize)
+                .ok_or_else(|| mismatch(format!("snapshot cluster id {id} out of range")))?;
+            if slot.is_some() {
+                return Err(mismatch(format!("snapshot repeats cluster id {id}")));
+            }
+            if m.is_empty() {
+                return Err(mismatch(format!("snapshot cluster {id} is empty")));
+            }
+            *slot = Some(m.clone());
+        }
+        let mut state = State::new(members, self.goodness);
+        state.live = snap.clusters.len();
+        for &(i, j, c) in &snap.links {
+            let live = |x: u32| {
+                state
+                    .members
+                    .get(x as usize)
+                    .is_some_and(|m| m.is_some())
+            };
+            if i >= j || !live(i) || !live(j) || c == 0 {
+                return Err(mismatch(format!(
+                    "snapshot link ({i}, {j}, {c}) is malformed or references a dead \
+                     cluster"
+                )));
+            }
+            state.links[i as usize].insert(j, c);
+            state.links[j as usize].insert(i, c);
+            let g = self
+                .goodness
+                .merge_goodness(c, state.size(i), state.size(j));
+            state.local[i as usize].insert(j, g);
+            state.local[j as usize].insert(i, g);
+        }
+        for (id, _) in &snap.clusters {
+            state.refresh_global(*id);
+        }
+        Ok(Engine {
+            state,
+            outliers: snap.outliers.clone(),
+            initial_points: begin.initial_points.clone(),
+            merges: merges[..snap.merges_done as usize].to_vec(),
+            weeded: snap.weeded,
+        })
+    }
+}
+
+/// Outcome of one merge-loop transition.
+enum Step {
+    /// The loop is finished (target reached or no links remain).
+    Done,
+    /// The §4.6 weeding fired; re-evaluate the loop condition.
+    Weeded,
+    /// One merge committed.
+    Merged(MergeRecord),
+}
+
+/// In-flight run: mutable state plus the trace needed to finish, log and
+/// snapshot it.
+struct Engine {
+    state: State,
+    /// Outliers accumulated so far (pruned up front, then weeded).
+    outliers: Vec<u32>,
+    initial_points: Vec<u32>,
+    merges: Vec<MergeRecord>,
+    weeded: bool,
+}
+
+impl Engine {
+    /// A full state image for the WAL. Canonical: clusters ascend by
+    /// arena id, links ascend by `(i, j)` — identical state produces
+    /// identical snapshot bytes.
+    fn snapshot(&self) -> WalSnapshot {
+        let mut clusters = Vec::with_capacity(self.state.live);
+        for (id, m) in self.state.members.iter().enumerate() {
+            if let Some(m) = m {
+                clusters.push((id as u32, m.clone()));
+            }
+        }
+        let mut links = Vec::new();
+        for (i, l) in self.state.links.iter().enumerate() {
+            if self.state.members[i].is_none() {
+                continue;
+            }
+            for (&j, &c) in l {
+                if (j as usize) > i && self.state.members[j as usize].is_some() {
+                    links.push((i as u32, j, c));
+                }
+            }
+        }
+        links.sort_unstable();
+        WalSnapshot {
+            merges_done: self.merges.len() as u64,
+            arena_len: self.state.members.len() as u64,
+            weeded: self.weeded,
+            outliers: self.outliers.clone(),
+            clusters,
+            links,
+        }
+    }
+}
+
+/// Stable on-log discriminant of the goodness kind.
+fn kind_code(kind: GoodnessKind) -> u8 {
+    match kind {
+        GoodnessKind::Normalized => 0,
+        GoodnessKind::RawLinks => 1,
+    }
+}
+
+/// Sets the `resumable` flag on an [`RockError::Interrupted`].
+fn mark_resumable(mut err: RockError, resumable: bool) -> RockError {
+    if let RockError::Interrupted { resumable: r, .. } = &mut err {
+        *r = resumable;
+    }
+    err
 }
 
 /// Mutable clustering state: an arena of clusters plus the two-level heap

@@ -2,8 +2,12 @@
 //!
 //! Low-level modules assert their preconditions (programmer errors);
 //! the [`crate::rock::RockBuilder`] validates *user-supplied*
-//! configuration and reports problems as values.
+//! configuration and reports problems as values. Governed runs
+//! additionally surface budget trips ([`RockError::Interrupted`]) and
+//! write-ahead-log damage ([`RockError::WalCorrupt`],
+//! [`RockError::WalMismatch`]) as values — never as panics.
 
+use crate::governor::{Phase, TripReason};
 use std::fmt;
 
 /// A configuration error from [`crate::rock::RockBuilder::build`].
@@ -28,6 +32,9 @@ pub enum RockError {
     InvalidWeedMultiple(f64),
     /// Thread count must be ≥ 1.
     InvalidThreads(usize),
+    /// A [`crate::governor::DegradationPolicy::Subsample`] fraction must
+    /// lie strictly in `(0, 1)`.
+    InvalidSubsampleFraction(f64),
     /// A user-supplied similarity measure returned NaN or ±∞.
     ///
     /// Surfaced by the checked entry points ([`crate::rock::Rock::try_cluster`],
@@ -38,6 +45,36 @@ pub enum RockError {
     NonFiniteSimilarity {
         /// The offending similarity value.
         value: f64,
+    },
+    /// A governed run stopped early: the cancellation token fired, the
+    /// wall-clock deadline passed, or the memory budget was exceeded
+    /// (see [`crate::governor::RunGovernor`]).
+    Interrupted {
+        /// The phase that observed the trip.
+        phase: Phase,
+        /// Which budget tripped.
+        reason: TripReason,
+        /// Whether the run can be resumed from a merge WAL: `true` when
+        /// the interrupted entry point was writing one
+        /// (see [`crate::wal::MergeWal`]).
+        resumable: bool,
+    },
+    /// A merge write-ahead log is structurally damaged beyond the
+    /// recoverable torn tail: bad magic, or a corrupt header/Begin
+    /// record. Torn tails (incomplete or CRC-failing trailing frames)
+    /// are *not* errors — they are truncated on parse.
+    WalCorrupt {
+        /// Byte offset of the damage.
+        offset: u64,
+        /// What failed to parse.
+        detail: String,
+    },
+    /// A merge WAL is internally consistent but does not belong to the
+    /// run being resumed: different configuration fingerprint, different
+    /// input, or a merge record that contradicts the replayed state.
+    WalMismatch {
+        /// The disagreement found.
+        detail: String,
     },
 }
 
@@ -62,11 +99,33 @@ impl fmt::Display for RockError {
                 write!(f, "weed stop multiple must be >= 1, got {m}")
             }
             RockError::InvalidThreads(t) => write!(f, "thread count must be >= 1, got {t}"),
+            RockError::InvalidSubsampleFraction(v) => {
+                write!(f, "subsample degradation fraction must be in (0, 1), got {v}")
+            }
             RockError::NonFiniteSimilarity { value } => write!(
                 f,
                 "similarity measure returned a non-finite value {value}; \
                  similarities must lie in [0, 1]"
             ),
+            RockError::Interrupted {
+                phase,
+                reason,
+                resumable,
+            } => write!(
+                f,
+                "run interrupted in {phase} phase: {reason}{}",
+                if *resumable {
+                    " (resumable from the merge WAL)"
+                } else {
+                    ""
+                }
+            ),
+            RockError::WalCorrupt { offset, detail } => {
+                write!(f, "merge WAL corrupt at byte {offset}: {detail}")
+            }
+            RockError::WalMismatch { detail } => {
+                write!(f, "merge WAL does not match this run: {detail}")
+            }
         }
     }
 }
@@ -93,9 +152,31 @@ mod tests {
             ),
             (RockError::InvalidWeedMultiple(0.5), "0.5"),
             (RockError::InvalidThreads(0), "0"),
+            (RockError::InvalidSubsampleFraction(1.0), "(0, 1)"),
             (
                 RockError::NonFiniteSimilarity { value: f64::NAN },
                 "NaN",
+            ),
+            (
+                RockError::Interrupted {
+                    phase: Phase::Merge,
+                    reason: TripReason::DeadlineExceeded,
+                    resumable: true,
+                },
+                "resumable",
+            ),
+            (
+                RockError::WalCorrupt {
+                    offset: 17,
+                    detail: "bad magic".into(),
+                },
+                "byte 17",
+            ),
+            (
+                RockError::WalMismatch {
+                    detail: "k differs".into(),
+                },
+                "k differs",
             ),
         ];
         for (e, needle) in cases {

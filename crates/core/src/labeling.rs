@@ -10,6 +10,7 @@
 //! with no neighbors in any labeling set are reported as outliers.
 
 use crate::error::RockError;
+use crate::governor::{Phase, RunGovernor};
 use crate::similarity::Similarity;
 use rand::Rng;
 
@@ -226,6 +227,50 @@ impl<P: Clone> Labeler<P> {
         self.collect(assignments.into_iter())
     }
 
+    /// Like [`Labeler::label_all_parallel`], but governed: labels `data`
+    /// in batches of [`Labeler::GOVERNED_BATCH`] points and consults
+    /// `governor` between batches, so cancellation, deadlines and
+    /// injected kills (`with_kill_at(Phase::Labeling, batch)`) are
+    /// observed within one batch.
+    ///
+    /// Labeling is point-independent, so the result is bit-identical to
+    /// [`Labeler::label_all`] whenever the governor lets the run finish,
+    /// for every thread count and batch boundary.
+    ///
+    /// # Errors
+    /// Returns [`RockError::Interrupted`] when the governor trips.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn label_all_governed<S>(
+        &self,
+        data: &[P],
+        sim: &S,
+        threads: usize,
+        governor: &RunGovernor,
+    ) -> Result<Labeling, RockError>
+    where
+        S: Similarity<P> + Sync,
+        P: Sync,
+    {
+        assert!(threads > 0, "need at least one thread");
+        governor.check(Phase::Labeling)?;
+        let mut assignments: Vec<Option<usize>> = Vec::with_capacity(data.len());
+        for (batch, part) in data.chunks(Self::GOVERNED_BATCH).enumerate() {
+            // check_at applies the injected kill point; the unconditional
+            // check keeps cancellation latency at one (coarse) batch even
+            // for governors with a large merge check interval.
+            governor.check_at(Phase::Labeling, batch as u64)?;
+            governor.check(Phase::Labeling)?;
+            assignments.extend(self.label_all_parallel(part, sim, threads).assignments);
+        }
+        Ok(self.collect(assignments.into_iter()))
+    }
+
+    /// Points labeled between two governor checkpoints in
+    /// [`Labeler::label_all_governed`].
+    pub const GOVERNED_BATCH: usize = 4096;
+
     fn collect(&self, labels: impl Iterator<Item = Option<usize>>) -> Labeling {
         let mut assignments = Vec::new();
         let mut cluster_counts = vec![0usize; self.sets.len()];
@@ -357,6 +402,36 @@ mod tests {
             let par = labeler.label_all_parallel(&data, &Jaccard, threads);
             assert_eq!(par, serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn governed_labeling_matches_parallel_and_observes_kills() {
+        use crate::governor::{Phase, RunGovernor};
+        let (sample, clusters) = two_cluster_sample();
+        let labeler = Labeler::full(&sample, &clusters, 0.4, 1.0 / 3.0);
+        let data: Vec<Transaction> = (0..Labeler::<Transaction>::GOVERNED_BATCH as u32 + 500)
+            .map(|i| match i % 3 {
+                0 => Transaction::from([1, 2, 3]),
+                1 => Transaction::from([10, 11, 12]),
+                _ => Transaction::from([70 + i % 5, 90 + i % 7]),
+            })
+            .collect();
+        let serial = labeler.label_all(&data, &Jaccard);
+        for threads in [1, 2, 8] {
+            let governed = labeler
+                .label_all_governed(&data, &Jaccard, threads, &RunGovernor::unlimited())
+                .unwrap();
+            assert_eq!(governed, serial, "threads={threads}");
+        }
+        // An injected kill at batch 1 stops after the first batch.
+        let killer = RunGovernor::unlimited().with_kill_at(Phase::Labeling, 1);
+        assert!(matches!(
+            labeler.label_all_governed(&data, &Jaccard, 2, &killer),
+            Err(RockError::Interrupted {
+                phase: Phase::Labeling,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -61,6 +61,8 @@
 //! | [`labeling`] | §4.6 | assigning disk-resident points to sample clusters |
 //! | [`rock`] | Fig. 2 | builder-configured end-to-end driver |
 //! | [`report`] | — | structured [`RunReport`] for graceful-degradation visibility |
+//! | [`governor`] | — | cancellation tokens, deadlines, memory budgets, degradation policies |
+//! | [`wal`] | — | crash-safe merge write-ahead log with bit-identical resume |
 //!
 //! ## Robustness
 //!
@@ -73,6 +75,20 @@
 //! (retries, quarantine, checkpoints) over the same primitives;
 //! [`similarity::FaultySimilarity`] provides the deterministic fault
 //! injection used to test all of it.
+//!
+//! Long runs are *governable* and *crash-safe*: a
+//! [`governor::RunGovernor`] threads cooperative cancellation, a
+//! wall-clock deadline and a charged-memory budget through every phase
+//! (trips surface as [`RockError::Interrupted`]), a
+//! [`wal::MergeWal`] persists each §4.3 merge decision with CRC framing
+//! and periodic state snapshots, and
+//! [`algorithm::RockAlgorithm::resume`] replays an interrupted log to a
+//! **bit-identical** final clustering and dendrogram. When a budget
+//! trips, a configured [`governor::DegradationPolicy`] can instead
+//! downshift the link kernel, subsample and restart, or finish via
+//! connected components — recorded in the [`RunReport`]. The failure
+//! model, WAL format and degradation decision table are documented in
+//! `DESIGN.md` §"Failure model".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -84,6 +100,7 @@ pub mod criterion_fn;
 pub mod dendrogram;
 pub mod error;
 pub mod goodness;
+pub mod governor;
 pub mod heap;
 pub mod labeling;
 pub mod links;
@@ -96,6 +113,7 @@ pub mod rock;
 pub mod sampling;
 pub mod similarity;
 pub mod util;
+pub mod wal;
 
 #[cfg(test)]
 pub(crate) mod testdata;
@@ -106,14 +124,18 @@ pub use components::{neighbor_components, DisjointSet};
 pub use dendrogram::Dendrogram;
 pub use error::RockError;
 pub use goodness::{BasketF, ConstantF, FTheta, Goodness, GoodnessKind};
+pub use governor::{
+    CancellationToken, DegradationNote, DegradationPolicy, Phase, RunGovernor, TripReason,
+};
 pub use labeling::{Labeler, Labeling};
 pub use links::{compute_links_auto, compute_links_dense, compute_links_sparse, LinkTable};
 pub use links_l3::{combine_links, compute_links_l3, compute_links_l3_parallel};
-pub use links_matrix::LinkMatrix;
+pub use links_matrix::{LinkKernel, LinkMatrix};
 pub use neighbors::NeighborGraph;
 pub use points::{CategoricalRecord, CategoricalSchema, ItemCatalog, Transaction};
 pub use report::{PhaseTiming, QuarantinedRecord, RunReport};
 pub use rock::{Rock, RockBuilder, RockConfig, RockResult};
+pub use wal::{parse_wal, MergeWal, WalReplay};
 pub use similarity::{
     CategoricalJaccard, CheckedSimilarity, FaultySimilarity, Hamming, Jaccard, MissingPolicy,
     NormalizedLp, PairwiseSimilarity, PointsWith, Similarity, SimilarityMatrix,

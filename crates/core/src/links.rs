@@ -68,6 +68,14 @@ impl LinkTable {
         self.counts.len()
     }
 
+    /// Rough heap footprint of the table in bytes, for the governed
+    /// drivers' charged-memory meter: hashmap capacity × (key + value +
+    /// control byte). An estimate, not an allocator measurement.
+    pub fn memory_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<((u32, u32), u32)>() + 1;
+        self.counts.capacity() * entry + std::mem::size_of::<Self>()
+    }
+
     /// Total number of links over all pairs.
     pub fn total_links(&self) -> u64 {
         self.counts.values().map(|&c| u64::from(c)).sum()

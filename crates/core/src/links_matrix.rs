@@ -32,6 +32,16 @@ use crate::links::LinkTable;
 use crate::neighbors::NeighborGraph;
 use crate::util::BitSet;
 
+/// Which link-construction kernel to run (see
+/// [`LinkMatrix::choose_kernel`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkKernel {
+    /// The Fig.-4 counting-sort pair-stream kernel.
+    Sparse,
+    /// The §4.4 boolean matrix square over bit-packed rows.
+    Dense,
+}
+
 /// Symmetric link counts in compressed-sparse-row form.
 ///
 /// Row `i` lists, ascending, every `j` with `link(i, j) > 0` together
@@ -285,6 +295,17 @@ impl LinkMatrix {
     /// evenly so `threads` does not shift it. Dense is refused above
     /// 64 MiB of row storage regardless.
     pub fn compute_auto(graph: &NeighborGraph, threads: usize) -> Self {
+        match Self::choose_kernel(graph) {
+            LinkKernel::Dense => Self::compute_dense(graph, threads),
+            LinkKernel::Sparse => Self::compute_sparse(graph, threads),
+        }
+    }
+
+    /// The kernel [`compute_auto`](Self::compute_auto) would pick for
+    /// `graph`, exposed so budget-aware drivers can veto the dense
+    /// kernel's `n²/8` row storage *before* allocating it (see
+    /// [`crate::governor::DegradationPolicy::SparseLinks`]).
+    pub fn choose_kernel(graph: &NeighborGraph) -> LinkKernel {
         let n = graph.len() as f64;
         let sparse_cost: f64 = (0..graph.len())
             .map(|i| {
@@ -297,9 +318,29 @@ impl LinkMatrix {
         let dense_cost = n * n / 2.0 * (n / 64.0).max(1.0);
         let dense_bytes = n * n / 8.0;
         if dense_cost < sparse_cost && dense_bytes < 64.0 * 1024.0 * 1024.0 {
-            Self::compute_dense(graph, threads)
+            LinkKernel::Dense
         } else {
-            Self::compute_sparse(graph, threads)
+            LinkKernel::Sparse
+        }
+    }
+
+    /// Transient working-set estimate of the dense kernel over `n`
+    /// points: the bit-packed adjacency rows (`n²/8` bytes). The sparse
+    /// kernel's working set is the counted pair stream, roughly
+    /// proportional to the output CSR instead.
+    pub fn estimated_dense_bytes(n: usize) -> u64 {
+        let n = n as u64;
+        n * n / 8
+    }
+
+    /// Runs the named kernel.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn compute_kernel(graph: &NeighborGraph, threads: usize, kernel: LinkKernel) -> Self {
+        match kernel {
+            LinkKernel::Dense => Self::compute_dense(graph, threads),
+            LinkKernel::Sparse => Self::compute_sparse(graph, threads),
         }
     }
 

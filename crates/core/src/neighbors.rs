@@ -183,6 +183,15 @@ impl NeighborGraph {
         self.lists.iter().map(Vec::len).max().unwrap_or(0)
     }
 
+    /// Rough heap footprint in bytes, for the governed drivers'
+    /// charged-memory meter: per-point list headers plus the neighbor
+    /// ids themselves.
+    pub fn memory_bytes(&self) -> usize {
+        let headers = self.lists.len() * std::mem::size_of::<Vec<u32>>();
+        let ids: usize = self.lists.iter().map(|l| l.capacity() * 4).sum();
+        std::mem::size_of::<Self>() + headers + ids
+    }
+
     /// Ids of points with fewer than `min_neighbors` neighbors — the
     /// "relatively isolated" points §4.6 discards as outliers before
     /// clustering.

@@ -9,6 +9,7 @@
 //! by [`crate::rock::Rock::try_run`] and by
 //! `rock_data::resilient::label_stream_resilient`.
 
+use crate::governor::{DegradationNote, Phase, TripReason};
 use std::fmt;
 use std::time::Duration;
 
@@ -61,6 +62,15 @@ pub struct RunReport {
     pub resumed_from_offset: Option<u64>,
     /// Per-phase wall-clock timings, in execution order.
     pub phases: Vec<PhaseTiming>,
+    /// Provenance of a graceful degradation, if one fired: which
+    /// [`crate::governor::DegradationPolicy`] was applied, in which
+    /// phase, and why (see [`crate::rock::RockBuilder::degradation`]).
+    pub degraded: Option<DegradationNote>,
+    /// Where a governed run was interrupted, if it did not complete:
+    /// the phase that observed the trip and the reason. Set on reports
+    /// that travel with partial results (e.g. a resilient ingest error);
+    /// completed runs leave it `None`.
+    pub interrupted: Option<(Phase, TripReason)>,
 }
 
 impl RunReport {
@@ -102,11 +112,16 @@ impl RunReport {
         }
     }
 
-    /// Whether the run degraded in any visible way (quarantines, retries
-    /// or transient errors). Outliers are a normal ROCK outcome and do
-    /// not count as degradation.
+    /// Whether the run degraded in any visible way (quarantines, retries,
+    /// transient errors, an applied degradation policy or an
+    /// interruption). Outliers are a normal ROCK outcome and do not
+    /// count as degradation.
     pub fn degraded(&self) -> bool {
-        self.records_quarantined > 0 || self.transient_io_errors > 0 || self.io_retries > 0
+        self.records_quarantined > 0
+            || self.transient_io_errors > 0
+            || self.io_retries > 0
+            || self.degraded.is_some()
+            || self.interrupted.is_some()
     }
 }
 
@@ -138,6 +153,12 @@ impl fmt::Display for RunReport {
                 write!(f, " {} {:.1?}", p.name, p.duration)?;
             }
             writeln!(f)?;
+        }
+        if let Some(note) = &self.degraded {
+            writeln!(f, "  degraded: {note}")?;
+        }
+        if let Some((phase, reason)) = &self.interrupted {
+            writeln!(f, "  interrupted: {phase} phase ({reason})")?;
         }
         for q in &self.quarantined {
             writeln!(f, "  quarantined line {}: {}", q.line, q.reason)?;

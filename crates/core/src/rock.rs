@@ -6,14 +6,20 @@
 
 use crate::algorithm::{OutlierPolicy, RockAlgorithm, RockRun, WeedPolicy};
 use crate::cluster::Clustering;
+use crate::components::neighbor_components;
 use crate::error::RockError;
 use crate::goodness::{BasketF, FTheta, Goodness, GoodnessKind};
+use crate::governor::{
+    CancellationToken, DegradationNote, DegradationPolicy, Phase, RunGovernor, TripReason,
+};
 use crate::labeling::{Labeler, Labeling};
+use crate::links_matrix::{LinkKernel, LinkMatrix};
 use crate::neighbors::NeighborGraph;
 use crate::report::RunReport;
 use crate::similarity::{CheckedSimilarity, PairwiseSimilarity, PointsWith, Similarity};
+use crate::wal::MergeWal;
 use rand::{rngs::StdRng, SeedableRng};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Validated configuration of a ROCK run.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +44,9 @@ pub struct RockConfig {
     /// Worker threads for the neighbor, link and labeling kernels
     /// (1 = serial). Results are bit-identical for every value.
     pub threads: usize,
+    /// What to do when a governor budget trips mid-clustering
+    /// (default [`DegradationPolicy::Fail`]).
+    pub degradation: DegradationPolicy,
 }
 
 /// Builder for [`Rock`]. All parameters have paper-faithful defaults:
@@ -55,6 +64,8 @@ pub struct RockBuilder {
     labeling_fraction: f64,
     seed: Option<u64>,
     threads: usize,
+    degradation: DegradationPolicy,
+    governor: RunGovernor,
 }
 
 /// Object-safe shim over [`FTheta`] so the builder can hold any estimate.
@@ -80,6 +91,8 @@ impl Default for RockBuilder {
             labeling_fraction: 0.25,
             seed: None,
             threads: 1,
+            degradation: DegradationPolicy::Fail,
+            governor: RunGovernor::unlimited(),
         }
     }
 }
@@ -151,6 +164,43 @@ impl RockBuilder {
         self
     }
 
+    /// Installs a fully configured [`RunGovernor`] (budgets, cancellation,
+    /// injected kill points), replacing any previously set deadline,
+    /// memory budget or cancellation token.
+    pub fn governor(mut self, governor: RunGovernor) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// Sets a wall-clock deadline for governed runs, measured from the
+    /// run's first governor checkpoint.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.governor = self.governor.with_time_budget(budget);
+        self
+    }
+
+    /// Shares `token` with governed runs so another thread can cancel
+    /// them cooperatively.
+    pub fn cancel_token(mut self, token: CancellationToken) -> Self {
+        self.governor = self.governor.with_cancel_token(token);
+        self
+    }
+
+    /// Sets the charged-memory budget (bytes) governing the neighbor
+    /// graph and link structures.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.governor = self.governor.with_memory_budget(bytes);
+        self
+    }
+
+    /// Selects what happens when a governor budget trips mid-clustering
+    /// (default: fail with [`RockError::Interrupted`]). See
+    /// [`DegradationPolicy`] and `DESIGN.md` §"Failure model".
+    pub fn degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.degradation = policy;
+        self
+    }
+
     /// Validates the configuration and produces the driver.
     pub fn build(self) -> Result<Rock, RockError> {
         if !(0.0..=1.0).contains(&self.theta) {
@@ -182,6 +232,11 @@ impl RockBuilder {
         if self.threads == 0 {
             return Err(RockError::InvalidThreads(self.threads));
         }
+        if let DegradationPolicy::Subsample { fraction } = self.degradation {
+            if !(fraction > 0.0 && fraction < 1.0) {
+                return Err(RockError::InvalidSubsampleFraction(fraction));
+            }
+        }
         Ok(Rock {
             config: RockConfig {
                 theta: self.theta,
@@ -193,7 +248,9 @@ impl RockBuilder {
                 labeling_fraction: self.labeling_fraction,
                 seed: self.seed,
                 threads: self.threads,
+                degradation: self.degradation,
             },
+            governor: self.governor,
         })
     }
 }
@@ -221,6 +278,9 @@ impl RockBuilder {
 #[derive(Clone, Debug)]
 pub struct Rock {
     config: RockConfig,
+    /// Budgets/cancellation for governed entry points. Clones of a
+    /// `Rock` share the same governor state (token, clock, memory meter).
+    governor: RunGovernor,
 }
 
 /// Output of the full sampled pipeline ([`Rock::run`]).
@@ -262,6 +322,20 @@ impl Rock {
         &self.config
     }
 
+    /// The governor shared by this driver's governed entry points — e.g.
+    /// to grab its [`RunGovernor::cancel_token`] for another thread.
+    pub fn governor(&self) -> &RunGovernor {
+        &self.governor
+    }
+
+    fn build_graph<PS: PairwiseSimilarity + Sync>(&self, sim: &PS) -> NeighborGraph {
+        if self.config.threads > 1 {
+            NeighborGraph::build_parallel(sim, self.config.theta, self.config.threads)
+        } else {
+            NeighborGraph::build(sim, self.config.theta)
+        }
+    }
+
     fn goodness(&self) -> Goodness {
         Goodness::new(
             self.config.theta,
@@ -294,11 +368,7 @@ impl Rock {
     /// Clusters a point set given only index-pairwise similarities —
     /// e.g. an expert [`crate::similarity::SimilarityMatrix`] (§1.2).
     pub fn cluster_pairwise<PS: PairwiseSimilarity + Sync>(&self, sim: &PS) -> RockRun {
-        let graph = if self.config.threads > 1 {
-            NeighborGraph::build_parallel(sim, self.config.theta, self.config.threads)
-        } else {
-            NeighborGraph::build(sim, self.config.theta)
-        };
+        let graph = self.build_graph(sim);
         self.algorithm().run_parallel(&graph, self.config.threads)
     }
 
@@ -326,11 +396,7 @@ impl Rock {
     {
         let checked = CheckedSimilarity::new(measure);
         let pw = PointsWith::new(points, &checked);
-        let graph = if self.config.threads > 1 {
-            NeighborGraph::build_parallel(&pw, self.config.theta, self.config.threads)
-        } else {
-            NeighborGraph::build(&pw, self.config.theta)
-        };
+        let graph = self.build_graph(&pw);
         if let Some(e) = checked.error() {
             return Err(e);
         }
@@ -348,11 +414,7 @@ impl Rock {
         sim: &PS,
     ) -> Result<RockRun, RockError> {
         let checked = CheckedSimilarity::new(sim);
-        let graph = if self.config.threads > 1 {
-            NeighborGraph::build_parallel(&checked, self.config.theta, self.config.threads)
-        } else {
-            NeighborGraph::build(&checked, self.config.theta)
-        };
+        let graph = self.build_graph(&checked);
         if let Some(e) = checked.error() {
             return Err(e);
         }
@@ -396,46 +458,271 @@ impl Rock {
         }
     }
 
+    /// Governed link computation and merge loop over a prebuilt graph.
+    ///
+    /// Applies the configured degradation policy: a memory budget that
+    /// cannot fit the dense kernel downshifts to sparse
+    /// ([`DegradationPolicy::SparseLinks`]); a budget trip inside the
+    /// links/merge work falls back to connected components
+    /// ([`DegradationPolicy::Components`]). [`DegradationPolicy::Subsample`]
+    /// is handled one level up, in [`Rock::try_run`], where the sample can
+    /// be re-drawn. Cancellation is authoritative and never degrades.
+    fn cluster_graph_governed(
+        &self,
+        graph: &NeighborGraph,
+        governor: &RunGovernor,
+        wal: Option<&mut MergeWal>,
+        note: &mut Option<DegradationNote>,
+    ) -> Result<RockRun, RockError> {
+        let result = self.cluster_graph_budgeted(graph, governor, wal, note);
+        match result {
+            Err(RockError::Interrupted { phase, reason, .. })
+                if reason != TripReason::Cancelled
+                    && matches!(self.config.degradation, DegradationPolicy::Components { .. }) =>
+            {
+                let DegradationPolicy::Components { min_cluster_size } = self.config.degradation
+                else {
+                    unreachable!()
+                };
+                let clustering = neighbor_components(graph, min_cluster_size);
+                *note = Some(DegradationNote {
+                    policy: self.config.degradation,
+                    phase,
+                    reason,
+                    detail: format!(
+                        "link agglomeration abandoned; finished as {} connected components",
+                        clustering.num_clusters()
+                    ),
+                });
+                Ok(RockRun {
+                    clustering,
+                    merges: Vec::new(),
+                    initial_points: Vec::new(),
+                })
+            }
+            other => other,
+        }
+    }
+
+    /// The budget-observing core of [`Rock::cluster_graph_governed`]:
+    /// kernel choice (with the proactive sparse downshift), link
+    /// computation charged against the memory budget, and the governed
+    /// merge loop.
+    fn cluster_graph_budgeted(
+        &self,
+        graph: &NeighborGraph,
+        governor: &RunGovernor,
+        wal: Option<&mut MergeWal>,
+        note: &mut Option<DegradationNote>,
+    ) -> Result<RockRun, RockError> {
+        governor.check(Phase::Links)?;
+        let mut kernel = LinkMatrix::choose_kernel(graph);
+        if kernel == LinkKernel::Dense
+            && self.config.degradation == DegradationPolicy::SparseLinks
+            && governor.would_exceed(LinkMatrix::estimated_dense_bytes(graph.len()))
+        {
+            kernel = LinkKernel::Sparse;
+            *note = Some(DegradationNote {
+                policy: DegradationPolicy::SparseLinks,
+                phase: Phase::Links,
+                reason: TripReason::MemoryBudgetExceeded,
+                detail: format!(
+                    "dense link kernel (~{} bytes over {} points) downshifted to sparse",
+                    LinkMatrix::estimated_dense_bytes(graph.len()),
+                    graph.len(),
+                ),
+            });
+        }
+        let links = LinkMatrix::compute_kernel(graph, self.config.threads, kernel);
+        let link_bytes = links.memory_bytes() as u64;
+        governor.charge(link_bytes);
+        let result = governor.check(Phase::Links).and_then(|()| {
+            self.algorithm()
+                .run_with_matrix_governed(graph, &links, governor, wal)
+        });
+        governor.release(link_bytes);
+        result
+    }
+
+    /// Clusters `points` under the configured governor while journaling
+    /// every merge decision to `wal`.
+    ///
+    /// On interruption the error is [`RockError::Interrupted`] with
+    /// `resumable: true` and `wal` holds a replayable prefix — persist it
+    /// with [`MergeWal::write_to`] and continue later with
+    /// [`Rock::resume_cluster`]. The degradation policy deliberately does
+    /// *not* apply here: a WAL-journaled run prefers an exact resume over
+    /// an approximate finish.
+    ///
+    /// # Errors
+    /// [`RockError::Interrupted`] when the governor trips.
+    pub fn cluster_wal<P, S>(
+        &self,
+        points: &[P],
+        measure: &S,
+        wal: &mut MergeWal,
+    ) -> Result<RockRun, RockError>
+    where
+        S: Similarity<P> + Sync,
+        P: Sync,
+    {
+        let pw = PointsWith::new(points, measure);
+        self.governor.check(Phase::Neighbors)?;
+        let graph = self.build_graph(&pw);
+        let graph_bytes = graph.memory_bytes() as u64;
+        self.governor.charge(graph_bytes);
+        let result = self.governor.check(Phase::Neighbors).and_then(|()| {
+            self.algorithm()
+                .run_governed(&graph, self.config.threads, &self.governor, Some(wal))
+        });
+        self.governor.release(graph_bytes);
+        result
+    }
+
+    /// Resumes an interrupted [`Rock::cluster_wal`] run from the bytes of
+    /// its merge WAL, rebuilding the neighbor graph from `points` (which
+    /// must be the same points, in the same order). The final clustering
+    /// and merge trace are bit-identical to an uninterrupted run.
+    ///
+    /// A fresh self-contained continuation log is written to `wal_out`
+    /// if given, so a re-interrupted resume can itself be resumed.
+    ///
+    /// # Errors
+    /// [`RockError::WalCorrupt`] / [`RockError::WalMismatch`] for a
+    /// damaged or foreign log, [`RockError::Interrupted`] if the
+    /// governor trips again.
+    pub fn resume_cluster<P, S>(
+        &self,
+        points: &[P],
+        measure: &S,
+        wal_bytes: &[u8],
+        wal_out: Option<&mut MergeWal>,
+    ) -> Result<RockRun, RockError>
+    where
+        S: Similarity<P> + Sync,
+        P: Sync,
+    {
+        let pw = PointsWith::new(points, measure);
+        self.governor.check(Phase::Neighbors)?;
+        let graph = self.build_graph(&pw);
+        self.algorithm().resume(
+            wal_bytes,
+            Some(&graph),
+            self.config.threads,
+            &self.governor,
+            wal_out,
+        )
+    }
+
+    /// Resumes from a snapshot-bearing WAL **without** the original data:
+    /// the merge state is restored from the latest snapshot and links are
+    /// not recomputed. Fails with [`RockError::WalMismatch`] if the log
+    /// carries no snapshot.
+    ///
+    /// # Errors
+    /// As [`Rock::resume_cluster`].
+    pub fn resume_cluster_snapshot(
+        &self,
+        wal_bytes: &[u8],
+        wal_out: Option<&mut MergeWal>,
+    ) -> Result<RockRun, RockError> {
+        self.algorithm()
+            .resume(wal_bytes, None, self.config.threads, &self.governor, wal_out)
+    }
+
     /// The full Fig.-2 pipeline with the robustness guarantees of the
     /// checked entry points, plus a structured [`RunReport`] (per-phase
-    /// wall-clock timings, outlier count) alongside the results.
+    /// wall-clock timings, degradation/interruption outcome, outlier
+    /// count) alongside the results.
     ///
-    /// Produces results identical to [`Rock::run`] under the same seed:
-    /// the two share the sampling and labeling RNG stream.
+    /// The run is *governed*: the builder's deadline, memory budget and
+    /// cancellation token are checked at every phase boundary, every
+    /// merge batch and every labeling batch, and the configured
+    /// [`DegradationPolicy`] is applied on a budget trip (recorded in
+    /// the report's `degraded` note). With the default unlimited
+    /// governor, produces results identical to [`Rock::run`] under the
+    /// same seed: the two share the sampling and labeling RNG stream.
     ///
     /// # Errors
     /// Returns [`RockError::NonFiniteSimilarity`] if `measure` returned a
-    /// non-finite value during clustering or labeling.
+    /// non-finite value during clustering or labeling, and
+    /// [`RockError::Interrupted`] if the governor tripped with no
+    /// degradation policy able to absorb it.
     pub fn try_run<P, S>(&self, data: &[P], measure: &S) -> Result<(RockResult, RunReport), RockError>
     where
         P: Clone + Sync,
         S: Similarity<P> + Sync,
     {
+        let governor = &self.governor;
         let mut report = RunReport::new();
         let checked = CheckedSimilarity::new(measure);
         let mut rng = self.rng();
 
+        governor.check(Phase::Sample)?;
         let t = Instant::now();
-        let sample_indices = match self.config.sample_size {
+        let mut sample_indices = match self.config.sample_size {
             Some(size) if size < data.len() => {
                 crate::sampling::sample_indices(data.len(), size, &mut rng)
             }
             _ => (0..data.len()).collect(),
         };
-        let sample: Vec<P> = sample_indices.iter().map(|&i| data[i].clone()).collect();
+        let mut sample: Vec<P> = sample_indices.iter().map(|&i| data[i].clone()).collect();
         report.record_phase("sample", t.elapsed());
 
         let t = Instant::now();
-        let pw = PointsWith::new(&sample, &checked);
-        let graph = if self.config.threads > 1 {
-            NeighborGraph::build_parallel(&pw, self.config.theta, self.config.threads)
-        } else {
-            NeighborGraph::build(&pw, self.config.theta)
+        let mut note = None;
+        let outcome = {
+            governor.check(Phase::Neighbors)?;
+            let pw = PointsWith::new(&sample, &checked);
+            let graph = self.build_graph(&pw);
+            if let Some(e) = checked.error() {
+                return Err(e);
+            }
+            let graph_bytes = graph.memory_bytes() as u64;
+            governor.charge(graph_bytes);
+            // No explicit check here: a memory trip from the graph charge
+            // is observed at the Links checkpoint inside, where the
+            // degradation policies can still see the graph.
+            let r = self.cluster_graph_governed(&graph, governor, None, &mut note);
+            governor.release(graph_bytes);
+            r
         };
-        if let Some(e) = checked.error() {
-            return Err(e);
-        }
-        let sample_run = self.algorithm().run_parallel(&graph, self.config.threads);
+        let sample_run = match outcome {
+            Ok(run) => run,
+            Err(RockError::Interrupted { phase, reason, .. })
+                if reason != TripReason::Cancelled
+                    && matches!(self.config.degradation, DegradationPolicy::Subsample { .. }) =>
+            {
+                let DegradationPolicy::Subsample { fraction } = self.config.degradation else {
+                    unreachable!()
+                };
+                let orig = sample.len();
+                let keep = ((orig as f64 * fraction).ceil() as usize)
+                    .clamp(self.config.k.min(orig), orig);
+                let sub = crate::sampling::sample_indices(orig, keep, &mut rng);
+                sample_indices = sub.iter().map(|&i| sample_indices[i]).collect();
+                sample = sub.iter().map(|&i| sample[i].clone()).collect();
+                note = Some(DegradationNote {
+                    policy: self.config.degradation,
+                    phase,
+                    reason,
+                    detail: format!(
+                        "restarted on a {keep}-point subsample of the {orig}-point sample"
+                    ),
+                });
+                // The retry drops the tripped budgets but keeps the shared
+                // cancellation token: cancellation stays authoritative.
+                let retry = RunGovernor::unlimited().with_cancel_token(governor.cancel_token());
+                let pw = PointsWith::new(&sample, &checked);
+                let graph = self.build_graph(&pw);
+                if let Some(e) = checked.error() {
+                    return Err(e);
+                }
+                let mut retry_note = None;
+                self.cluster_graph_governed(&graph, &retry, None, &mut retry_note)?
+            }
+            Err(e) => return Err(e),
+        };
         report.record_phase("cluster", t.elapsed());
 
         let t = Instant::now();
@@ -447,7 +734,7 @@ impl Rock {
             self.config.ftheta,
             &mut rng,
         )?;
-        let labeling = labeler.label_all_parallel(data, &checked, self.config.threads);
+        let labeling = labeler.label_all_governed(data, &checked, self.config.threads, governor)?;
         if let Some(e) = checked.error() {
             return Err(e);
         }
@@ -455,6 +742,7 @@ impl Rock {
 
         report.records_read = data.len() as u64;
         report.outliers = labeling.num_outliers as u64;
+        report.degraded = note;
         Ok((
             RockResult {
                 sample_indices,
@@ -660,6 +948,159 @@ mod tests {
             rock.try_cluster_pairwise(&NanPairs),
             Err(RockError::NonFiniteSimilarity { .. })
         ));
+    }
+
+    #[test]
+    fn builder_validates_subsample_fraction() {
+        for bad in [0.0, 1.0, -0.2, f64::NAN] {
+            assert!(matches!(
+                Rock::builder()
+                    .degradation(DegradationPolicy::Subsample { fraction: bad })
+                    .build(),
+                Err(RockError::InvalidSubsampleFraction(_))
+            ));
+        }
+        assert!(Rock::builder()
+            .degradation(DegradationPolicy::Subsample { fraction: 0.5 })
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_deadline_interrupts_try_run() {
+        let data = two_basket_clusters(10);
+        let rock = Rock::builder()
+            .seed(1)
+            .deadline(Duration::ZERO)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            rock.try_run(&data, &Jaccard),
+            Err(RockError::Interrupted {
+                reason: TripReason::DeadlineExceeded,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn cancellation_interrupts_try_run() {
+        let data = two_basket_clusters(10);
+        let token = CancellationToken::new();
+        let rock = Rock::builder()
+            .seed(1)
+            .cancel_token(token.clone())
+            .build()
+            .unwrap();
+        token.cancel();
+        assert!(matches!(
+            rock.try_run(&data, &Jaccard),
+            Err(RockError::Interrupted {
+                reason: TripReason::Cancelled,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn memory_trip_without_policy_fails() {
+        let data = two_basket_clusters(20);
+        let rock = Rock::builder()
+            .seed(1)
+            .memory_budget(1)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            rock.try_run(&data, &Jaccard),
+            Err(RockError::Interrupted {
+                reason: TripReason::MemoryBudgetExceeded,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn components_degradation_finishes_on_memory_trip() {
+        let data = two_basket_clusters(20);
+        let rock = Rock::builder()
+            .seed(1)
+            .labeling_fraction(1.0)
+            .memory_budget(1)
+            .degradation(DegradationPolicy::Components {
+                min_cluster_size: 2,
+            })
+            .build()
+            .unwrap();
+        let (result, report) = rock.try_run(&data, &Jaccard).unwrap();
+        let note = report.degraded.as_ref().expect("degradation note recorded");
+        assert!(matches!(
+            note.policy,
+            DegradationPolicy::Components { min_cluster_size: 2 }
+        ));
+        assert_eq!(note.reason, TripReason::MemoryBudgetExceeded);
+        assert!(report.degraded());
+        // The components fast path still separates the two item universes.
+        assert!(result.sample_run.merges.is_empty());
+        let full = result.full_clustering();
+        assert_eq!(full.num_clusters(), 2);
+        for c in &full.clusters {
+            let sides: std::collections::HashSet<bool> =
+                c.iter().map(|&p| (p as usize) < 20).collect();
+            assert_eq!(sides.len(), 1, "component mixes the two item universes");
+        }
+    }
+
+    #[test]
+    fn subsample_degradation_restarts_on_smaller_sample() {
+        let data = two_basket_clusters(20);
+        let rock = Rock::builder()
+            .seed(1)
+            .labeling_fraction(1.0)
+            .memory_budget(1)
+            .degradation(DegradationPolicy::Subsample { fraction: 0.5 })
+            .build()
+            .unwrap();
+        let (result, report) = rock.try_run(&data, &Jaccard).unwrap();
+        // ceil(40 * 0.5) = 20 of the 40-point (unsampled) "sample".
+        assert_eq!(result.sample_indices.len(), 20);
+        let note = report.degraded.as_ref().expect("degradation note recorded");
+        assert!(matches!(
+            note.policy,
+            DegradationPolicy::Subsample { .. }
+        ));
+        assert!(note.detail.contains("20-point subsample"), "{}", note.detail);
+        // Everything still gets labeled.
+        assert_eq!(result.labeling.assignments.len(), data.len());
+    }
+
+    #[test]
+    fn cluster_wal_kill_and_resume_is_bit_identical() {
+        let data = two_basket_clusters(20);
+        let plain = Rock::builder().seed(1).build().unwrap();
+        let baseline = plain.cluster(&data, &Jaccard);
+
+        let killed = Rock::builder()
+            .seed(1)
+            .governor(RunGovernor::unlimited().with_kill_at(Phase::Merge, 5))
+            .build()
+            .unwrap();
+        let mut wal = MergeWal::new();
+        let err = killed.cluster_wal(&data, &Jaccard, &mut wal).unwrap_err();
+        assert!(matches!(
+            err,
+            RockError::Interrupted {
+                phase: Phase::Merge,
+                resumable: true,
+                ..
+            }
+        ));
+
+        let resumed = plain
+            .resume_cluster(&data, &Jaccard, wal.as_bytes(), None)
+            .unwrap();
+        assert_eq!(resumed.clustering, baseline.clustering);
+        assert_eq!(resumed.merges, baseline.merges);
+        assert_eq!(resumed.initial_points, baseline.initial_points);
     }
 
     #[test]

@@ -63,7 +63,7 @@ mod tests {
             Transaction::from([1, 2, 3]),
         ];
         let mut levels: Vec<f64> = others.iter().map(|o| t1.jaccard(o)).collect();
-        levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        levels.sort_by(f64::total_cmp);
         levels.dedup();
         assert!(levels.len() <= t1.len() + 1);
     }

@@ -1,9 +1,12 @@
-//! Internal utilities: fast hashing, bitsets and stateless mixing.
+//! Internal utilities: fast hashing, bitsets, checksums and stateless
+//! mixing.
 
 pub mod bitset;
+pub mod crc32;
 pub mod fxhash;
 pub mod splitmix;
 
 pub use bitset::BitSet;
+pub use crc32::crc32;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use splitmix::{seeded_hit, splitmix64};

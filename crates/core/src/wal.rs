@@ -1,0 +1,690 @@
+//! Merge write-ahead log: crash-safe persistence of the §4.3 merge loop.
+//!
+//! The agglomeration phase is deterministic — given the same neighbor
+//! graph, configuration and merge prefix, the loop continues identically
+//! (heap ties break on keys, so peeks are pure functions of heap
+//! *content*). That makes the merge sequence itself the ideal durable
+//! artifact: logging every merge decision as it commits lets a crashed or
+//! interrupted run be replayed to the exact state it died in and then
+//! continued, with a final clustering, dendrogram and criterion profile
+//! **bit-identical** to an uninterrupted run.
+//!
+//! ## Format
+//!
+//! A WAL is `b"ROCKWAL1"` followed by CRC-framed records:
+//!
+//! ```text
+//! frame   := type:u8  len:u32le  payload[len]  crc32:u32le
+//! crc32   := CRC-32/IEEE over type ‖ len ‖ payload
+//! records := Begin (Merge | Snapshot)* Finish?
+//! ```
+//!
+//! * **Begin** — configuration fingerprint (k, goodness exponent/kind,
+//!   outlier policy) plus the initial arena: point id of every
+//!   post-pruning singleton and the pruned outliers.
+//! * **Merge** — one [`MergeRecord`]: pair ids, minted id, sizes, cross
+//!   links and the goodness value (exact f64 bits).
+//! * **Snapshot** — a periodic full image of the live clustering state
+//!   (arena occupancy, members, cross-link table, weed status). The
+//!   two-level heaps of Fig. 3 are *not* stored: every heap entry is
+//!   `goodness(link[i][j], |i|, |j|)` by invariant, so heaps are rebuilt
+//!   from the link table on restore. A snapshot makes a WAL
+//!   self-contained — resumption needs no neighbor graph.
+//! * **Finish** — marks a run that completed; replaying it is optional.
+//!
+//! ## Torn tails
+//!
+//! Crashes tear the last frame. [`parse_wal`] accepts any log whose
+//! magic and Begin record are intact, and *truncates* at the first frame
+//! that is incomplete, fails its CRC, or has an unknown type — reporting
+//! [`WalReplay::truncated`] rather than an error. Only damage to the
+//! magic/Begin prefix (nothing to resume from) is a
+//! [`RockError::WalCorrupt`].
+//!
+//! Entry points: [`crate::algorithm::RockAlgorithm::run_governed`]
+//! (writes), [`crate::algorithm::RockAlgorithm::resume`] (replays), and
+//! [`crate::rock::Rock::cluster_wal`] / [`crate::rock::Rock::resume_cluster`].
+
+use crate::cluster::MergeRecord;
+use crate::error::RockError;
+use crate::util::crc32;
+use std::io::Write as _;
+use std::path::Path;
+
+/// The 8-byte magic prefix of every merge WAL.
+pub const WAL_MAGIC: &[u8; 8] = b"ROCKWAL1";
+
+const REC_BEGIN: u8 = 1;
+const REC_MERGE: u8 = 2;
+const REC_SNAPSHOT: u8 = 3;
+const REC_FINISH: u8 = 4;
+
+/// Configuration fingerprint + initial arena, logged once at the head of
+/// every WAL.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct WalBegin {
+    /// Number of input points the run was started on.
+    pub n_points: u32,
+    /// Target cluster count `k`.
+    pub k: u32,
+    /// Bits of the goodness exponent `1 + 2·f(θ)`.
+    pub exponent_bits: u64,
+    /// Goodness kind discriminant (0 = normalized, 1 = raw links).
+    pub kind: u8,
+    /// `OutlierPolicy::min_neighbors`.
+    pub min_neighbors: u32,
+    /// Weed policy, if any: `(stop_multiple bits, min_cluster_size)`.
+    pub weed: Option<(u64, u32)>,
+    /// Point id of each initial (post-pruning) singleton cluster.
+    pub initial_points: Vec<u32>,
+    /// Points pruned up front as neighbor-less outliers.
+    pub pruned_outliers: Vec<u32>,
+}
+
+/// A full image of the merge-loop state at `merges_done` merges.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct WalSnapshot {
+    /// Merges applied when the snapshot was taken.
+    pub merges_done: u64,
+    /// Length of the cluster-id arena (initial clusters + merges done).
+    pub arena_len: u64,
+    /// Whether the §4.6 mid-flight weeding has already fired.
+    pub weeded: bool,
+    /// All outliers accumulated so far (pruned + weeded).
+    pub outliers: Vec<u32>,
+    /// Live clusters: `(arena id, member point ids)`.
+    pub clusters: Vec<(u32, Vec<u32>)>,
+    /// Cross-link table, upper triangle: `(i, j, count)` with `i < j`,
+    /// sorted ascending. Heaps are derived from this on restore.
+    pub links: Vec<(u32, u32, u64)>,
+}
+
+/// An append-only, CRC-framed merge log held in memory.
+///
+/// Obtain the bytes with [`as_bytes`](MergeWal::as_bytes) (persist them
+/// however suits the deployment — [`write_to`](MergeWal::write_to) is
+/// the simple file path) and hand them back to
+/// [`crate::algorithm::RockAlgorithm::resume`] to continue an
+/// interrupted run.
+#[derive(Clone, Debug)]
+pub struct MergeWal {
+    buf: Vec<u8>,
+    snapshot_every: u64,
+}
+
+impl Default for MergeWal {
+    fn default() -> Self {
+        MergeWal::new()
+    }
+}
+
+impl MergeWal {
+    /// An empty WAL (magic only), snapshotting every 512 merges.
+    pub fn new() -> Self {
+        MergeWal {
+            buf: WAL_MAGIC.to_vec(),
+            snapshot_every: 512,
+        }
+    }
+
+    /// Sets the snapshot cadence: a full state image every `n` merges
+    /// (`0` disables snapshots; such a WAL needs the neighbor graph to
+    /// resume).
+    pub fn with_snapshot_every(mut self, n: u64) -> Self {
+        self.snapshot_every = n;
+        self
+    }
+
+    /// The configured snapshot cadence (0 = disabled).
+    pub fn snapshot_every(&self) -> u64 {
+        self.snapshot_every
+    }
+
+    /// The encoded log bytes (magic + frames).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the WAL, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Encoded size in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the WAL holds no records yet (magic only).
+    pub fn is_empty(&self) -> bool {
+        self.buf.len() <= WAL_MAGIC.len()
+    }
+
+    /// Writes the encoded log to `path`, fsync'd.
+    ///
+    /// # Errors
+    /// Any I/O error from create/write/sync.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.buf)?;
+        f.sync_all()
+    }
+
+    fn frame(&mut self, kind: u8, payload: &[u8]) {
+        let mut head = Vec::with_capacity(5 + payload.len());
+        head.push(kind);
+        head.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        head.extend_from_slice(payload);
+        let crc = crc32(&head);
+        self.buf.extend_from_slice(&head);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    pub(crate) fn append_begin(&mut self, b: &WalBegin) {
+        let mut p = Vec::new();
+        put_u32(&mut p, b.n_points);
+        put_u32(&mut p, b.k);
+        put_u64(&mut p, b.exponent_bits);
+        p.push(b.kind);
+        put_u32(&mut p, b.min_neighbors);
+        match b.weed {
+            Some((mult_bits, min_size)) => {
+                p.push(1);
+                put_u64(&mut p, mult_bits);
+                put_u32(&mut p, min_size);
+            }
+            None => p.push(0),
+        }
+        put_u32_slice(&mut p, &b.initial_points);
+        put_u32_slice(&mut p, &b.pruned_outliers);
+        self.frame(REC_BEGIN, &p);
+    }
+
+    pub(crate) fn append_merge(&mut self, m: &MergeRecord) {
+        let mut p = Vec::with_capacity(44);
+        put_u32(&mut p, m.left);
+        put_u32(&mut p, m.right);
+        put_u32(&mut p, m.merged);
+        put_u64(&mut p, m.sizes.0 as u64);
+        put_u64(&mut p, m.sizes.1 as u64);
+        put_u64(&mut p, m.cross_links);
+        put_u64(&mut p, m.goodness.to_bits());
+        self.frame(REC_MERGE, &p);
+    }
+
+    pub(crate) fn append_snapshot(&mut self, s: &WalSnapshot) {
+        let mut p = Vec::new();
+        put_u64(&mut p, s.merges_done);
+        put_u64(&mut p, s.arena_len);
+        p.push(u8::from(s.weeded));
+        put_u32_slice(&mut p, &s.outliers);
+        put_u32(&mut p, s.clusters.len() as u32);
+        for (id, members) in &s.clusters {
+            put_u32(&mut p, *id);
+            put_u32_slice(&mut p, members);
+        }
+        put_u64(&mut p, s.links.len() as u64);
+        for &(i, j, c) in &s.links {
+            put_u32(&mut p, i);
+            put_u32(&mut p, j);
+            put_u64(&mut p, c);
+        }
+        self.frame(REC_SNAPSHOT, &p);
+    }
+
+    pub(crate) fn append_finish(&mut self, merges_total: u64) {
+        let mut p = Vec::with_capacity(8);
+        put_u64(&mut p, merges_total);
+        self.frame(REC_FINISH, &p);
+    }
+}
+
+/// The replayable content of a parsed WAL.
+#[derive(Clone, Debug)]
+pub struct WalReplay {
+    pub(crate) begin: WalBegin,
+    /// Every logged merge, in commit order (complete from merge 0, even
+    /// past snapshots — resumption re-logs the prefix into fresh WALs).
+    pub(crate) merges: Vec<MergeRecord>,
+    /// The latest intact snapshot, if any.
+    pub(crate) snapshot: Option<WalSnapshot>,
+    /// Whether a Finish record was seen (the run completed).
+    pub finished: bool,
+    /// Whether a torn tail was truncated during parsing.
+    pub truncated: bool,
+}
+
+impl WalReplay {
+    /// Number of merges recoverable from the log.
+    pub fn num_merges(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// The logged merges, in commit order.
+    pub fn merges(&self) -> &[MergeRecord] {
+        &self.merges
+    }
+
+    /// Whether the log carries a snapshot (and can thus be resumed
+    /// without recomputing the neighbor graph).
+    pub fn has_snapshot(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// Number of input points the logged run started from.
+    pub fn num_points(&self) -> usize {
+        self.begin.n_points as usize
+    }
+}
+
+/// A forward-only, bounds-checked byte reader for record payloads.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn u32_vec(&mut self) -> Option<Vec<u32>> {
+        let n = self.u32()? as usize;
+        // A length prefix can never promise more items than bytes remain.
+        if n > (self.bytes.len() - self.at) / 4 {
+            return None;
+        }
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32_slice(buf: &mut Vec<u8>, vs: &[u32]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_u32(buf, v);
+    }
+}
+
+fn parse_begin(payload: &[u8]) -> Option<WalBegin> {
+    let mut c = Cursor::new(payload);
+    let n_points = c.u32()?;
+    let k = c.u32()?;
+    let exponent_bits = c.u64()?;
+    let kind = c.u8()?;
+    let min_neighbors = c.u32()?;
+    let weed = match c.u8()? {
+        0 => None,
+        1 => Some((c.u64()?, c.u32()?)),
+        _ => return None,
+    };
+    let initial_points = c.u32_vec()?;
+    let pruned_outliers = c.u32_vec()?;
+    c.done().then_some(WalBegin {
+        n_points,
+        k,
+        exponent_bits,
+        kind,
+        min_neighbors,
+        weed,
+        initial_points,
+        pruned_outliers,
+    })
+}
+
+fn parse_merge(payload: &[u8]) -> Option<MergeRecord> {
+    let mut c = Cursor::new(payload);
+    let rec = MergeRecord {
+        left: c.u32()?,
+        right: c.u32()?,
+        merged: c.u32()?,
+        sizes: (c.u64()? as usize, c.u64()? as usize),
+        cross_links: c.u64()?,
+        goodness: f64::from_bits(c.u64()?),
+    };
+    c.done().then_some(rec)
+}
+
+fn parse_snapshot(payload: &[u8]) -> Option<WalSnapshot> {
+    let mut c = Cursor::new(payload);
+    let merges_done = c.u64()?;
+    let arena_len = c.u64()?;
+    let weeded = match c.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let outliers = c.u32_vec()?;
+    let num_clusters = c.u32()? as usize;
+    let mut clusters = Vec::new();
+    for _ in 0..num_clusters {
+        let id = c.u32()?;
+        let members = c.u32_vec()?;
+        clusters.push((id, members));
+    }
+    let num_links = c.u64()? as usize;
+    if num_links > payload.len() / 16 {
+        return None; // each link entry is 16 bytes; length is lying
+    }
+    let mut links = Vec::with_capacity(num_links);
+    for _ in 0..num_links {
+        links.push((c.u32()?, c.u32()?, c.u64()?));
+    }
+    c.done().then_some(WalSnapshot {
+        merges_done,
+        arena_len,
+        weeded,
+        outliers,
+        clusters,
+        links,
+    })
+}
+
+/// Parses a merge WAL, truncating any torn tail.
+///
+/// # Errors
+/// [`RockError::WalCorrupt`] when the magic or the Begin record is
+/// missing or damaged — there is nothing to resume from. Damage *after*
+/// a valid Begin is treated as a torn tail: the valid prefix is kept and
+/// [`WalReplay::truncated`] is set.
+pub fn parse_wal(bytes: &[u8]) -> Result<WalReplay, RockError> {
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(RockError::WalCorrupt {
+            offset: 0,
+            detail: "missing ROCKWAL1 magic".into(),
+        });
+    }
+
+    let mut at = WAL_MAGIC.len();
+    let mut begin: Option<WalBegin> = None;
+    let mut merges: Vec<MergeRecord> = Vec::new();
+    let mut snapshot: Option<WalSnapshot> = None;
+    let mut finished = false;
+    let mut truncated = false;
+
+    while at < bytes.len() {
+        // Frame = type(1) + len(4) + payload + crc(4).
+        let frame = read_frame(bytes, at);
+        let Some((kind, payload, next)) = frame else {
+            truncated = true;
+            break;
+        };
+        let record_ok = match kind {
+            REC_BEGIN if begin.is_none() && merges.is_empty() => {
+                begin = parse_begin(payload);
+                begin.is_some()
+            }
+            REC_MERGE if begin.is_some() && !finished => match parse_merge(payload) {
+                Some(m) => {
+                    merges.push(m);
+                    true
+                }
+                None => false,
+            },
+            REC_SNAPSHOT if begin.is_some() && !finished => match parse_snapshot(payload) {
+                // A snapshot claiming more merges than are logged before
+                // it cannot be replayed; treat it as tail damage.
+                Some(s) if s.merges_done as usize <= merges.len() => {
+                    snapshot = Some(s);
+                    true
+                }
+                _ => false,
+            },
+            REC_FINISH if begin.is_some() && !finished => {
+                let mut c = Cursor::new(payload);
+                match c.u64() {
+                    Some(total) if c.done() && total as usize == merges.len() => {
+                        finished = true;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            _ => false, // unknown type or record out of order
+        };
+        if !record_ok {
+            if begin.is_none() {
+                return Err(RockError::WalCorrupt {
+                    offset: at as u64,
+                    detail: "damaged Begin record".into(),
+                });
+            }
+            truncated = true;
+            break;
+        }
+        at = next;
+    }
+
+    let Some(begin) = begin else {
+        return Err(RockError::WalCorrupt {
+            offset: at as u64,
+            detail: "log ends before a complete Begin record".into(),
+        });
+    };
+    Ok(WalReplay {
+        begin,
+        merges,
+        snapshot,
+        finished,
+        truncated,
+    })
+}
+
+/// Reads and CRC-verifies the frame at `at`; returns
+/// `(type, payload, offset past the frame)` or `None` if the frame is
+/// incomplete or fails its checksum.
+fn read_frame(bytes: &[u8], at: usize) -> Option<(u8, &[u8], usize)> {
+    if at + 5 > bytes.len() {
+        return None;
+    }
+    let kind = bytes[at];
+    let len = u32::from_le_bytes(bytes[at + 1..at + 5].try_into().expect("4 bytes")) as usize;
+    let payload_end = (at + 5).checked_add(len)?;
+    let frame_end = payload_end.checked_add(4)?;
+    if frame_end > bytes.len() {
+        return None;
+    }
+    let stored = u32::from_le_bytes(bytes[payload_end..frame_end].try_into().expect("4 bytes"));
+    if crc32(&bytes[at..payload_end]) != stored {
+        return None;
+    }
+    Some((kind, &bytes[at + 5..payload_end], frame_end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_begin() -> WalBegin {
+        WalBegin {
+            n_points: 6,
+            k: 2,
+            exponent_bits: 1.5f64.to_bits(),
+            kind: 0,
+            min_neighbors: 1,
+            weed: Some((2.0f64.to_bits(), 3)),
+            initial_points: vec![0, 1, 2, 4, 5],
+            pruned_outliers: vec![3],
+        }
+    }
+
+    fn sample_merge(i: u32) -> MergeRecord {
+        MergeRecord {
+            left: i,
+            right: i + 1,
+            merged: 5 + i,
+            sizes: (1, 2),
+            cross_links: 7,
+            goodness: 0.25 + f64::from(i),
+        }
+    }
+
+    fn sample_snapshot() -> WalSnapshot {
+        WalSnapshot {
+            merges_done: 2,
+            arena_len: 7,
+            weeded: false,
+            outliers: vec![3],
+            clusters: vec![(4, vec![5]), (6, vec![0, 1, 2, 4])],
+            links: vec![(4, 6, 9)],
+        }
+    }
+
+    #[test]
+    fn round_trips_all_record_types() {
+        let mut wal = MergeWal::new();
+        wal.append_begin(&sample_begin());
+        wal.append_merge(&sample_merge(0));
+        wal.append_merge(&sample_merge(1));
+        wal.append_snapshot(&sample_snapshot());
+        wal.append_finish(2);
+
+        let replay = parse_wal(wal.as_bytes()).unwrap();
+        assert_eq!(replay.begin, sample_begin());
+        assert_eq!(replay.merges, vec![sample_merge(0), sample_merge(1)]);
+        assert_eq!(replay.snapshot, Some(sample_snapshot()));
+        assert!(replay.finished);
+        assert!(!replay.truncated);
+    }
+
+    #[test]
+    fn goodness_bits_survive_exactly() {
+        let mut wal = MergeWal::new();
+        wal.append_begin(&sample_begin());
+        let mut m = sample_merge(0);
+        m.goodness = f64::from_bits(0x3FF7_1234_5678_9ABC);
+        wal.append_merge(&m);
+        let replay = parse_wal(wal.as_bytes()).unwrap();
+        assert_eq!(replay.merges[0].goodness.to_bits(), m.goodness.to_bits());
+    }
+
+    #[test]
+    fn empty_or_bad_magic_is_corrupt() {
+        assert!(matches!(
+            parse_wal(b""),
+            Err(RockError::WalCorrupt { .. })
+        ));
+        assert!(matches!(
+            parse_wal(b"NOTAWAL!rest"),
+            Err(RockError::WalCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn torn_begin_is_corrupt_torn_tail_is_truncated() {
+        let mut wal = MergeWal::new();
+        wal.append_begin(&sample_begin());
+        let begin_end = wal.len();
+        wal.append_merge(&sample_merge(0));
+        let merge0_end = wal.len();
+        wal.append_merge(&sample_merge(1));
+        let bytes = wal.as_bytes();
+
+        // Any cut inside the Begin record (past the magic) is fatal.
+        for cut in WAL_MAGIC.len()..begin_end {
+            assert!(
+                matches!(parse_wal(&bytes[..cut]), Err(RockError::WalCorrupt { .. })),
+                "cut at {cut} should be corrupt"
+            );
+        }
+        // Any cut after Begin only truncates; cuts landing exactly on a
+        // frame boundary leave a clean (un-torn) shorter log.
+        for cut in begin_end..bytes.len() {
+            let replay = parse_wal(&bytes[..cut]).unwrap();
+            let boundary = cut == begin_end || cut == merge0_end;
+            assert_eq!(replay.truncated, !boundary, "cut at {cut}");
+            assert!(replay.num_merges() <= 2);
+        }
+        // The full log parses both merges.
+        assert_eq!(parse_wal(bytes).unwrap().num_merges(), 2);
+    }
+
+    #[test]
+    fn bit_flip_in_a_merge_record_truncates_there() {
+        let mut wal = MergeWal::new();
+        wal.append_begin(&sample_begin());
+        wal.append_merge(&sample_merge(0));
+        let first_merge_end = wal.len();
+        wal.append_merge(&sample_merge(1));
+        let mut bytes = wal.into_bytes();
+        bytes[first_merge_end + 7] ^= 0x40; // inside the second merge frame
+        let replay = parse_wal(&bytes).unwrap();
+        assert!(replay.truncated);
+        assert_eq!(replay.merges, vec![sample_merge(0)]);
+    }
+
+    #[test]
+    fn snapshot_claiming_unlogged_merges_is_tail_damage() {
+        let mut wal = MergeWal::new();
+        wal.append_begin(&sample_begin());
+        wal.append_merge(&sample_merge(0));
+        let mut snap = sample_snapshot();
+        snap.merges_done = 5; // only 1 merge logged before it
+        wal.append_snapshot(&snap);
+        let replay = parse_wal(wal.as_bytes()).unwrap();
+        assert!(replay.truncated);
+        assert!(replay.snapshot.is_none());
+        assert_eq!(replay.num_merges(), 1);
+    }
+
+    #[test]
+    fn records_after_finish_are_truncated() {
+        let mut wal = MergeWal::new();
+        wal.append_begin(&sample_begin());
+        wal.append_merge(&sample_merge(0));
+        wal.append_finish(1);
+        wal.append_merge(&sample_merge(1));
+        let replay = parse_wal(wal.as_bytes()).unwrap();
+        assert!(replay.finished);
+        assert!(replay.truncated);
+        assert_eq!(replay.num_merges(), 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut wal = MergeWal::new();
+        wal.append_begin(&sample_begin());
+        wal.append_merge(&sample_merge(0));
+        let dir = std::env::temp_dir().join("rock-wal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("roundtrip-{}.wal", std::process::id()));
+        wal.write_to(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(bytes, wal.as_bytes());
+        assert_eq!(parse_wal(&bytes).unwrap().num_merges(), 1);
+    }
+}

@@ -13,7 +13,9 @@
 //! resilience tests assert bit-identical resumed output.
 
 use rock_core::util::seeded_hit;
+use rock_core::{Phase, RunGovernor};
 use std::io::{self, Read};
+use std::time::Duration;
 
 /// Stream ids separating the independent fault schedules drawn from one
 /// seed.
@@ -212,6 +214,32 @@ fn seeded_hit_index(seed: u64, line: u64) -> u64 {
     rock_core::util::splitmix64(seed ^ STREAM_TRUNCATE ^ line.wrapping_mul(0x9E37_79B9))
 }
 
+/// A governor that simulates a kill signal after exactly `k` merge
+/// decisions — the injector driving the kill-at-merge-k crash/resume
+/// matrix. Deterministic: no OS signals, no timing races.
+pub fn kill_at_merge(k: u64) -> RunGovernor {
+    RunGovernor::unlimited().with_kill_at(Phase::Merge, k)
+}
+
+/// A governor that simulates a kill signal at checkpoint `index` of an
+/// arbitrary `phase` (e.g. a labeling batch).
+pub fn kill_at(phase: Phase, index: u64) -> RunGovernor {
+    RunGovernor::unlimited().with_kill_at(phase, index)
+}
+
+/// A governor whose charged-memory budget trips at the first tracked
+/// allocation — the deterministic budget-trip injector for exercising
+/// degradation policies.
+pub fn memory_budget_trip() -> RunGovernor {
+    RunGovernor::unlimited().with_memory_budget(1)
+}
+
+/// A governor whose wall-clock deadline has already passed when the run
+/// starts: the very first checkpoint trips.
+pub fn deadline_trip() -> RunGovernor {
+    RunGovernor::unlimited().with_time_budget(Duration::ZERO)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +375,39 @@ mod tests {
         assert_eq!(lines[0], "# header");
         assert_eq!(lines[1], "");
         assert_eq!(lines[2], format!("1 2 3 {GARBAGE_TOKEN}"));
+    }
+
+    #[test]
+    fn governor_injectors_trip_deterministically() {
+        use rock_core::{RockError, TripReason};
+        let g = kill_at_merge(3);
+        g.check_at(Phase::Merge, 2).unwrap();
+        assert!(g.check_at(Phase::Merge, 3).is_err());
+
+        let g = kill_at(Phase::Labeling, 0);
+        assert!(g.check_at(Phase::Labeling, 0).is_err());
+        g.check_at(Phase::Merge, 0).unwrap();
+
+        let g = memory_budget_trip();
+        g.check(Phase::Links).unwrap();
+        g.charge(2);
+        assert!(matches!(
+            g.check(Phase::Links),
+            Err(RockError::Interrupted {
+                reason: TripReason::MemoryBudgetExceeded,
+                ..
+            })
+        ));
+
+        let g = deadline_trip();
+        g.arm();
+        assert!(matches!(
+            g.check(Phase::Sample),
+            Err(RockError::Interrupted {
+                reason: TripReason::DeadlineExceeded,
+                ..
+            })
+        ));
     }
 
     #[test]

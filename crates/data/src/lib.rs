@@ -48,11 +48,15 @@ pub mod synthetic;
 pub mod votes;
 
 pub use basketio::{read_baskets, read_baskets_numeric, stream_baskets, write_baskets};
-pub use faults::{corrupt_baskets, FaultSpec, FaultyReader, GARBAGE_TOKEN};
+pub use faults::{
+    corrupt_baskets, deadline_trip, kill_at, kill_at_merge, memory_budget_trip, FaultSpec,
+    FaultyReader, GARBAGE_TOKEN,
+};
 pub use packed::PackedBaskets;
 pub use resilient::{
-    label_stream_resilient, label_stream_resilient_parallel, read_baskets_resilient, Checkpoint,
-    IngestError, IngestErrorKind, ResilientConfig, ResilientLabelRun, RetryPolicy,
+    label_stream_resilient, label_stream_resilient_governed, label_stream_resilient_parallel,
+    label_stream_resilient_parallel_governed, read_baskets_resilient, Checkpoint, IngestError,
+    IngestErrorKind, ResilientConfig, ResilientLabelRun, RetryPolicy,
 };
 pub use mushroom::{generate_mushrooms, parse_mushrooms, Edibility, MushroomData, MushroomSpec};
 pub use mutualfund::{generate_funds, prices_to_record, Fund, FundData, FundSpec};

@@ -32,6 +32,7 @@
 // run could not resume losslessly.
 #![allow(clippy::result_large_err)]
 
+use rock_core::governor::{Phase, RunGovernor, TripReason};
 use rock_core::labeling::{Labeler, Labeling};
 use rock_core::points::Transaction;
 use rock_core::report::RunReport;
@@ -271,6 +272,17 @@ pub enum IngestErrorKind {
     },
     /// The resume checkpoint is inconsistent with this labeler or stream.
     BadCheckpoint(String),
+    /// A [`RunGovernor`] budget tripped (cancellation, deadline or
+    /// memory). The carried checkpoint is consistent, so the pass can
+    /// resume once the budget is lifted — this is an orderly pause, not
+    /// a failure.
+    Interrupted {
+        /// The phase that observed the trip (always
+        /// [`Phase::Labeling`] for these drivers).
+        phase: Phase,
+        /// Which budget tripped.
+        reason: TripReason,
+    },
 }
 
 /// Typed failure of a resilient pass, carrying everything salvaged before
@@ -310,6 +322,12 @@ impl fmt::Display for IngestError {
             IngestErrorKind::BadCheckpoint(msg) => {
                 write!(f, "cannot resume: {msg}")
             }
+            IngestErrorKind::Interrupted { phase, reason } => write!(
+                f,
+                "ingest interrupted at line {} in {phase} phase: {reason} \
+                 (resume from byte {})",
+                self.line, self.checkpoint.byte_offset
+            ),
         }
     }
 }
@@ -506,13 +524,30 @@ fn parse_record(line: &str) -> Result<Transaction, String> {
     Ok(Transaction::new(items))
 }
 
+/// Converts a governor trip into an ingest stop, recording the
+/// interruption in the report. Only `RockError::Interrupted` reaches
+/// here (it is all the governor's checks return).
+fn interrupt_stop(e: RockError, report: &mut RunReport, line: u64) -> (IngestErrorKind, u64) {
+    let RockError::Interrupted { phase, reason, .. } = e else {
+        unreachable!("governor checks only return RockError::Interrupted, got {e}");
+    };
+    report.interrupted = Some((phase, reason));
+    (IngestErrorKind::Interrupted { phase, reason }, line)
+}
+
 /// The shared record loop: reads lines with retries, parses, hands each
 /// record to `handle`, quarantines rejects, maintains the checkpoint and
 /// emits periodic checkpoints. Returns `(kind, line)` on a hard stop; the
 /// caller owns the salvage.
+///
+/// The governor is consulted before each line at checkpoint index
+/// `lines_seen` (cumulative across resumptions), so an injected
+/// `with_kill_at(Phase::Labeling, k)` stops with exactly `k` lines
+/// consumed regardless of where the run was last resumed.
 fn ingest_loop<R, F, H>(
     reader: &mut R,
     config: &ResilientConfig,
+    governor: &RunGovernor,
     state: &mut LoopState,
     on_checkpoint: &mut F,
     handle: &mut H,
@@ -525,6 +560,10 @@ where
     let mut buf = Vec::new();
     let mut since_checkpoint = 0u64;
     loop {
+        if let Err(e) = governor.check_at(Phase::Labeling, state.checkpoint.lines_seen) {
+            let line = state.checkpoint.lines_seen + 1;
+            return Err(interrupt_stop(e, &mut state.report, line));
+        }
         buf.clear();
         let consumed = read_record_retry(reader, &mut buf, &config.retry, &mut state.report)
             .map_err(|e| (IngestErrorKind::Io(e), state.checkpoint.lines_seen + 1))?;
@@ -608,12 +647,49 @@ fn start_state(
 /// inconsistent resume checkpoint — always carrying the partial results
 /// and a resumable checkpoint.
 pub fn label_stream_resilient<R, S, F>(
+    reader: R,
+    labeler: &Labeler<Transaction>,
+    sim: &S,
+    config: &ResilientConfig,
+    resume: Option<&Checkpoint>,
+    on_checkpoint: F,
+) -> Result<ResilientLabelRun, IngestError>
+where
+    R: BufRead,
+    S: Similarity<Transaction>,
+    F: FnMut(&Checkpoint),
+{
+    label_stream_resilient_governed(
+        reader,
+        labeler,
+        sim,
+        config,
+        resume,
+        on_checkpoint,
+        &RunGovernor::unlimited(),
+    )
+}
+
+/// As [`label_stream_resilient`], governed: `governor` is consulted
+/// before every input line (at checkpoint index `lines_seen`, cumulative
+/// across resumptions), so cancellation, deadlines, memory trips and
+/// injected kills (`with_kill_at(Phase::Labeling, k)`) stop the pass with
+/// a consistent, resumable [`Checkpoint`] —
+/// [`IngestErrorKind::Interrupted`], with the trip mirrored in the
+/// report's `interrupted` field. With an unlimited governor, behaviour is
+/// exactly that of [`label_stream_resilient`].
+///
+/// # Errors
+/// The errors of [`label_stream_resilient`], plus
+/// [`IngestErrorKind::Interrupted`] on a governor trip.
+pub fn label_stream_resilient_governed<R, S, F>(
     mut reader: R,
     labeler: &Labeler<Transaction>,
     sim: &S,
     config: &ResilientConfig,
     resume: Option<&Checkpoint>,
     mut on_checkpoint: F,
+    governor: &RunGovernor,
 ) -> Result<ResilientLabelRun, IngestError>
 where
     R: BufRead,
@@ -635,6 +711,7 @@ where
         Ok(()) => ingest_loop(
             &mut reader,
             config,
+            governor,
             &mut state,
             &mut on_checkpoint,
             &mut |_lineno, txn| match labeler.label_point_checked(&txn, sim) {
@@ -709,12 +786,55 @@ enum PreLine {
 /// # Panics
 /// Panics if `threads == 0`.
 pub fn label_stream_resilient_parallel<R, S, F>(
+    reader: R,
+    labeler: &Labeler<Transaction>,
+    sim: &S,
+    config: &ResilientConfig,
+    resume: Option<&Checkpoint>,
+    on_checkpoint: F,
+    threads: usize,
+) -> Result<ResilientLabelRun, IngestError>
+where
+    R: BufRead,
+    S: Similarity<Transaction> + Sync,
+    F: FnMut(&Checkpoint),
+{
+    label_stream_resilient_parallel_governed(
+        reader,
+        labeler,
+        sim,
+        config,
+        resume,
+        on_checkpoint,
+        &RunGovernor::unlimited(),
+        threads,
+    )
+}
+
+/// As [`label_stream_resilient_parallel`], governed.
+///
+/// The governor is consulted in the sequential fold at the same per-line
+/// checkpoint indices as [`label_stream_resilient_governed`], so a trip
+/// stops at the *same line* with the same checkpoint for every thread
+/// count; speculatively read/scored lines beyond the stop are discarded
+/// (the checkpoint's byte offset still points at the first unprocessed
+/// line, exactly as in the mid-batch quarantine-overflow case).
+///
+/// # Errors
+/// The errors of [`label_stream_resilient_parallel`], plus
+/// [`IngestErrorKind::Interrupted`] on a governor trip.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn label_stream_resilient_parallel_governed<R, S, F>(
     mut reader: R,
     labeler: &Labeler<Transaction>,
     sim: &S,
     config: &ResilientConfig,
     resume: Option<&Checkpoint>,
     mut on_checkpoint: F,
+    governor: &RunGovernor,
     threads: usize,
 ) -> Result<ResilientLabelRun, IngestError>
 where
@@ -724,7 +844,15 @@ where
 {
     assert!(threads > 0, "need at least one thread");
     if threads == 1 {
-        return label_stream_resilient(reader, labeler, sim, config, resume, on_checkpoint);
+        return label_stream_resilient_governed(
+            reader,
+            labeler,
+            sim,
+            config,
+            resume,
+            on_checkpoint,
+            governor,
+        );
     }
     let started = Instant::now();
     let num_clusters = labeler.num_clusters();
@@ -815,6 +943,13 @@ where
 
         // Phase 3 — sequential fold through the shared state machine.
         for (consumed, pre) in lines {
+            // Same per-line checkpoint index as the sequential driver, so
+            // a trip stops at an identical line for every thread count.
+            if let Err(e) = governor.check_at(Phase::Labeling, state.checkpoint.lines_seen) {
+                let line = state.checkpoint.lines_seen + 1;
+                let (kind, line) = interrupt_stop(e, &mut state.report, line);
+                return finish_err(state, assignments, kind, line);
+            }
             state.checkpoint.byte_offset += consumed;
             state.checkpoint.lines_seen += 1;
             let lineno = state.checkpoint.lines_seen;
@@ -891,6 +1026,7 @@ pub fn read_baskets_resilient<R: BufRead>(
         Ok(()) => ingest_loop(
             &mut reader,
             config,
+            &RunGovernor::unlimited(),
             &mut state,
             &mut |_cp| {},
             &mut |_lineno, txn| {
@@ -1478,6 +1614,124 @@ mod tests {
         .unwrap();
         assert_eq!(run.labeling, clean.labeling);
         assert_eq!(run.checkpoint, clean.checkpoint);
+    }
+
+    #[test]
+    fn governed_kill_interrupts_then_resume_is_bit_identical() {
+        let labeler = test_labeler();
+        let input: String = (0..60)
+            .map(|i| match i % 3 {
+                0 => "1 2 3\n",
+                1 => "10 11 12\n",
+                _ => "55 66 77\n", // outlier
+            })
+            .collect();
+        let config = ResilientConfig {
+            checkpoint_every: 7,
+            ..no_sleep_config()
+        };
+        let baseline = label_stream_resilient(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &config,
+            None,
+            |_| {},
+        )
+        .unwrap();
+
+        // Kill at absolute line 20 (check_at uses cumulative lines_seen).
+        let governor = RunGovernor::unlimited().with_kill_at(Phase::Labeling, 20);
+        let err = label_stream_resilient_governed(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &config,
+            None,
+            |_| {},
+            &governor,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.kind,
+            IngestErrorKind::Interrupted {
+                phase: Phase::Labeling,
+                reason: TripReason::Cancelled,
+            }
+        ));
+        assert_eq!(err.line, 21);
+        assert_eq!(err.checkpoint.lines_seen, 20);
+        assert_eq!(err.report.interrupted, Some((Phase::Labeling, TripReason::Cancelled)));
+        assert!(err.report.degraded());
+        assert!(err.to_string().contains("resume from byte"));
+
+        // Resume from the interruption checkpoint with no governor limits:
+        // the tail concatenated onto the salvage is bit-identical.
+        let resumed = label_stream_resilient(
+            BufReader::new(input.as_bytes()),
+            &labeler,
+            &Jaccard,
+            &config,
+            Some(&err.checkpoint),
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(resumed.checkpoint, baseline.checkpoint);
+        let mut stitched = err.partial_assignments.clone();
+        stitched.extend(resumed.labeling.assignments.iter().cloned());
+        assert_eq!(stitched, baseline.labeling.assignments);
+    }
+
+    #[test]
+    fn governed_parallel_stops_at_the_same_line_for_any_thread_count() {
+        let labeler = test_labeler();
+        let input: String = (0..90)
+            .map(|i| {
+                if i % 2 == 0 {
+                    "1 2 3\n".to_string()
+                } else {
+                    "10 11 12\n".to_string()
+                }
+            })
+            .collect();
+        let config = ResilientConfig {
+            checkpoint_every: 11,
+            ..no_sleep_config()
+        };
+        let kill = |governor: &RunGovernor, threads: usize| {
+            label_stream_resilient_parallel_governed(
+                BufReader::new(input.as_bytes()),
+                &labeler,
+                &Jaccard,
+                &config,
+                None,
+                |_| {},
+                governor,
+                threads,
+            )
+            .unwrap_err()
+        };
+        let seq = kill(&RunGovernor::unlimited().with_kill_at(Phase::Labeling, 40), 1);
+        for threads in [2, 8] {
+            let par = kill(
+                &RunGovernor::unlimited().with_kill_at(Phase::Labeling, 40),
+                threads,
+            );
+            assert_eq!(par.line, seq.line, "threads={threads}");
+            assert_eq!(par.checkpoint, seq.checkpoint, "threads={threads}");
+            assert_eq!(
+                par.partial_assignments, seq.partial_assignments,
+                "threads={threads}"
+            );
+        }
+        // Speculative read-ahead past the stop line is discarded: the
+        // checkpoint byte offset points at the first unprocessed line.
+        let prefix: usize = input
+            .lines()
+            .take(seq.checkpoint.lines_seen as usize)
+            .map(|l| l.len() + 1)
+            .sum();
+        assert_eq!(seq.checkpoint.byte_offset, prefix as u64);
     }
 
     #[test]

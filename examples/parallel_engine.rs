@@ -15,11 +15,13 @@ use rock::links_matrix::LinkMatrix;
 use rock::neighbors::NeighborGraph;
 use rock::rock::Rock;
 use rock::similarity::{Jaccard, PointsWith};
+use rock::governor::RunGovernor;
 use rock_data::resilient::{
-    label_stream_resilient, label_stream_resilient_parallel, ResilientConfig, RetryPolicy,
+    label_stream_resilient, label_stream_resilient_parallel_governed, ResilientConfig, RetryPolicy,
 };
 use rock_data::{generate_baskets, write_baskets, PackedBaskets, SyntheticBasketSpec};
 use std::io::BufReader;
+use std::time::Duration;
 
 fn main() {
     // Floor at 2 so the sharded kernels are exercised even on one core —
@@ -69,6 +71,9 @@ fn main() {
 
     // --- stage 3: the full pipeline with the threads knob. Same seed +
     // same data ⇒ the parallel run reproduces the sequential run exactly.
+    // The parallel side runs *governed* (a generous wall-clock deadline):
+    // with no budget tripped the governed pipeline is bit-identical to
+    // the plain one, and the report carries per-phase timings.
     let build = |threads: usize| {
         Rock::builder()
             .theta(theta)
@@ -78,14 +83,18 @@ fn main() {
             .weed_outliers(3.0, 8)
             .seed(7)
             .threads(threads)
+            .deadline(Duration::from_secs(600))
             .build()
             .expect("valid configuration")
     };
-    let par = build(threads).run(txns, &Jaccard);
+    let (par, report) = build(threads)
+        .try_run(txns, &Jaccard)
+        .expect("a 600 s deadline never trips here");
     let seq = build(1).run(txns, &Jaccard);
     assert_eq!(par.labeling.assignments, seq.labeling.assignments);
+    assert!(!report.degraded(), "no budget tripped, nothing degraded");
     println!(
-        "pipeline: {} clusters from a {}-point sample (threads={} == threads=1 ✓)",
+        "pipeline: {} clusters from a {}-point sample (threads={} == threads=1 ✓, governed)",
         par.sample_run.clustering.num_clusters(),
         par.sample_indices.len(),
         threads
@@ -106,13 +115,14 @@ fn main() {
         quarantine_detail: 4,
         checkpoint_every: 500,
     };
-    let par_run = label_stream_resilient_parallel(
+    let par_run = label_stream_resilient_parallel_governed(
         BufReader::new(image.as_bytes()),
         &labeler,
         &Jaccard,
         &config,
         None,
         |_| {},
+        &RunGovernor::unlimited(),
         threads,
     )
     .expect("clean stream labels without interruption");

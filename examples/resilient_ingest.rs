@@ -13,13 +13,15 @@
 //! its text encoding and the pass resumes over a healthy reader. The
 //! stitched output must equal an uninterrupted pass exactly.
 
+use rock::governor::RunGovernor;
 use rock::labeling::Labeler;
 use rock::points::Transaction;
 use rock::rock::Rock;
 use rock::similarity::Jaccard;
 use rock_data::faults::{corrupt_baskets, FaultSpec, FaultyReader};
 use rock_data::resilient::{
-    label_stream_resilient, Checkpoint, ResilientConfig, RetryPolicy,
+    label_stream_resilient, label_stream_resilient_governed, Checkpoint, ResilientConfig,
+    RetryPolicy,
 };
 use rock_data::write_baskets;
 use std::io::BufReader;
@@ -101,13 +103,17 @@ fn main() {
     //     resume over a healthy reader.
     let persisted = err.checkpoint.encode();
     let resume = Checkpoint::decode(&persisted).expect("checkpoint round-trips");
-    let resumed = label_stream_resilient(
+    // The resume goes through the governor-aware driver: a real pipeline
+    // would hand the governor a cancellation token wired to its signal
+    // handler, so an operator can stop the pass at a checkpointed line.
+    let resumed = label_stream_resilient_governed(
         BufReader::new(image.as_bytes()),
         &labeler,
         &Jaccard,
         &config,
         Some(&resume),
         |_| {},
+        &RunGovernor::unlimited(),
     )
     .expect("resume over a healthy reader completes");
     println!("resumed from byte {} and finished; final report:", resume.byte_offset);

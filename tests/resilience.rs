@@ -11,13 +11,14 @@
 //!    checkpoint produces output bit-identical to an uninterrupted run
 //!    over the same bytes.
 
+use rock::governor::{Phase, RunGovernor, TripReason};
 use rock::labeling::Labeler;
 use rock::points::Transaction;
 use rock::similarity::Jaccard;
-use rock_data::faults::{corrupt_baskets, FaultSpec, FaultyReader};
+use rock_data::faults::{corrupt_baskets, kill_at, FaultSpec, FaultyReader};
 use rock_data::resilient::{
-    label_stream_resilient, read_baskets_resilient, Checkpoint, IngestErrorKind, ResilientConfig,
-    ResilientLabelRun, RetryPolicy,
+    label_stream_resilient, label_stream_resilient_governed, read_baskets_resilient, Checkpoint,
+    IngestErrorKind, ResilientConfig, ResilientLabelRun, RetryPolicy,
 };
 use std::io::BufReader;
 
@@ -68,13 +69,17 @@ fn config() -> ResilientConfig {
 }
 
 fn run_clean(image: &str) -> ResilientLabelRun {
-    label_stream_resilient(
+    // Routed through the governor-aware entry point: with the default
+    // unlimited governor it is the same driver every acceptance test
+    // below compares against.
+    label_stream_resilient_governed(
         BufReader::new(image.as_bytes()),
         &labeler(),
         &Jaccard,
         &config(),
         None,
         |_| {},
+        &RunGovernor::unlimited(),
     )
     .expect("clean run cannot fail")
 }
@@ -308,4 +313,61 @@ fn quarantine_overflow_is_typed_and_resumable() {
     stitched.extend(resumed.labeling.assignments.iter().copied());
     assert_eq!(stitched, full.labeling.assignments);
     assert_eq!(resumed.checkpoint, full.checkpoint);
+}
+
+/// A governor kill (simulated crash / cancellation) composes with the
+/// I/O fault matrix: the run stops at the injected line with a typed
+/// `Interrupted` error even while transient faults are being retried,
+/// and resuming from its checkpoint reconstructs the uninterrupted
+/// output.
+#[test]
+fn governor_kill_composes_with_io_faults() {
+    let image = corrupt_baskets(&clean_image(), &FaultSpec::none(17).garbage(0.1));
+    let uninterrupted = run_clean(&image);
+
+    for kill_line in [1u64, 50, 150] {
+        let spec = FaultSpec::none(17).transient(0.1, 1).chunk(16);
+        let faulty = FaultyReader::new(image.as_bytes(), spec);
+        let err = label_stream_resilient_governed(
+            BufReader::new(faulty),
+            &labeler(),
+            &Jaccard,
+            &config(),
+            None,
+            |_| {},
+            &kill_at(Phase::Labeling, kill_line),
+        )
+        .expect_err("injected kill must interrupt the run");
+        assert!(matches!(
+            err.kind,
+            IngestErrorKind::Interrupted {
+                phase: Phase::Labeling,
+                reason: TripReason::Cancelled,
+            }
+        ));
+        assert_eq!(err.checkpoint.lines_seen, kill_line, "kill at {kill_line}");
+        assert_eq!(
+            err.report.interrupted,
+            Some((Phase::Labeling, TripReason::Cancelled))
+        );
+
+        let resumed = label_stream_resilient_governed(
+            BufReader::new(image.as_bytes()),
+            &labeler(),
+            &Jaccard,
+            &config(),
+            Some(&err.checkpoint),
+            |_| {},
+            &RunGovernor::unlimited(),
+        )
+        .expect("resume with an unlimited governor completes");
+
+        let mut stitched = err.partial_assignments.clone();
+        stitched.extend(resumed.labeling.assignments.iter().copied());
+        assert_eq!(
+            stitched, uninterrupted.labeling.assignments,
+            "kill at {kill_line}: stitched assignments diverge"
+        );
+        assert_eq!(resumed.checkpoint, uninterrupted.checkpoint);
+    }
 }
