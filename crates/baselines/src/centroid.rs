@@ -102,12 +102,14 @@ pub fn centroid_hierarchical(points: &[Vec<f64>], config: CentroidConfig) -> Clu
     let mut outliers: Vec<u32> = Vec::new();
 
     let recompute = |slots: &[Option<ClusterSlot>], live: &[usize], i: usize| {
+        // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
         let si = slots[i].as_ref().expect("live");
         let mut best: Option<(f64, usize)> = None;
         for &j in live {
             if j == i {
                 continue;
             }
+            // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
             let d = centroid_sq_dist(si, slots[j].as_ref().expect("live"));
             let better = match best {
                 None => true,
@@ -127,10 +129,12 @@ pub fn centroid_hierarchical(points: &[Vec<f64>], config: CentroidConfig) -> Clu
             if live.len() <= at {
                 let (kept, dropped): (Vec<usize>, Vec<usize>) = live
                     .iter()
+                    // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
                     .partition(|&&i| slots[i].as_ref().expect("live").members.len() > 1);
                 // Keep at least k clusters even if weeding is aggressive.
                 if kept.len() >= config.k {
                     for i in dropped {
+                        // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
                         outliers.extend(slots[i].take().expect("live").members);
                     }
                     live = kept;
@@ -167,7 +171,9 @@ pub fn centroid_hierarchical(points: &[Vec<f64>], config: CentroidConfig) -> Clu
         };
 
         // Merge v into u.
+        // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
         let sv = slots[v].take().expect("live");
+        // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
         let su = slots[u].as_mut().expect("live");
         for (x, y) in su.sum.iter_mut().zip(&sv.sum) {
             *x += *y;
@@ -182,6 +188,7 @@ pub fn centroid_hierarchical(points: &[Vec<f64>], config: CentroidConfig) -> Clu
         // nearest partner. So besides invalidating entries that pointed
         // at u or v, compare every live cluster against the new centroid
         // and adopt it when it wins.
+        // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
         let sw = slots[u].as_ref().expect("live");
         for &i in &live {
             if i == u {
@@ -190,6 +197,7 @@ pub fn centroid_hierarchical(points: &[Vec<f64>], config: CentroidConfig) -> Clu
             match nearest[i] {
                 Some((_, j)) if j == u || j == v => nearest[i] = None,
                 Some((d, _)) => {
+                    // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
                     let dw = centroid_sq_dist(slots[i].as_ref().expect("live"), sw);
                     if dw < d {
                         nearest[i] = Some((dw, u));
@@ -202,6 +210,7 @@ pub fn centroid_hierarchical(points: &[Vec<f64>], config: CentroidConfig) -> Clu
 
     let clusters: Vec<Vec<u32>> = live
         .into_iter()
+        // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
         .map(|i| slots[i].take().expect("live").members)
         .collect();
     Clustering::new(clusters, outliers)

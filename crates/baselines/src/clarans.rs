@@ -114,6 +114,7 @@ pub fn clarans<S: PairwiseSimilarity, R: Rng + ?Sized>(
             best = Some((medoids, cost));
         }
     }
+    // tidy-allow(panic): the restart loop runs at least once (num_local >= 1 is validated by the config builder), so `best` is Some
     let (medoids, cost) = best.expect("at least one restart");
 
     // Materialise the partition (ties to the lowest medoid index).
@@ -137,6 +138,7 @@ pub fn clarans<S: PairwiseSimilarity, R: Rng + ?Sized>(
             *medoids
                 .iter()
                 .find(|m| members.binary_search(m).is_ok())
+                // tidy-allow(panic): the partition loop assigns every point, including each medoid, to its own cluster (self-similarity is maximal)
                 .expect("each cluster contains its medoid")
         })
         .collect();

@@ -90,6 +90,7 @@ pub fn kmeans<R: Rng + ?Sized>(
         };
         centroids.push(points[next].clone());
         for (i, p) in points.iter().enumerate() {
+            // tidy-allow(panic): `centroids` was seeded with the first pick before this loop and only grows
             let d = sq_euclidean(p, centroids.last().expect("nonempty"));
             if d < d2[i] {
                 d2[i] = d;

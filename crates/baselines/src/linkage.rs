@@ -124,7 +124,9 @@ pub fn similarity_linkage<S: PairwiseSimilarity>(sim: &S, config: LinkageConfig)
         }
         let (u, w) = (u_raw.min(v_raw), u_raw.max(v_raw));
         // Merge w into u with the Lance–Williams update.
+        // tidy-allow(panic): indices drawn from `live` always point at occupied members slots; a slot is vacated only when its index leaves `live`
         let nu = members[u].as_ref().expect("live").len() as f64;
+        // tidy-allow(panic): indices drawn from `live` always point at occupied members slots; a slot is vacated only when its index leaves `live`
         let nw = members[w].as_ref().expect("live").len() as f64;
         for &x in &live {
             if x == u || x == w {
@@ -138,7 +140,9 @@ pub fn similarity_linkage<S: PairwiseSimilarity>(sim: &S, config: LinkageConfig)
                 Linkage::Average => (nu * su + nw * sw) / (nu + nw),
             };
         }
+        // tidy-allow(panic): indices drawn from `live` always point at occupied members slots; a slot is vacated only when its index leaves `live`
         let mw = members[w].take().expect("live");
+        // tidy-allow(panic): indices drawn from `live` always point at occupied members slots; a slot is vacated only when its index leaves `live`
         members[u].as_mut().expect("live").extend(mw);
         live.retain(|&i| i != w);
         nearest[u] = None;
@@ -153,6 +157,7 @@ pub fn similarity_linkage<S: PairwiseSimilarity>(sim: &S, config: LinkageConfig)
 
     let clusters: Vec<Vec<u32>> = live
         .into_iter()
+        // tidy-allow(panic): indices drawn from `live` always point at occupied members slots; a slot is vacated only when its index leaves `live`
         .map(|i| members[i].take().expect("live"))
         .collect();
     Clustering::new(clusters, Vec::new())

@@ -26,7 +26,7 @@ use crate::heap::AddressableHeap;
 use crate::links::LinkTable;
 use crate::links_matrix::LinkMatrix;
 use crate::neighbors::NeighborGraph;
-use crate::util::FxHashMap;
+use crate::util::{FxBuildHasher, FxHashMap};
 use crate::wal::{parse_wal, MergeWal, WalBegin, WalSnapshot};
 
 /// §4.6 outlier handling knobs.
@@ -79,6 +79,7 @@ pub struct RockAlgorithm {
     goodness: Goodness,
     k: usize,
     outliers: OutlierPolicy,
+    hasher: FxBuildHasher,
 }
 
 /// Full output of a clustering run, including the merge trace.
@@ -108,7 +109,22 @@ impl RockAlgorithm {
             goodness,
             k,
             outliers,
+            hasher: FxBuildHasher::default(),
         }
+    }
+
+    /// Perturbs the engine's internal hash maps with `seed`.
+    ///
+    /// The clustering result is bit-identical for every seed — the merge
+    /// loop's ordering decisions all go through sorted structures or
+    /// key-tie-broken heaps, never raw map iteration order. That claim is
+    /// enforced two ways: statically by rock-tidy's `nondeterministic-iter`
+    /// rule, and dynamically by the hasher-independence property test,
+    /// which runs this engine under several seeds and diffs the outputs.
+    #[must_use]
+    pub fn with_hash_seed(mut self, seed: u64) -> Self {
+        self.hasher = FxBuildHasher::with_seed(seed);
+        self
     }
 
     /// The goodness measure in use.
@@ -165,6 +181,7 @@ impl RockAlgorithm {
             graph.len(),
             "link table and neighbor graph disagree on point count"
         );
+        // tidy-allow(nondeterministic-iter): pair order folds into keyed maps and heaps; AddressableHeap breaks goodness ties by the larger key, so iteration order cannot reach the merge sequence
         self.run_from_pairs(graph, links.iter())
     }
 
@@ -311,6 +328,7 @@ impl RockAlgorithm {
         let mut engine = self.init_from_pairs(graph, pairs);
         let governor = RunGovernor::unlimited();
         self.drive(&mut engine, &governor, None)
+            // tidy-allow(panic): an unlimited governor has no budgets, no deadline and no cancel token, so drive() cannot trip
             .expect("an unlimited governor never trips");
         self.finish(engine, None)
     }
@@ -339,7 +357,7 @@ impl RockAlgorithm {
             }
         }
         let initial = members.len();
-        let mut state = State::new(members, self.goodness);
+        let mut state = State::new(members, self.goodness, self.hasher);
 
         // Initial cross-link maps and local heaps from the linked pairs.
         for ((i, j), c) in pairs {
@@ -567,8 +585,9 @@ impl RockAlgorithm {
             }
             *slot = Some(m.clone());
         }
-        let mut state = State::new(members, self.goodness);
+        let mut state = State::new(members, self.goodness, self.hasher);
         state.live = snap.clusters.len();
+        // tidy-allow(nondeterministic-iter): snap.links is a Vec canonically sorted by Engine::snapshot, not a hash map; the name merely shadows the links field
         for &(i, j, c) in &snap.links {
             let live = |x: u32| {
                 state
@@ -692,11 +711,11 @@ struct State {
 }
 
 impl State {
-    fn new(members: Vec<Option<Vec<u32>>>, goodness: Goodness) -> Self {
+    fn new(members: Vec<Option<Vec<u32>>>, goodness: Goodness, hasher: FxBuildHasher) -> Self {
         let n = members.len();
         State {
             live: n,
-            links: vec![FxHashMap::default(); n],
+            links: vec![FxHashMap::with_hasher(hasher); n],
             local: (0..n).map(|_| AddressableHeap::new()).collect(),
             global: AddressableHeap::with_capacity(n),
             members,
@@ -707,6 +726,7 @@ impl State {
     fn size(&self, id: u32) -> usize {
         self.members[id as usize]
             .as_ref()
+            // tidy-allow(panic): size() is only called on cluster ids still live in the merge loop, whose slots are occupied
             .expect("live cluster")
             .len()
     }
@@ -725,6 +745,7 @@ impl State {
     fn merge(&mut self, u: u32) -> MergeRecord {
         let (v, guv) = self.local[u as usize]
             .peek()
+            // tidy-allow(panic): drive() only merges ids whose global goodness is finite, which requires a non-empty local heap
             .expect("merge called on cluster with candidates");
         let cross = self.links[u as usize][&v];
         let record = MergeRecord {
@@ -740,7 +761,9 @@ impl State {
         self.global.remove(&v);
 
         // Step 9: w := merge(u, v).
+        // tidy-allow(panic): u and v come from live heap entries; each slot is taken here exactly once
         let mut merged = self.members[u as usize].take().expect("live");
+        // tidy-allow(panic): u and v come from live heap entries; each slot is taken here exactly once
         merged.extend(self.members[v as usize].take().expect("live"));
         let w = self.members.len() as u32;
         let w_size = merged.len();
@@ -748,6 +771,7 @@ impl State {
 
         // link[x, w] := link[x, u] + link[x, v] for all linked x.
         let mut lw = std::mem::take(&mut self.links[u as usize]);
+        // tidy-allow(nondeterministic-iter): counts accumulate with commutative `+=`; visit order cannot affect the sums
         for (x, c) in std::mem::take(&mut self.links[v as usize]) {
             *lw.entry(x).or_insert(0) += c;
         }
@@ -755,6 +779,7 @@ impl State {
         lw.remove(&v);
 
         let mut qw = AddressableHeap::with_capacity(lw.len());
+        // tidy-allow(nondeterministic-iter): each iteration updates only x-keyed state, and heap orderings break goodness ties by key, so visit order cannot affect any outcome
         for (&x, &cxw) in &lw {
             // Steps 11–14: replace u, v by w in x's bookkeeping.
             let xl = &mut self.links[x as usize];
@@ -796,8 +821,10 @@ impl State {
             })
             .collect();
         for o in victims {
+            // tidy-allow(panic): victims were collected from occupied slots and are distinct, so each take() hits Some
             let m = self.members[o as usize].take().expect("live");
             outliers.extend(m);
+            // tidy-allow(nondeterministic-iter): the loop performs keyed removals on partners' maps and heaps; per-partner updates are independent of visit order
             for (x, _) in std::mem::take(&mut self.links[o as usize]) {
                 // A partner may itself have just been weeded.
                 if self.members[x as usize].is_none() {

@@ -80,6 +80,7 @@ pub fn neighbor_components(graph: &NeighborGraph, min_size: usize) -> Clustering
     }
     let mut clusters = Vec::new();
     let mut outliers = Vec::new();
+    // tidy-allow(nondeterministic-iter): cluster and outlier order is canonicalized by Clustering::new (members sorted, clusters by size then smallest member)
     for (_, members) in by_root {
         if members.len() >= min_size.max(2) {
             clusters.push(members);

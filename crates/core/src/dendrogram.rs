@@ -79,7 +79,9 @@ impl Dendrogram {
             .map(|&p| Some(vec![p]))
             .collect();
         for m in &self.merges[..steps] {
+            // tidy-allow(panic): merge records reference each cluster id exactly once as an input, so the slot is still occupied during replay
             let left = members[m.left as usize].take().expect("live left");
+            // tidy-allow(panic): merge records reference each cluster id exactly once as an input, so the slot is still occupied during replay
             let mut right = members[m.right as usize].take().expect("live right");
             right.extend(left);
             debug_assert_eq!(members.len(), m.merged as usize);

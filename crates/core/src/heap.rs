@@ -137,6 +137,7 @@ impl<K: Copy + Eq + Hash + Ord> AddressableHeap<K> {
     fn remove_at(&mut self, i: usize) -> (K, f64) {
         let last = self.data.len() - 1;
         self.data.swap(i, last);
+        // tidy-allow(panic): callers pass an in-bounds index, so data is non-empty after the swap
         let removed = self.data.pop().expect("non-empty");
         self.pos.remove(&removed.0);
         if i < self.data.len() {

@@ -128,7 +128,10 @@ pub use governor::{
     CancellationToken, DegradationNote, DegradationPolicy, Phase, RunGovernor, TripReason,
 };
 pub use labeling::{Labeler, Labeling};
-pub use links::{compute_links_auto, compute_links_dense, compute_links_sparse, LinkTable};
+pub use links::{
+    compute_links_auto, compute_links_dense, compute_links_sparse, compute_links_sparse_seeded,
+    LinkTable,
+};
 pub use links_l3::{combine_links, compute_links_l3, compute_links_l3_parallel};
 pub use links_matrix::{LinkKernel, LinkMatrix};
 pub use neighbors::NeighborGraph;

@@ -15,7 +15,7 @@
 //!   comparator.
 
 use crate::neighbors::NeighborGraph;
-use crate::util::{BitSet, FxHashMap};
+use crate::util::{BitSet, FxBuildHasher, FxHashMap};
 
 /// Sparse table of non-zero link counts between point pairs.
 ///
@@ -78,11 +78,13 @@ impl LinkTable {
 
     /// Total number of links over all pairs.
     pub fn total_links(&self) -> u64 {
+        // tidy-allow(nondeterministic-iter): summation over values is commutative; order cannot affect the total
         self.counts.values().map(|&c| u64::from(c)).sum()
     }
 
     /// Iterates over `((i, j), count)` with `i < j`, arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = ((u32, u32), u32)> + '_ {
+        // tidy-allow(nondeterministic-iter): documented arbitrary-order accessor; the clustering consumer folds pairs into keyed maps and key-tie-broken heaps (run_with_links)
         self.counts.iter().map(|(&k, &v)| (k, v))
     }
 
@@ -119,6 +121,15 @@ impl LinkTable {
 /// is the CSR engine used on the clustering hot path, and the test suites
 /// cross-check it against this table.
 pub fn compute_links_sparse(graph: &NeighborGraph) -> LinkTable {
+    compute_links_sparse_seeded(graph, FxBuildHasher::default())
+}
+
+/// As [`compute_links_sparse`], with the table's hash maps built from
+/// `hasher`. The link *counts* are identical for every seed — only the
+/// map's internal bucket order (and so [`LinkTable::iter`] order) moves.
+/// The hasher-independence property test drives clustering through both
+/// a seeded and the default table and asserts bit-identical results.
+pub fn compute_links_sparse_seeded(graph: &NeighborGraph, hasher: FxBuildHasher) -> LinkTable {
     let n = graph.len();
     // Pre-size the map from the Fig.-4 work bound: point i contributes
     // m_i·(m_i−1)/2 increments, so Σᵢ mᵢ²/2 bounds the number of distinct
@@ -134,7 +145,7 @@ pub fn compute_links_sparse(graph: &NeighborGraph) -> LinkTable {
         .sum();
     let hint = (sum_sq / 2.0).min(n as f64 * n as f64 / 4.0).min(1e7) as usize;
     let mut table = LinkTable {
-        counts: FxHashMap::with_capacity_and_hasher(hint.max(16), Default::default()),
+        counts: FxHashMap::with_capacity_and_hasher(hint.max(16), hasher),
         n,
     };
     for i in 0..n {
@@ -286,9 +297,9 @@ mod tests {
         let g = NeighborGraph::build(&m, 0.5);
         let n = g.len();
         let mut a = vec![vec![0u32; n]; n];
-        for i in 0..n {
+        for (i, row) in a.iter_mut().enumerate() {
             for &j in g.neighbors(i) {
-                a[i][j as usize] = 1;
+                row[j as usize] = 1;
             }
         }
         let links = compute_links_sparse(&g);

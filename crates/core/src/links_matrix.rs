@@ -432,6 +432,7 @@ fn merge_counts(mut shards: Vec<Vec<(u64, u32)>>) -> Vec<(u64, u32)> {
     shards.retain(|s| !s.is_empty());
     match shards.len() {
         0 => Vec::new(),
+        // tidy-allow(panic): the match arm guarantees exactly one shard
         1 => shards.pop().expect("one shard"),
         _ => {
             let total: usize = shards.iter().map(Vec::len).sum();

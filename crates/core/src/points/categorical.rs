@@ -97,6 +97,7 @@ impl CategoricalSchema {
             assert!(prev.is_none(), "duplicate value {v:?} in domain of {name:?}");
         }
         self.offsets.push(self.total_items);
+        // tidy-allow(panic): documented `# Panics` contract: attribute domains beyond u32::MAX values are a caller error
         self.total_items += u32::try_from(domain.len()).expect("domain too large");
         self.attributes.push(AttributeDef {
             name: name.to_owned(),

@@ -145,6 +145,7 @@ impl ItemCatalog {
         if let Some(&id) = self.ids.get(name) {
             return id;
         }
+        // tidy-allow(panic): item ids are u32 across the engine; vocabularies beyond u32::MAX items are out of scope by contract
         let id = u32::try_from(self.names.len()).expect("more than u32::MAX items");
         self.names.push(name.to_owned());
         self.ids.insert(name.to_owned(), id);

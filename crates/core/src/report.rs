@@ -11,7 +11,7 @@
 
 use crate::governor::{DegradationNote, Phase, TripReason};
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One malformed or unlabelable input record set aside instead of
 /// aborting the run.
@@ -21,6 +21,33 @@ pub struct QuarantinedRecord {
     pub line: u64,
     /// Human-readable reason (parse failure, non-finite similarity, …).
     pub reason: String,
+}
+
+/// In-flight wall-clock measurement of one pipeline phase.
+///
+/// This is the only sanctioned way for pipeline code to time a phase:
+/// report.rs owns the process's wall-clock dependency, so the
+/// deterministic modules (`rock.rs`, `algorithm.rs`, …) never read
+/// `Instant::now` themselves — rock-tidy's `wall-clock` rule enforces
+/// that boundary.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    started: Instant,
+}
+
+impl PhaseTimer {
+    /// Starts the clock.
+    #[must_use]
+    pub fn start() -> Self {
+        PhaseTimer {
+            started: Instant::now(),
+        }
+    }
+
+    /// Stops the clock and appends the phase timing to `report`.
+    pub fn record(self, report: &mut RunReport, name: &str) {
+        report.record_phase(name, self.started.elapsed());
+    }
 }
 
 /// Wall-clock duration of one pipeline phase.

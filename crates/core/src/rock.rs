@@ -15,11 +15,11 @@ use crate::governor::{
 use crate::labeling::{Labeler, Labeling};
 use crate::links_matrix::{LinkKernel, LinkMatrix};
 use crate::neighbors::NeighborGraph;
-use crate::report::RunReport;
+use crate::report::{PhaseTimer, RunReport};
 use crate::similarity::{CheckedSimilarity, PairwiseSimilarity, PointsWith, Similarity};
 use crate::wal::MergeWal;
 use rand::{rngs::StdRng, SeedableRng};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Validated configuration of a ROCK run.
 #[derive(Clone, Copy, Debug)]
@@ -449,6 +449,7 @@ impl Rock {
             self.config.ftheta,
             &mut rng,
         )
+        // tidy-allow(panic): Labeler::new revalidates parameters already validated by RockBuilder::build, so it cannot fail here
         .expect("labeling parameters validated by RockBuilder::build");
         let labeling = labeler.label_all_parallel(data, measure, self.config.threads);
         RockResult {
@@ -482,6 +483,7 @@ impl Rock {
             {
                 let DegradationPolicy::Components { min_cluster_size } = self.config.degradation
                 else {
+                    // tidy-allow(panic): the match guard two lines up proved the policy is the Components variant
                     unreachable!()
                 };
                 let clustering = neighbor_components(graph, min_cluster_size);
@@ -659,7 +661,7 @@ impl Rock {
         let mut rng = self.rng();
 
         governor.check(Phase::Sample)?;
-        let t = Instant::now();
+        let t = PhaseTimer::start();
         let mut sample_indices = match self.config.sample_size {
             Some(size) if size < data.len() => {
                 crate::sampling::sample_indices(data.len(), size, &mut rng)
@@ -667,9 +669,9 @@ impl Rock {
             _ => (0..data.len()).collect(),
         };
         let mut sample: Vec<P> = sample_indices.iter().map(|&i| data[i].clone()).collect();
-        report.record_phase("sample", t.elapsed());
+        t.record(&mut report, "sample");
 
-        let t = Instant::now();
+        let t = PhaseTimer::start();
         let mut note = None;
         let outcome = {
             governor.check(Phase::Neighbors)?;
@@ -694,6 +696,7 @@ impl Rock {
                     && matches!(self.config.degradation, DegradationPolicy::Subsample { .. }) =>
             {
                 let DegradationPolicy::Subsample { fraction } = self.config.degradation else {
+                    // tidy-allow(panic): the match guard above proved the policy is the Subsample variant
                     unreachable!()
                 };
                 let orig = sample.len();
@@ -723,9 +726,9 @@ impl Rock {
             }
             Err(e) => return Err(e),
         };
-        report.record_phase("cluster", t.elapsed());
+        t.record(&mut report, "cluster");
 
-        let t = Instant::now();
+        let t = PhaseTimer::start();
         let labeler = Labeler::new(
             &sample,
             &sample_run.clustering.clusters,
@@ -738,7 +741,7 @@ impl Rock {
         if let Some(e) = checked.error() {
             return Err(e);
         }
-        report.record_phase("label", t.elapsed());
+        t.record(&mut report, "label");
 
         report.records_read = data.len() as u64;
         report.outliers = labeling.num_outliers as u64;

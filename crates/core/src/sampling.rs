@@ -162,12 +162,12 @@ mod tests {
 
     #[test]
     fn r_is_roughly_uniform() {
-        uniformity_of(|s, k, rng| reservoir_sample_r(s, k, rng));
+        uniformity_of(reservoir_sample_r);
     }
 
     #[test]
     fn x_is_roughly_uniform() {
-        uniformity_of(|s, k, rng| reservoir_sample_x(s, k, rng));
+        uniformity_of(reservoir_sample_x);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! The ablation bench `bench/benches/links.rs` compares this hasher against
 //! `std`'s default on the link-table workload.
 
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::{BuildHasher, Hasher};
 
 /// Multiplicative constant from the Fx hash (64-bit golden-ratio based).
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
@@ -43,6 +43,7 @@ impl Hasher for FxHasher {
         // Generic path: fold 8 bytes at a time, then the tail.
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // tidy-allow(panic): chunks_exact(8) yields exactly 8-byte slices; the conversion is infallible
             self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
         }
         let tail = chunks.remainder();
@@ -79,8 +80,40 @@ impl Hasher for FxHasher {
     }
 }
 
-/// `BuildHasher` for [`FxHasher`].
-pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// `BuildHasher` for [`FxHasher`], carrying an optional seed.
+///
+/// The seed perturbs the initial hasher state, which scrambles bucket
+/// assignment — and therefore iteration order — of every map built from
+/// it. Output must not depend on that order: the engine's results are
+/// asserted bit-identical across seeds by the hasher-independence
+/// property test (`tests/hasher_independence.rs`), and rock-tidy's
+/// `nondeterministic-iter` rule polices new iteration sites statically.
+/// `Default` is seed 0, which reproduces the classic unseeded FxHash.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FxBuildHasher {
+    seed: u64,
+}
+
+impl FxBuildHasher {
+    /// A build-hasher whose hashers start from `seed` instead of 0.
+    pub const fn with_seed(seed: u64) -> Self {
+        FxBuildHasher { seed }
+    }
+
+    /// The seed this build-hasher perturbs its hashers with.
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher { hash: self.seed }
+    }
+}
 
 /// A `HashMap` using [`FxHasher`].
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
@@ -107,31 +140,38 @@ mod tests {
     #[test]
     fn distinct_keys_distinct_hashes_mostly() {
         // Sanity: over small dense integer keys the hash should not collapse.
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let b = FxBuildHasher::default();
         let mut seen = std::collections::HashSet::new();
         for i in 0..10_000u64 {
-            let mut h = b.build_hasher();
-            i.hash(&mut h);
-            seen.insert(h.finish());
+            seen.insert(b.hash_one(i));
         }
         assert_eq!(seen.len(), 10_000);
     }
 
     #[test]
+    fn seed_changes_hashes_but_not_lookups() {
+        use std::hash::BuildHasher;
+        let a = FxBuildHasher::default();
+        let b = FxBuildHasher::with_seed(0x9e37_79b9_7f4a_7c15);
+        // The seed must actually perturb hash values…
+        assert!((0..64u64).any(|i| a.hash_one(i) != b.hash_one(i)));
+        // …while seeded maps still behave as maps.
+        let mut m = std::collections::HashMap::with_hasher(b);
+        for i in 0..1000u32 {
+            m.insert(i, i * 7);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m[&i], i * 7);
+        }
+    }
+
+    #[test]
     fn byte_stream_path_consistent() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let b = FxBuildHasher::default();
-        let h1 = {
-            let mut h = b.build_hasher();
-            "hello world, categorical clustering".hash(&mut h);
-            h.finish()
-        };
-        let h2 = {
-            let mut h = b.build_hasher();
-            "hello world, categorical clustering".hash(&mut h);
-            h.finish()
-        };
+        let h1 = b.hash_one("hello world, categorical clustering");
+        let h2 = b.hash_one("hello world, categorical clustering");
         assert_eq!(h1, h2);
     }
 }

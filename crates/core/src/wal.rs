@@ -303,10 +303,12 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Option<u32> {
+        // tidy-allow(panic): take(4) returns an exactly-4-byte slice; the conversion is infallible
         self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
     }
 
     fn u64(&mut self) -> Option<u64> {
+        // tidy-allow(panic): take(8) returns an exactly-8-byte slice; the conversion is infallible
         self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
     }
 
@@ -511,12 +513,14 @@ fn read_frame(bytes: &[u8], at: usize) -> Option<(u8, &[u8], usize)> {
         return None;
     }
     let kind = bytes[at];
+    // tidy-allow(panic): the slice spans exactly 4 bytes by construction of the indices
     let len = u32::from_le_bytes(bytes[at + 1..at + 5].try_into().expect("4 bytes")) as usize;
     let payload_end = (at + 5).checked_add(len)?;
     let frame_end = payload_end.checked_add(4)?;
     if frame_end > bytes.len() {
         return None;
     }
+    // tidy-allow(panic): the slice spans exactly 4 bytes by construction of the indices
     let stored = u32::from_le_bytes(bytes[payload_end..frame_end].try_into().expect("4 bytes"));
     if crc32(&bytes[at..payload_end]) != stored {
         return None;

@@ -529,6 +529,7 @@ fn parse_record(line: &str) -> Result<Transaction, String> {
 /// here (it is all the governor's checks return).
 fn interrupt_stop(e: RockError, report: &mut RunReport, line: u64) -> (IngestErrorKind, u64) {
     let RockError::Interrupted { phase, reason, .. } = e else {
+        // tidy-allow(panic): only RockError::Interrupted reaches this adapter: it is all the governor's checks return
         unreachable!("governor checks only return RockError::Interrupted, got {e}");
     };
     report.interrupted = Some((phase, reason));
@@ -957,6 +958,7 @@ where
                 PreLine::Skip => LineOutcome::Skip,
                 PreLine::Bad(reason) => LineOutcome::Record(Handled::Quarantine(reason)),
                 PreLine::Txn(slot) => {
+                    // tidy-allow(panic): the scored batch holds one entry per parsed record, each taken exactly once in line order
                     let result = scored[slot].take().expect("every parsed record is scored");
                     LineOutcome::Record(match result {
                         Ok(assignment) => {

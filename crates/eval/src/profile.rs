@@ -94,8 +94,7 @@ pub fn cluster_profiles(
                     .collect();
                 attr_values.sort_by(|x, y| {
                     y.frequency
-                        .partial_cmp(&x.frequency)
-                        .unwrap()
+                        .total_cmp(&x.frequency)
                         .then(x.value.cmp(&y.value))
                 });
                 values.extend(attr_values);

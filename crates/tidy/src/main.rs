@@ -1,0 +1,142 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p rock-tidy               # human diagnostics, exit 1 on any
+//! cargo run -p rock-tidy -- --ci       # same checks, terse output for CI
+//! cargo run -p rock-tidy -- --json     # machine-readable report
+//! cargo run -p rock-tidy -- --rule panic   # filter to one rule
+//! cargo run -p rock-tidy -- --root <dir>   # explicit workspace root
+//! cargo run -p rock-tidy -- --file <path>  # scan one file as core lib code
+//! ```
+//!
+//! `--file` scans a single file under the strictest classification
+//! (rock-core library code) instead of walking a workspace — the mode
+//! the seeded-violation fixtures are verified with.
+//!
+//! Exit status: 0 when the workspace is clean, 1 on violations, 2 on
+//! usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    files: Vec<PathBuf>,
+    json: bool,
+    ci: bool,
+    rules: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        files: Vec::new(),
+        json: false,
+        ci: false,
+        rules: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ci" => opts.ci = true,
+            "--json" => opts.json = true,
+            "--root" => {
+                let v = args.next().ok_or("--root needs a path")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--file" => {
+                let v = args.next().ok_or("--file needs a path")?;
+                opts.files.push(PathBuf::from(v));
+            }
+            "--rule" => {
+                let v = args.next().ok_or("--rule needs a rule name")?;
+                opts.rules.push(v);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: rock-tidy [--ci] [--json] [--root <dir>] [--rule <name>]* \
+                     [--file <path>]*"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Scans the explicitly named files as rock-core library code (the
+/// strictest classification, so every seeded violation fires).
+fn check_named_files(files: &[PathBuf]) -> Result<Vec<rock_tidy::Diagnostic>, String> {
+    let mut out = Vec::new();
+    for path in files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let rel = path.to_string_lossy().replace('\\', "/");
+        let file = rock_tidy::load_source(&rel, rock_tidy::FileKind::Lib, "core".to_string(), &text);
+        out.extend(rock_tidy::check_file(&file));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut diags = if opts.files.is_empty() {
+        let root = match opts.root.or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|d| rock_tidy::find_root(&d))
+        }) {
+            Some(r) => r,
+            None => {
+                eprintln!("rock-tidy: no workspace root found (use --root <dir>)");
+                return ExitCode::from(2);
+            }
+        };
+        match rock_tidy::run_workspace(&root) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("rock-tidy: I/O error walking {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match check_named_files(&opts.files) {
+            Ok(d) => d,
+            Err(msg) => {
+                eprintln!("rock-tidy: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    if !opts.rules.is_empty() {
+        diags.retain(|d| opts.rules.iter().any(|r| r == d.rule));
+    }
+    if opts.json {
+        println!("{}", rock_tidy::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message);
+        }
+        if diags.is_empty() {
+            if !opts.ci {
+                println!("rock-tidy: workspace clean");
+            }
+        } else {
+            eprintln!("rock-tidy: {} violation(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

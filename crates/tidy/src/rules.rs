@@ -1,0 +1,481 @@
+//! The invariant catalog: one small self-contained checker per rule.
+//!
+//! Every checker takes a scanned [`SourceFile`] and reports violations as
+//! [`Diagnostic`]s with precise `file:line` positions. A site can be
+//! exempted with an adjacent annotation
+//!
+//! ```text
+//! // tidy-allow(<rule>): <concrete invariant that makes the site sound>
+//! ```
+//!
+//! on the same line or one of the two lines above. The reason is
+//! mandatory: an annotation without one does not exempt the site (and is
+//! itself reported), so every allowlisted violation carries its own
+//! justification in the diff.
+
+use crate::scan::{contains_word, SourceLine};
+
+/// Where a file sits in the workspace; decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code of a workspace crate (`crates/<name>/src/**`,
+    /// facade `src/**`).
+    Lib,
+    /// A binary target (`src/bin/**`).
+    Bin,
+    /// A vendored offline shim (`shims/<name>/src/**`).
+    Shim,
+    /// Tests, examples and benches — exempt from the library-only rules.
+    TestOrExample,
+}
+
+/// A scanned source file plus its workspace classification.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// File classification.
+    pub kind: FileKind,
+    /// Owning crate: `core`, `data`, … for `crates/*`; `rock` for the
+    /// facade; `shims/rayon` etc. for shims.
+    pub crate_name: String,
+    /// Code/comment split per line.
+    pub lines: Vec<SourceLine>,
+    /// `true` for lines inside `#[cfg(test)]` items.
+    pub in_test: Vec<bool>,
+}
+
+/// One rule violation at a precise position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number (0 for whole-file / workspace findings).
+    pub line: usize,
+    /// Rule identifier (the name accepted by `tidy-allow(...)`).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Every rule name accepted by the `tidy-allow(<rule>)` grammar.
+pub const ALLOWABLE_RULES: &[&str] = &[
+    "panic",
+    "nondeterministic-iter",
+    "wall-clock",
+    "float-ordering",
+    "unsafe-block",
+    "forbid-unsafe",
+    "debris",
+];
+
+/// The crates whose library code must be panic-free / total-ordered.
+const CHECKED_LIBS: &[&str] = &["core", "data", "baselines", "eval", "rock"];
+
+/// Library files allowed to read the wall clock (timing code).
+const WALL_CLOCK_FILES: &[&str] = &["crates/core/src/report.rs", "crates/core/src/governor.rs"];
+
+/// True if line `idx` (0-based) carries a valid `tidy-allow(rule): reason`
+/// on itself or one of the two preceding lines.
+fn allowed(file: &SourceFile, idx: usize, rule: &str) -> bool {
+    let lo = idx.saturating_sub(2);
+    (lo..=idx).any(|i| {
+        file.lines
+            .get(i)
+            .and_then(|l| parse_allow(&l.comment))
+            .is_some_and(|(r, reason)| r == rule && !reason.is_empty())
+    })
+}
+
+/// Parses a `tidy-allow(<rule>): <reason>` annotation. Only a comment
+/// that *starts* with the grammar counts — prose (or documentation like
+/// this sentence) merely mentioning `tidy-allow(...)` does not.
+fn parse_allow(comment: &str) -> Option<(&str, &str)> {
+    let after = comment.trim_start().strip_prefix("tidy-allow(")?;
+    let close = after.find(')')?;
+    let rule = after[..close].trim();
+    let tail = &after[close + 1..];
+    let reason = tail.strip_prefix(':').unwrap_or("").trim();
+    Some((rule, reason))
+}
+
+/// Shared walk: yields `(line_index, line)` for non-test lines.
+fn lib_lines(file: &SourceFile) -> impl Iterator<Item = (usize, &SourceLine)> {
+    file.lines
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !file.in_test.get(i).copied().unwrap_or(false))
+}
+
+fn diag(file: &SourceFile, idx: usize, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.rel.clone(),
+        line: idx + 1,
+        rule,
+        message,
+    }
+}
+
+/// **annotation** — malformed or unknown `tidy-allow` annotations are
+/// themselves violations, so a typo cannot silently disable a rule.
+pub fn check_annotations(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if let Some((rule, reason)) = parse_allow(&line.comment) {
+            if !ALLOWABLE_RULES.contains(&rule) {
+                out.push(diag(
+                    file,
+                    i,
+                    "annotation",
+                    format!("tidy-allow names unknown rule `{rule}`"),
+                ));
+            } else if reason.is_empty() {
+                out.push(diag(
+                    file,
+                    i,
+                    "annotation",
+                    format!(
+                        "tidy-allow({rule}) needs a `: <reason>` stating the invariant \
+                         that makes the site sound"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// **panic** — library code of the checked crates must not contain
+/// `unwrap`/`expect`/`panic!`/`unreachable!`: fallible paths go through
+/// `RockError`, infallible ones carry a `tidy-allow(panic)` invariant.
+/// (`assert!` of documented preconditions is the sanctioned idiom and is
+/// not flagged; `todo!`/`dbg!` debris is the **debris** rule.)
+pub fn check_panic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.kind != FileKind::Lib || !CHECKED_LIBS.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    const PATTERNS: &[(&str, &str)] = &[
+        (".unwrap()", "`.unwrap()` panics on None/Err"),
+        (".expect(", "`.expect(...)` panics on None/Err"),
+        ("panic!(", "`panic!` in library code"),
+        ("unreachable!(", "`unreachable!` in library code"),
+    ];
+    for (i, line) in lib_lines(file) {
+        for &(pat, what) in PATTERNS {
+            if line.code.contains(pat) && !allowed(file, i, "panic") {
+                out.push(diag(
+                    file,
+                    i,
+                    "panic",
+                    format!(
+                        "{what}; return a RockError or add \
+                         `// tidy-allow(panic): <invariant>`"
+                    ),
+                ));
+                break; // one diagnostic per line is enough
+            }
+        }
+    }
+}
+
+/// **wall-clock** — `rock-core` is the deterministic replay engine: the
+/// wall clock may only be read by the timing modules (`report.rs`,
+/// `governor.rs`). A stray `Instant::now()` anywhere else is how
+/// time-dependent behaviour sneaks into merge order or WAL bytes.
+pub fn check_wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.kind != FileKind::Lib || file.crate_name != "core" {
+        return;
+    }
+    if WALL_CLOCK_FILES.contains(&file.rel.as_str()) {
+        return;
+    }
+    const PATTERNS: &[&str] = &["Instant::now", "SystemTime", "UNIX_EPOCH"];
+    for (i, line) in lib_lines(file) {
+        for &pat in PATTERNS {
+            if line.code.contains(pat) && !allowed(file, i, "wall-clock") {
+                out.push(diag(
+                    file,
+                    i,
+                    "wall-clock",
+                    format!(
+                        "`{pat}` outside report.rs/governor.rs: deterministic modules \
+                         must not read the wall clock"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// **float-ordering** — ordering decisions on floats must use
+/// `total_cmp`: `partial_cmp` returns `None` on NaN and the usual
+/// `.partial_cmp(..).unwrap()` idiom turns a poisoned similarity into a
+/// mid-merge panic (and `Option`-defaulting turns it into silent
+/// order instability).
+pub fn check_float_ordering(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.kind != FileKind::Lib || !CHECKED_LIBS.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    for (i, line) in lib_lines(file) {
+        if line.code.contains(".partial_cmp(") && !allowed(file, i, "float-ordering") {
+            out.push(diag(
+                file,
+                i,
+                "float-ordering",
+                "`partial_cmp` in an ordering path: use `f64::total_cmp` so NaN orders \
+                 deterministically instead of panicking or vanishing"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// **nondeterministic-iter** — in `rock-core`, iterating a
+/// `HashMap`/`HashSet` in an order-sensitive position is the classic way
+/// to lose bit-identical replay. Every iteration over a hash-typed
+/// binding must either be followed by a sort (within the next few lines)
+/// or carry a `tidy-allow(nondeterministic-iter)` annotation explaining
+/// why the order cannot reach merge decisions, reports or WAL bytes.
+pub fn check_nondeterministic_iter(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.kind != FileKind::Lib || file.crate_name != "core" {
+        return;
+    }
+    let idents = hash_idents(file);
+    if idents.is_empty() {
+        return;
+    }
+    /// How far below an iteration site a `.sort…` call still counts as
+    /// "the order is canonicalised before it can escape".
+    const SORT_WINDOW: usize = 10;
+    const ITER_METHODS: &[&str] = &[
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain(",
+    ];
+    for (i, line) in lib_lines(file) {
+        let mut hit: Option<String> = None;
+        for ident in &idents {
+            let direct = ITER_METHODS
+                .iter()
+                .any(|m| line.code.contains(&format!("{ident}{m}")));
+            let in_for = line.code.trim_start().starts_with("for ")
+                && line
+                    .code
+                    .split_once(" in ")
+                    .is_some_and(|(_, tail)| contains_word(tail, ident));
+            if direct || in_for {
+                hit = Some(ident.clone());
+                break;
+            }
+        }
+        let Some(ident) = hit else { continue };
+        if allowed(file, i, "nondeterministic-iter") {
+            continue;
+        }
+        let sorted_below = (i..file.lines.len().min(i + 1 + SORT_WINDOW))
+            .any(|j| file.lines[j].code.contains(".sort"));
+        if sorted_below {
+            continue;
+        }
+        out.push(diag(
+            file,
+            i,
+            "nondeterministic-iter",
+            format!(
+                "iteration over hash-ordered `{ident}` with no nearby sort: sort the \
+                 result, use a BTreeMap, or add \
+                 `// tidy-allow(nondeterministic-iter): <why order cannot escape>`"
+            ),
+        ));
+    }
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` types in this file:
+/// `let` bindings and field/parameter declarations whose line names a
+/// hash type, plus `let x = std::mem::take(&mut <hash ident>…)`
+/// propagation (the merge loop's map-stealing idiom).
+fn hash_idents(file: &SourceFile) -> Vec<String> {
+    const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+    let mut idents: Vec<String> = Vec::new();
+    let push = |name: &str, idents: &mut Vec<String>| {
+        if !name.is_empty() && !idents.iter().any(|i| i == name) {
+            idents.push(name.to_string());
+        }
+    };
+    for (_, line) in lib_lines(file) {
+        let code = line.code.as_str();
+        // `contains`, not `contains_word`: `FxHashMap` must count too.
+        if !HASH_TYPES.iter().any(|t| code.contains(t)) {
+            continue;
+        }
+        // `let [mut] name(: T)? = …` with a hash type anywhere on the line.
+        if let Some(after_let) = code.trim_start().strip_prefix("let ") {
+            let after_let = after_let.strip_prefix("mut ").unwrap_or(after_let);
+            let name: String = after_let
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            push(&name, &mut idents);
+            continue;
+        }
+        // Declaration position — field, parameter or struct literal:
+        // `name: Vec<FxHashMap<…>>`. The binding is the identifier before
+        // the first *single* colon (`::` paths don't count).
+        let chars: Vec<char> = code.chars().collect();
+        let single_colon = (0..chars.len()).find(|&i| {
+            chars[i] == ':'
+                && chars.get(i + 1) != Some(&':')
+                && (i == 0 || chars[i - 1] != ':')
+        });
+        if let Some(at) = single_colon {
+            let name: String = chars[..at]
+                .iter()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || **c == '_')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            // Only a declaration whose *type side* names the hash type.
+            let type_side: String = chars[at..].iter().collect();
+            if HASH_TYPES.iter().any(|t| type_side.contains(t)) {
+                push(&name, &mut idents);
+            }
+        }
+    }
+    // One propagation pass: `let w = std::mem::take(&mut self.links…)`.
+    let known = idents.clone();
+    for (_, line) in lib_lines(file) {
+        let code = line.code.trim_start();
+        let Some(after_let) = code.strip_prefix("let ") else {
+            continue;
+        };
+        if !code.contains("mem::take(") {
+            continue;
+        }
+        if known.iter().any(|k| contains_word(code, k)) {
+            let after_let = after_let.strip_prefix("mut ").unwrap_or(after_let);
+            let name: String = after_let
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            push(&name, &mut idents);
+        }
+    }
+    idents
+}
+
+/// **unsafe-block** — every `unsafe` occurrence in code must carry an
+/// adjacent `// SAFETY:` comment (same line or the three lines above)
+/// justifying it. Applies to *all* files, shims and tests included.
+pub fn check_unsafe(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if !contains_word(&line.code, "unsafe") {
+            continue;
+        }
+        // `#![forbid(unsafe_code)]` mentions unsafe_code, not the keyword;
+        // contains_word already rejects it, but `forbid(unsafe)` doesn't
+        // exist, so anything matching here is the real keyword.
+        let lo = i.saturating_sub(3);
+        let documented = (lo..=i).any(|j| file.lines[j].comment.trim_start().starts_with("SAFETY:"));
+        if !documented && !allowed(file, i, "unsafe-block") {
+            out.push(diag(
+                file,
+                i,
+                "unsafe-block",
+                "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+            ));
+        }
+    }
+}
+
+/// **forbid-unsafe** — every workspace library root (`crates/*/src/lib.rs`,
+/// `shims/*/src/lib.rs`) must carry `#![forbid(unsafe_code)]`, so unsafe
+/// cannot creep into a crate without a deliberate, reviewed lift of the
+/// attribute (annotated with `tidy-allow(forbid-unsafe)`).
+pub fn check_forbid_unsafe(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let is_lib_root = (file.rel.starts_with("crates/") || file.rel.starts_with("shims/"))
+        && file.rel.ends_with("/src/lib.rs");
+    if !is_lib_root {
+        return;
+    }
+    let has = file
+        .lines
+        .iter()
+        .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+    let lifted = file
+        .lines
+        .iter()
+        .enumerate()
+        .any(|(i, _)| allowed(file, i, "forbid-unsafe"));
+    if !has && !lifted {
+        out.push(Diagnostic {
+            file: file.rel.clone(),
+            line: 1,
+            rule: "forbid-unsafe",
+            message: "library root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+/// **debris** — `dbg!`, `todo!` and `unimplemented!` are development
+/// debris and must not be committed anywhere, tests included.
+pub fn check_debris(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const PATTERNS: &[&str] = &["dbg!(", "todo!(", "unimplemented!("];
+    for (i, line) in file.lines.iter().enumerate() {
+        for &pat in PATTERNS {
+            if line.code.contains(pat) && !allowed(file, i, "debris") {
+                out.push(diag(
+                    file,
+                    i,
+                    "debris",
+                    format!("development debris `{pat}...)` must not be committed"),
+                ));
+            }
+        }
+    }
+}
+
+/// **shim-doc** — each vendored shim must document, in its crate-level
+/// doc comment, that it is an offline stand-in and which API subset it
+/// carries; otherwise a future reader mistakes it for the real crate.
+pub fn check_shim_doc(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.kind != FileKind::Shim || !file.rel.ends_with("/src/lib.rs") {
+        return;
+    }
+    let doc: String = file
+        .lines
+        .iter()
+        .take(40)
+        .map(|l| l.comment.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let ok = (doc.contains("stand-in") || doc.contains("vendor"))
+        && (doc.contains("subset") || doc.contains("slice"));
+    if !ok {
+        out.push(Diagnostic {
+            file: file.rel.clone(),
+            line: 1,
+            rule: "shim-doc",
+            message: "shim crate doc must state it is an offline stand-in and name the \
+                      vendored API subset"
+                .to_string(),
+        });
+    }
+}
+
+/// Runs every per-file rule on `file`.
+pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_annotations(file, &mut out);
+    check_panic(file, &mut out);
+    check_wall_clock(file, &mut out);
+    check_float_ordering(file, &mut out);
+    check_nondeterministic_iter(file, &mut out);
+    check_unsafe(file, &mut out);
+    check_forbid_unsafe(file, &mut out);
+    check_debris(file, &mut out);
+    check_shim_doc(file, &mut out);
+    out
+}

@@ -1,0 +1,320 @@
+//! A line-oriented Rust source scanner.
+//!
+//! The rule checkers match textual patterns (`.unwrap()`, `Instant::now`,
+//! …), so the scanner's job is to make those matches *meaningful*: it
+//! splits every source line into the part that is **code** and the part
+//! that is **comment**, with string/char-literal *contents* blanked out of
+//! the code text. A pattern occurring inside a string literal, a doc
+//! comment or a block comment therefore never triggers a rule, while
+//! `// SAFETY:` and `// tidy-allow(...)` annotations are searched only in
+//! comment text.
+//!
+//! This is deliberately not a full lexer — it is the rustc-`tidy` style
+//! 90% solution: enough states (line comments, nested block comments,
+//! plain/byte/raw strings, char literals vs. lifetimes) to be reliable on
+//! idiomatic Rust, in ~150 lines with no dependencies.
+
+/// One source line, split into code and comment text.
+#[derive(Debug, Clone, Default)]
+pub struct SourceLine {
+    /// The code on this line, with string and char literal contents
+    /// removed (the delimiting quotes are kept, so `.expect("msg")`
+    /// scans as `.expect("")`).
+    pub code: String,
+    /// The concatenated comment text on this line (line comments, doc
+    /// comments and block-comment interiors alike).
+    pub comment: String,
+}
+
+/// Lexer state carried across lines.
+enum State {
+    Code,
+    /// Inside `/* … */`, with the current nesting depth.
+    Block(u32),
+    /// Inside a `"…"` or `b"…"` string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` + this many `#`s.
+    RawStr(usize),
+}
+
+/// Splits `text` into per-line code/comment records.
+pub fn scan(text: &str) -> Vec<SourceLine> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = SourceLine::default();
+    let mut state = State::Code;
+    let mut i = 0usize;
+    let n = chars.len();
+
+    // Closures cannot borrow `cur` mutably while we also push to `lines`,
+    // so line finalization is inlined at the newline branches below.
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut cur));
+            // A line comment ends at the newline; block constructs span.
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                let prev_ident = i > 0
+                    && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+                if c == '/' && next == Some('/') {
+                    // Line comment (incl. `///` and `//!`): consume to EOL.
+                    i += 2;
+                    while i < n && chars[i] != '\n' {
+                        cur.comment.push(chars[i]);
+                        i += 1;
+                    }
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(1);
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    cur.code.push('"');
+                    i += 1;
+                } else if (c == 'b' || c == 'c') && next == Some('"') && !prev_ident {
+                    // Byte/C string: `b"…"` scans like a plain string.
+                    state = State::Str;
+                    cur.code.push(c);
+                    cur.code.push('"');
+                    i += 2;
+                } else if c == 'r' && !prev_ident && matches!(next, Some('"') | Some('#')) {
+                    // Raw string `r"…"`, `r#"…"#`, … (also after `b`).
+                    let mut j = i + 1;
+                    let mut hashes = 0usize;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        cur.code.push_str("r\"");
+                        i = j + 1;
+                    } else {
+                        // `r#ident` raw identifier or stray `r#`: plain code.
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == 'b' && next == Some('r') && !prev_ident {
+                    // `br"…"` / `br#"…"#`: delegate to the `r` branch.
+                    cur.code.push('b');
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal vs. lifetime. `'\…'` and `'x'` are
+                    // literals; anything else (`'a`, `'static`) is a
+                    // lifetime tick left in the code text.
+                    if next == Some('\\') {
+                        cur.code.push_str("''");
+                        i += 2; // past `'\`
+                        if i < n {
+                            i += 1; // the escaped char itself
+                        }
+                        // Consume up to the closing quote (covers \u{…}).
+                        while i < n && chars[i] != '\'' && chars[i] != '\n' {
+                            i += 1;
+                        }
+                        if i < n && chars[i] == '\'' {
+                            i += 1;
+                        }
+                    } else if chars.get(i + 2) == Some(&'\'') && next.is_some() {
+                        cur.code.push_str("''");
+                        i += 3;
+                    } else {
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::Block(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped char — except a line continuation,
+                    // whose newline must still finalize the line record.
+                    i += if chars.get(i + 1) == Some(&'\n') { 1 } else { 2 };
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && chars[i + 1..].iter().take(hashes).filter(|&&h| h == '#').count() == hashes {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` items (the seeded-violation
+/// rules only apply to library code; unit-test modules are exempt).
+///
+/// The region starts at the attribute and ends at the close of the first
+/// brace-balanced block that follows — or at a top-level `;` if the
+/// attribute gates a braceless item (`#[cfg(test)] use …;`).
+pub fn test_regions(lines: &[SourceLine]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut i = 0usize;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            in_test[j] = true;
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !opened && depth == 0 => {
+                        // Braceless gated item: region ends here.
+                        opened = true;
+                        depth = 0;
+                    }
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    in_test
+}
+
+/// True if `code` contains `ident` as a standalone word (not a prefix or
+/// suffix of a longer identifier).
+pub fn contains_word(code: &str, ident: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(ident) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + ident.len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + ident.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        let l = scan("let x = 1; // a .unwrap() in a comment\n");
+        assert_eq!(l[0].code.trim_end(), "let x = 1;");
+        assert!(l[0].comment.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let l = scan("foo.expect(\"contains .unwrap() text\");\n");
+        assert_eq!(l[0].code, "foo.expect(\"\");");
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let l = scan("let s = r#\"panic!(\"boom\")\"#; let t = \"a\\\"b\";\n");
+        assert!(!l[0].code.contains("panic!"));
+        assert!(!l[0].code.contains("a\\"));
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let l = scan("a /* one /* two */ still */ b\nc /* open\n.unwrap()\n*/ d\n");
+        assert_eq!(l[0].code.replace(' ', ""), "ab");
+        assert_eq!(l[2].code, "");
+        assert!(l[2].comment.contains(".unwrap()"));
+        assert!(l[3].code.contains('d'));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let l = scan("fn f<'a>(x: &'a str) { let c = '\"'; let d = '\\''; }\n");
+        // The quote characters inside char literals must not open strings.
+        assert!(l[0].code.contains("let d"));
+        assert!(l[0].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let lines = scan(src);
+        let t = test_regions(&lines);
+        assert_eq!(t, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}\n";
+        let t = test_regions(&scan(src));
+        assert_eq!(t, vec![true, true, false]);
+    }
+
+    #[test]
+    fn cfg_attr_test_is_not_a_region() {
+        let src = "#![cfg_attr(test, allow(clippy::unwrap_used))]\nfn lib() { x.unwrap(); }\n";
+        let t = test_regions(&scan(src));
+        assert_eq!(t, vec![false, false]);
+    }
+
+    #[test]
+    fn word_matching() {
+        assert!(contains_word("for x in by_root {", "by_root"));
+        assert!(!contains_word("by_root_extra.iter()", "by_root"));
+        assert!(!contains_word("unsafe_code", "unsafe"));
+        assert!(contains_word("unsafe { x }", "unsafe"));
+    }
+}

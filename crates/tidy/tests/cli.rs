@@ -1,0 +1,84 @@
+//! Exit-code contract of the `rock-tidy` binary: 0 on a clean
+//! workspace, 1 on violations (including every seeded fixture via
+//! `--file`), 2 on usage errors.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rock-tidy"))
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn ci_mode_exits_zero_on_the_workspace() {
+    let out = bin()
+        .arg("--ci")
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("running rock-tidy");
+    assert!(
+        out.status.success(),
+        "expected exit 0, got {:?}\nstdout: {}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn ci_mode_exits_nonzero_on_every_fixture() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&fixtures).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let out = bin()
+            .arg("--ci")
+            .arg("--file")
+            .arg(&path)
+            .output()
+            .expect("running rock-tidy");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "fixture {} must fail the pass\nstdout: {}",
+            path.display(),
+            String::from_utf8_lossy(&out.stdout)
+        );
+        checked += 1;
+    }
+    assert!(checked >= 7, "expected at least 7 fixtures, saw {checked}");
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("panic_unwrap.rs");
+    let out = bin()
+        .arg("--json")
+        .arg("--file")
+        .arg(&fixture)
+        .output()
+        .expect("running rock-tidy");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('['), "not JSON: {stdout}");
+    assert!(stdout.contains("\"rule\":\"panic\""), "{stdout}");
+    assert!(stdout.contains("\"line\":5"), "{stdout}");
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = bin().arg("--bogus").output().expect("running rock-tidy");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,6 @@
+//! Fixture: seeds exactly one `annotation` violation (a `tidy-allow`
+//! naming a rule that does not exist).
+
+pub fn noop() {
+    // tidy-allow(made-up-rule): this rule name is not in the catalog
+}

@@ -1,0 +1,5 @@
+//! Fixture: seeds exactly one `debris` violation (a committed `dbg!`).
+
+pub fn trace(x: u32) -> u32 {
+    dbg!(x)
+}

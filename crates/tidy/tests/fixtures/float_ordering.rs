@@ -1,0 +1,6 @@
+//! Fixture: seeds exactly one `float-ordering` violation (a
+//! `partial_cmp` in an ordering path instead of `total_cmp`).
+
+pub fn sort_by_goodness(xs: &mut [(u32, f64)]) {
+    xs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,12 @@
+//! Fixture: seeds exactly one `nondeterministic-iter` violation (hash
+//! map iteration with no nearby sort and no annotation).
+
+use std::collections::HashMap;
+
+pub fn cluster_sizes(links: &HashMap<u32, Vec<u32>>) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    for (_, members) in links.iter() {
+        sizes.push(members.len());
+    }
+    sizes
+}

@@ -1,0 +1,6 @@
+//! Fixture: seeds exactly one `panic` violation (an `.unwrap()` in
+//! library code). Excluded from the workspace pass by `classify`.
+
+pub fn first_member(members: &[Option<Vec<u32>>]) -> &Vec<u32> {
+    members[0].as_ref().unwrap()
+}

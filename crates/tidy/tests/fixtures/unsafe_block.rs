@@ -1,0 +1,6 @@
+//! Fixture: seeds exactly one `unsafe-block` violation (an `unsafe`
+//! occurrence with no adjacent `// SAFETY:` comment).
+
+pub fn reinterpret(x: &u64) -> &i64 {
+    unsafe { &*(x as *const u64 as *const i64) }
+}

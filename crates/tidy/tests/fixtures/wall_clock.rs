@@ -1,0 +1,8 @@
+//! Fixture: seeds exactly one `wall-clock` violation (an `Instant::now`
+//! outside the sanctioned timing modules).
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

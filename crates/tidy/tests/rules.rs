@@ -1,0 +1,198 @@
+//! Rule-level tests over the seeded-violation fixtures.
+//!
+//! Each file under `tests/fixtures/` plants exactly one violation; these
+//! tests scan them under a library classification and assert that the
+//! expected rule — and only that rule — fires, at the expected line.
+//! The flip side (annotated or restructured sites passing) is covered by
+//! the `clean_*` tests below.
+
+use rock_tidy::{check_file, load_source, Diagnostic, FileKind};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// Scans fixture `name` as if it were rock-core library code.
+fn scan_as_core_lib(name: &str) -> Vec<Diagnostic> {
+    let text = fixture(name);
+    let file = load_source(
+        "crates/core/src/fixture.rs",
+        FileKind::Lib,
+        "core".to_string(),
+        &text,
+    );
+    check_file(&file)
+}
+
+/// Asserts `diags` is exactly one violation of `rule` at `line`.
+fn assert_single(diags: &[Diagnostic], rule: &str, line: usize) {
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly one {rule} violation, got: {diags:#?}"
+    );
+    assert_eq!(diags[0].rule, rule);
+    assert_eq!(diags[0].line, line, "wrong line: {diags:#?}");
+}
+
+#[test]
+fn fixture_panic_unwrap() {
+    assert_single(&scan_as_core_lib("panic_unwrap.rs"), "panic", 5);
+}
+
+#[test]
+fn fixture_nondeterministic_iter() {
+    assert_single(
+        &scan_as_core_lib("nondeterministic_iter.rs"),
+        "nondeterministic-iter",
+        8,
+    );
+}
+
+#[test]
+fn fixture_wall_clock() {
+    assert_single(&scan_as_core_lib("wall_clock.rs"), "wall-clock", 7);
+}
+
+#[test]
+fn fixture_float_ordering() {
+    assert_single(&scan_as_core_lib("float_ordering.rs"), "float-ordering", 5);
+}
+
+#[test]
+fn fixture_unsafe_block() {
+    assert_single(&scan_as_core_lib("unsafe_block.rs"), "unsafe-block", 5);
+}
+
+#[test]
+fn fixture_debris() {
+    assert_single(&scan_as_core_lib("debris.rs"), "debris", 4);
+}
+
+#[test]
+fn fixture_bad_annotation() {
+    assert_single(&scan_as_core_lib("bad_annotation.rs"), "annotation", 5);
+}
+
+#[test]
+fn forbid_unsafe_fires_on_bare_lib_root() {
+    // Any lib.rs without the attribute violates; reuse a fixture body.
+    let file = load_source(
+        "crates/fake/src/lib.rs",
+        FileKind::Lib,
+        "fake".to_string(),
+        "//! A crate.\npub fn f() {}\n",
+    );
+    let diags: Vec<_> = check_file(&file)
+        .into_iter()
+        .filter(|d| d.rule == "forbid-unsafe")
+        .collect();
+    assert_single(&diags, "forbid-unsafe", 1);
+}
+
+#[test]
+fn shim_doc_fires_on_undocumented_shim() {
+    let file = load_source(
+        "shims/fake/src/lib.rs",
+        FileKind::Shim,
+        "shims/fake".to_string(),
+        "//! Some crate.\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+    );
+    let diags: Vec<_> = check_file(&file)
+        .into_iter()
+        .filter(|d| d.rule == "shim-doc")
+        .collect();
+    assert_single(&diags, "shim-doc", 1);
+}
+
+#[test]
+fn annotation_without_reason_does_not_exempt() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    // tidy-allow(panic)\n    x.unwrap()\n}\n";
+    let file = load_source(
+        "crates/core/src/fixture.rs",
+        FileKind::Lib,
+        "core".to_string(),
+        src,
+    );
+    let diags = check_file(&file);
+    // Both the reasonless annotation and the unexempted site report.
+    assert!(diags.iter().any(|d| d.rule == "annotation"), "{diags:#?}");
+    assert!(diags.iter().any(|d| d.rule == "panic"), "{diags:#?}");
+}
+
+#[test]
+fn reasoned_annotation_exempts_the_site() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    \
+               // tidy-allow(panic): caller guarantees Some by construction\n    \
+               x.unwrap()\n}\n";
+    let file = load_source(
+        "crates/core/src/fixture.rs",
+        FileKind::Lib,
+        "core".to_string(),
+        src,
+    );
+    assert!(check_file(&file).is_empty());
+}
+
+#[test]
+fn sort_within_window_passes_hash_iteration() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn keys(m: &HashMap<u32, u32>) -> Vec<u32> {\n    \
+               let mut ks: Vec<u32> = m.keys().copied().collect();\n    \
+               ks.sort_unstable();\n    \
+               ks\n}\n";
+    let file = load_source(
+        "crates/core/src/fixture.rs",
+        FileKind::Lib,
+        "core".to_string(),
+        src,
+    );
+    assert!(check_file(&file).is_empty());
+}
+
+#[test]
+fn cfg_test_code_is_exempt_from_lib_rules() {
+    let src = "pub fn lib() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n    \
+               #[test]\n    \
+               fn t() {\n        \
+               Some(1).unwrap();\n    \
+               }\n}\n";
+    let file = load_source(
+        "crates/core/src/fixture.rs",
+        FileKind::Lib,
+        "core".to_string(),
+        src,
+    );
+    assert!(check_file(&file).is_empty());
+}
+
+#[test]
+fn patterns_in_strings_and_comments_do_not_fire() {
+    let src = "pub fn f() -> &'static str {\n    \
+               // .unwrap() and Instant::now in a comment are fine\n    \
+               \".unwrap() inside a string is fine too\"\n}\n";
+    let file = load_source(
+        "crates/core/src/fixture.rs",
+        FileKind::Lib,
+        "core".to_string(),
+        src,
+    );
+    assert!(check_file(&file).is_empty());
+}
+
+#[test]
+fn safety_comment_satisfies_unsafe_audit() {
+    let src = "pub fn f(x: &u64) -> &i64 {\n    \
+               // SAFETY: u64 and i64 have identical size and alignment.\n    \
+               unsafe { &*(x as *const u64 as *const i64) }\n}\n";
+    let file = load_source(
+        "shims/fake/src/util.rs",
+        FileKind::Shim,
+        "shims/fake".to_string(),
+        src,
+    );
+    assert!(check_file(&file).is_empty());
+}

@@ -1,0 +1,38 @@
+//! The self-test: the workspace this crate ships in must pass its own
+//! static-analysis pass with zero violations. Every allowlisted site
+//! carries a reasoned `tidy-allow`, every shim is documented, every lib
+//! root forbids unsafe — and CI runs the binary (`--ci`) before the
+//! build, so this test and the CI gate can only drift together.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_tidy_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let diags = rock_tidy::run_workspace(&root).expect("walking the workspace");
+    assert!(
+        diags.is_empty(),
+        "the workspace must be tidy-clean; found:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn fixtures_are_excluded_from_the_workspace_pass() {
+    // The seeded-violation fixtures live inside the workspace tree; the
+    // clean pass above only means anything if they are truly skipped.
+    assert_eq!(
+        rock_tidy::classify("crates/tidy/tests/fixtures/panic_unwrap.rs"),
+        None
+    );
+    assert_eq!(
+        rock_tidy::classify("crates/tidy/tests/rules.rs"),
+        None
+    );
+}

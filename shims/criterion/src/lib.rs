@@ -1,4 +1,4 @@
-//! Offline stand-in for the `criterion` crate.
+//! Offline stand-in for the `criterion` crate (bench-harness API subset).
 //!
 //! The registry is unreachable in this build environment, so the bench
 //! harness is vendored: same macro surface (`criterion_group!` /

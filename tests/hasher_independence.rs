@@ -1,0 +1,131 @@
+//! Hasher-independence regression tests.
+//!
+//! The engine's cross-link bookkeeping lives in Fx-hashed maps, and a
+//! hash map's iteration order is an accident of its hasher. PRs 2–3 made
+//! bit-identical output the core guarantee, so no accident of bucket
+//! order may ever reach the clustering, the merge trace or the WAL
+//! bytes. rock-tidy's `nondeterministic-iter` rule enforces that
+//! statically; these property tests enforce it dynamically, by running
+//! the same input under the default hasher and under seeded hashers
+//! (which scramble every map's iteration order) and diffing the outputs.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rock::algorithm::{OutlierPolicy, RockAlgorithm, WeedPolicy};
+use rock::goodness::{BasketF, Goodness, GoodnessKind};
+use rock::governor::RunGovernor;
+use rock::neighbors::NeighborGraph;
+use rock::points::Transaction;
+use rock::similarity::{Jaccard, PointsWith};
+use rock::util::FxBuildHasher;
+use rock::wal::MergeWal;
+use rock::{compute_links_sparse, compute_links_sparse_seeded};
+
+/// Strategy: a set of transactions over a small item universe.
+fn transactions(max_points: usize) -> impl Strategy<Value = Vec<Transaction>> {
+    vec(vec(0u32..20, 1..8), 2..max_points)
+        .prop_map(|vs| vs.into_iter().map(Transaction::new).collect())
+}
+
+/// Asserts that two runs are indistinguishable, field by field.
+macro_rules! assert_same_run {
+    ($a:expr, $b:expr) => {
+        prop_assert_eq!(&$a.clustering, &$b.clustering);
+        prop_assert_eq!(&$a.merges, &$b.merges);
+        prop_assert_eq!(&$a.initial_points, &$b.initial_points);
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // The full pipeline — link table, merge loop, weeding — produces
+    // bit-identical results under scrambled map iteration orders.
+    #[test]
+    fn clustering_is_identical_across_hash_seeds(
+        ts in transactions(20),
+        theta in 0.1f64..0.9,
+        k in 1usize..5,
+        seed in 1u64..u64::MAX,
+    ) {
+        let g = NeighborGraph::build(&PointsWith::new(&ts, Jaccard), theta);
+        let goodness = Goodness::new(theta, BasketF, GoodnessKind::Normalized);
+        let outliers = OutlierPolicy {
+            min_neighbors: 1,
+            weed: Some(WeedPolicy {
+                stop_multiple: 1.5,
+                min_cluster_size: 2,
+            }),
+        };
+        let algo = RockAlgorithm::new(goodness, k, outliers);
+
+        let baseline_links = compute_links_sparse(&g);
+        let baseline = algo.run_with_links(&g, &baseline_links);
+
+        // Scramble both the link table's pair order and the engine's
+        // internal cross-link maps.
+        let seeded_links = compute_links_sparse_seeded(&g, FxBuildHasher::with_seed(seed));
+        let seeded = algo.with_hash_seed(seed).run_with_links(&g, &seeded_links);
+
+        assert_same_run!(baseline, seeded);
+    }
+
+    // The WAL is part of the bit-identity contract: the logged merge
+    // history (and its embedded snapshots) must not depend on the
+    // hasher either, or a crash under one build could not be resumed
+    // and verified under another.
+    #[test]
+    fn wal_bytes_are_identical_across_hash_seeds(
+        ts in transactions(16),
+        theta in 0.2f64..0.8,
+        seed in 1u64..u64::MAX,
+    ) {
+        let g = NeighborGraph::build(&PointsWith::new(&ts, Jaccard), theta);
+        let goodness = Goodness::new(theta, BasketF, GoodnessKind::Normalized);
+        let algo = RockAlgorithm::new(goodness, 2, OutlierPolicy::default());
+        let governor = RunGovernor::unlimited();
+
+        let mut wal_a = MergeWal::new().with_snapshot_every(4);
+        let run_a = algo
+            .run_governed(&g, 1, &governor, Some(&mut wal_a))
+            .expect("unlimited governor");
+
+        let mut wal_b = MergeWal::new().with_snapshot_every(4);
+        let run_b = algo
+            .with_hash_seed(seed)
+            .run_governed(&g, 1, &governor, Some(&mut wal_b))
+            .expect("unlimited governor");
+
+        assert_same_run!(run_a, run_b);
+        prop_assert_eq!(wal_a.as_bytes(), wal_b.as_bytes());
+    }
+
+    // Resuming a seeded run from a default-hasher WAL (and vice versa)
+    // reconstructs the same final state: snapshot restore paths are
+    // hasher-independent too.
+    #[test]
+    fn resume_crosses_hash_seeds(
+        ts in transactions(16),
+        theta in 0.2f64..0.8,
+        seed in 1u64..u64::MAX,
+    ) {
+        let g = NeighborGraph::build(&PointsWith::new(&ts, Jaccard), theta);
+        let goodness = Goodness::new(theta, BasketF, GoodnessKind::Normalized);
+        let algo = RockAlgorithm::new(goodness, 2, OutlierPolicy::default());
+        let governor = RunGovernor::unlimited();
+
+        let mut wal = MergeWal::new().with_snapshot_every(2);
+        let complete = algo
+            .run_governed(&g, 1, &governor, Some(&mut wal))
+            .expect("unlimited governor");
+
+        // Replay the finished log under a scrambled hasher: the replayed
+        // trace must verify and the final clustering must match.
+        let resumed = algo
+            .with_hash_seed(seed)
+            .resume(wal.as_bytes(), Some(&g), 1, &governor, None)
+            .expect("replaying a complete WAL succeeds");
+
+        assert_same_run!(complete, resumed);
+    }
+}
