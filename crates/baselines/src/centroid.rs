@@ -15,6 +15,8 @@
 //! clustering" did.
 
 use rock_core::cluster::Clustering;
+use rock_core::error::RockError;
+use rock_core::governor::{Phase, RunGovernor};
 
 /// Configuration of the traditional comparator.
 #[derive(Clone, Copy, Debug)]
@@ -45,6 +47,10 @@ impl CentroidConfig {
     }
 }
 
+/// One cluster's accumulated state. Slots are never vacated: a merged or
+/// weeded cluster's `members` are moved out with `mem::take` and its
+/// index leaves `live`, so every index reachable through `live` is
+/// always valid — no `Option` unwrapping anywhere on the hot path.
 struct ClusterSlot {
     /// Sum of member vectors (centroid = sum / size).
     sum: Vec<f64>,
@@ -74,6 +80,25 @@ fn centroid_sq_dist(a: &ClusterSlot, b: &ClusterSlot) -> f64 {
 /// Panics if `points` is empty, dimensions are inconsistent, or
 /// `config.k == 0`.
 pub fn centroid_hierarchical(points: &[Vec<f64>], config: CentroidConfig) -> Clustering {
+    // tidy-allow(panic): an unlimited governor never trips
+    centroid_hierarchical_governed(points, config, &RunGovernor::unlimited())
+        .expect("an unlimited governor never trips")
+}
+
+/// As [`centroid_hierarchical`], under a [`RunGovernor`]: the budgets
+/// and cancellation token are checked at every merge, surfacing
+/// [`RockError::Interrupted`] instead of running open-loop.
+///
+/// # Errors
+/// [`RockError::Interrupted`] when the governor trips.
+///
+/// # Panics
+/// As [`centroid_hierarchical`] on invalid input.
+pub fn centroid_hierarchical_governed(
+    points: &[Vec<f64>],
+    config: CentroidConfig,
+    governor: &RunGovernor,
+) -> Result<Clustering, RockError> {
     assert!(config.k >= 1, "need at least one target cluster");
     assert!(!points.is_empty(), "cannot cluster zero points");
     let dim = points[0].len();
@@ -83,14 +108,12 @@ pub fn centroid_hierarchical(points: &[Vec<f64>], config: CentroidConfig) -> Clu
     );
     let n = points.len();
 
-    let mut slots: Vec<Option<ClusterSlot>> = points
+    let mut slots: Vec<ClusterSlot> = points
         .iter()
         .enumerate()
-        .map(|(i, p)| {
-            Some(ClusterSlot {
-                sum: p.clone(),
-                members: vec![i as u32],
-            })
+        .map(|(i, p)| ClusterSlot {
+            sum: p.clone(),
+            members: vec![i as u32],
         })
         .collect();
     let mut live: Vec<usize> = (0..n).collect();
@@ -100,17 +123,16 @@ pub fn centroid_hierarchical(points: &[Vec<f64>], config: CentroidConfig) -> Clu
     let weed_threshold = config.outlier_divisor.map(|d| (n / d).max(config.k));
     let mut weeded = config.outlier_divisor.is_none();
     let mut outliers: Vec<u32> = Vec::new();
+    let mut merges: u64 = 0;
 
-    let recompute = |slots: &[Option<ClusterSlot>], live: &[usize], i: usize| {
-        // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
-        let si = slots[i].as_ref().expect("live");
+    let recompute = |slots: &[ClusterSlot], live: &[usize], i: usize| {
+        let si = &slots[i];
         let mut best: Option<(f64, usize)> = None;
         for &j in live {
             if j == i {
                 continue;
             }
-            // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
-            let d = centroid_sq_dist(si, slots[j].as_ref().expect("live"));
+            let d = centroid_sq_dist(si, &slots[j]);
             let better = match best {
                 None => true,
                 // Tie-break on index for determinism.
@@ -124,18 +146,16 @@ pub fn centroid_hierarchical(points: &[Vec<f64>], config: CentroidConfig) -> Clu
     };
 
     while live.len() > config.k {
+        governor.check_at(Phase::Merge, merges)?;
         // §5 outlier rule, applied once.
         if let (Some(at), false) = (weed_threshold, weeded) {
             if live.len() <= at {
-                let (kept, dropped): (Vec<usize>, Vec<usize>) = live
-                    .iter()
-                    // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
-                    .partition(|&&i| slots[i].as_ref().expect("live").members.len() > 1);
+                let (kept, dropped): (Vec<usize>, Vec<usize>) =
+                    live.iter().partition(|&&i| slots[i].members.len() > 1);
                 // Keep at least k clusters even if weeding is aggressive.
                 if kept.len() >= config.k {
                     for i in dropped {
-                        // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
-                        outliers.extend(slots[i].take().expect("live").members);
+                        outliers.extend(std::mem::take(&mut slots[i].members));
                     }
                     live = kept;
                     for entry in nearest.iter_mut() {
@@ -170,26 +190,24 @@ pub fn centroid_hierarchical(points: &[Vec<f64>], config: CentroidConfig) -> Clu
             break; // fewer than 2 live clusters
         };
 
-        // Merge v into u.
-        // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
-        let sv = slots[v].take().expect("live");
-        // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
-        let su = slots[u].as_mut().expect("live");
-        for (x, y) in su.sum.iter_mut().zip(&sv.sum) {
+        // Merge v into u: move v's members out, fold its sum into u.
+        let sv_members = std::mem::take(&mut slots[v].members);
+        let sv_sum = std::mem::take(&mut slots[v].sum);
+        let su = &mut slots[u];
+        for (x, y) in su.sum.iter_mut().zip(&sv_sum) {
             *x += *y;
         }
-        su.members.extend(sv.members);
+        su.members.extend(sv_members);
         live.retain(|&i| i != v);
         nearest[u] = None;
         nearest[v] = None;
+        merges += 1;
         // Fix up the caches. Centroid linkage is not *reducible*: the
         // merged centroid is a convex combination of the old ones and can
         // land closer to a bystander cluster than that cluster's cached
         // nearest partner. So besides invalidating entries that pointed
         // at u or v, compare every live cluster against the new centroid
         // and adopt it when it wins.
-        // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
-        let sw = slots[u].as_ref().expect("live");
         for &i in &live {
             if i == u {
                 continue;
@@ -197,8 +215,7 @@ pub fn centroid_hierarchical(points: &[Vec<f64>], config: CentroidConfig) -> Clu
             match nearest[i] {
                 Some((_, j)) if j == u || j == v => nearest[i] = None,
                 Some((d, _)) => {
-                    // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
-                    let dw = centroid_sq_dist(slots[i].as_ref().expect("live"), sw);
+                    let dw = centroid_sq_dist(&slots[i], &slots[u]);
                     if dw < d {
                         nearest[i] = Some((dw, u));
                     }
@@ -210,10 +227,9 @@ pub fn centroid_hierarchical(points: &[Vec<f64>], config: CentroidConfig) -> Clu
 
     let clusters: Vec<Vec<u32>> = live
         .into_iter()
-        // tidy-allow(panic): indices drawn from `live` always point at occupied slots; a slot is vacated only when its index leaves `live`
-        .map(|i| slots[i].take().expect("live").members)
+        .map(|i| std::mem::take(&mut slots[i].members))
         .collect();
-    Clustering::new(clusters, outliers)
+    Ok(Clustering::new(clusters, outliers))
 }
 
 /// Convenience: cluster and also return the final centroids
@@ -246,6 +262,7 @@ pub fn centroid_hierarchical_with_centroids(
 mod tests {
     use super::*;
     use crate::vectorize::transactions_to_vectors;
+    use rock_core::governor::{CancellationToken, TripReason};
     use rock_core::points::Transaction;
 
     #[test]
@@ -350,6 +367,31 @@ mod tests {
         let a = centroid_hierarchical(&pts, CentroidConfig::plain(4));
         let b = centroid_hierarchical(&pts, CentroidConfig::plain(4));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn governed_matches_plain_and_cancels() {
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64, (i % 3) as f64])
+            .collect();
+        let plain = centroid_hierarchical(&pts, CentroidConfig::plain(4));
+        let governed =
+            centroid_hierarchical_governed(&pts, CentroidConfig::plain(4), &RunGovernor::unlimited())
+                .unwrap();
+        assert_eq!(plain, governed);
+
+        let token = CancellationToken::new();
+        token.cancel();
+        let g = RunGovernor::unlimited().with_cancel_token(token);
+        let err = centroid_hierarchical_governed(&pts, CentroidConfig::plain(4), &g).unwrap_err();
+        assert!(matches!(
+            err,
+            RockError::Interrupted {
+                phase: Phase::Merge,
+                reason: TripReason::Cancelled,
+                ..
+            }
+        ));
     }
 
     #[test]

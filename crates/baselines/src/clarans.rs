@@ -12,6 +12,8 @@
 
 use rand::Rng;
 use rock_core::cluster::Clustering;
+use rock_core::error::RockError;
+use rock_core::governor::{Phase, RunGovernor};
 use rock_core::similarity::PairwiseSimilarity;
 
 /// CLARANS configuration.
@@ -63,6 +65,53 @@ fn total_cost<S: PairwiseSimilarity>(sim: &S, medoids: &[u32]) -> f64 {
     cost
 }
 
+/// One randomized descent of the search graph: a random initial medoid
+/// set, then single-medoid swaps until `max_neighbor` consecutive
+/// failures declare a local optimum. `swaps` is the shared attempt
+/// counter the governor checkpoints are indexed by.
+fn local_optimum<S: PairwiseSimilarity, R: Rng + ?Sized>(
+    sim: &S,
+    config: ClaransConfig,
+    rng: &mut R,
+    governor: &RunGovernor,
+    swaps: &mut u64,
+) -> Result<(Vec<u32>, f64), RockError> {
+    let n = sim.len();
+    // Random initial medoid set.
+    let mut medoids: Vec<u32> = rock_core::sampling::sample_indices(n, config.k, rng)
+        .into_iter()
+        .map(|i| i as u32)
+        .collect();
+    let mut cost = total_cost(sim, &medoids);
+    let mut failures = 0usize;
+    // With k == n every point is a medoid and the swap graph has no
+    // edges — the initial set is the (optimal) local optimum.
+    while config.k < n && failures < config.max_neighbor {
+        governor.check_at(Phase::Merge, *swaps)?;
+        *swaps += 1;
+        // Random neighbor in the search graph: swap one medoid for
+        // one non-medoid.
+        let slot = rng.random_range(0..config.k);
+        let replacement = loop {
+            let c = rng.random_range(0..n) as u32;
+            if !medoids.contains(&c) {
+                break c;
+            }
+        };
+        let old = medoids[slot];
+        medoids[slot] = replacement;
+        let new_cost = total_cost(sim, &medoids);
+        if new_cost + 1e-12 < cost {
+            cost = new_cost;
+            failures = 0;
+        } else {
+            medoids[slot] = old;
+            failures += 1;
+        }
+    }
+    Ok((medoids, cost))
+}
+
 /// Runs CLARANS over an index-pairwise similarity.
 ///
 /// # Panics
@@ -72,50 +121,42 @@ pub fn clarans<S: PairwiseSimilarity, R: Rng + ?Sized>(
     config: ClaransConfig,
     rng: &mut R,
 ) -> ClaransResult {
+    // tidy-allow(panic): an unlimited governor never trips
+    clarans_governed(sim, config, rng, &RunGovernor::unlimited())
+        .expect("an unlimited governor never trips")
+}
+
+/// As [`clarans`], under a [`RunGovernor`]: the budgets and cancellation
+/// token are checked at every swap attempt.
+///
+/// # Errors
+/// [`RockError::Interrupted`] when the governor trips.
+///
+/// # Panics
+/// As [`clarans`] on invalid input.
+pub fn clarans_governed<S: PairwiseSimilarity, R: Rng + ?Sized>(
+    sim: &S,
+    config: ClaransConfig,
+    rng: &mut R,
+    governor: &RunGovernor,
+) -> Result<ClaransResult, RockError> {
     let n = sim.len();
     assert!(
         config.k >= 1 && config.k <= n,
         "k must be in 1..=n, got {}",
         config.k
     );
-    let mut best: Option<(Vec<u32>, f64)> = None;
-    for _ in 0..config.num_local.max(1) {
-        // Random initial medoid set.
-        let mut medoids: Vec<u32> = rock_core::sampling::sample_indices(n, config.k, rng)
-            .into_iter()
-            .map(|i| i as u32)
-            .collect();
-        let mut cost = total_cost(sim, &medoids);
-        let mut failures = 0usize;
-        // With k == n every point is a medoid and the swap graph has no
-        // edges — the initial set is the (optimal) local optimum.
-        while config.k < n && failures < config.max_neighbor {
-            // Random neighbor in the search graph: swap one medoid for
-            // one non-medoid.
-            let slot = rng.random_range(0..config.k);
-            let replacement = loop {
-                let c = rng.random_range(0..n) as u32;
-                if !medoids.contains(&c) {
-                    break c;
-                }
-            };
-            let old = medoids[slot];
-            medoids[slot] = replacement;
-            let new_cost = total_cost(sim, &medoids);
-            if new_cost + 1e-12 < cost {
-                cost = new_cost;
-                failures = 0;
-            } else {
-                medoids[slot] = old;
-                failures += 1;
-            }
-        }
-        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
-            best = Some((medoids, cost));
+    // The first restart seeds the incumbent; later restarts replace it
+    // only on a strict cost improvement.
+    let mut swaps: u64 = 0;
+    let (mut medoids, mut cost) = local_optimum(sim, config, rng, governor, &mut swaps)?;
+    for _ in 1..config.num_local.max(1) {
+        let (m, c) = local_optimum(sim, config, rng, governor, &mut swaps)?;
+        if c < cost {
+            medoids = m;
+            cost = c;
         }
     }
-    // tidy-allow(panic): the restart loop runs at least once (num_local >= 1 is validated by the config builder), so `best` is Some
-    let (medoids, cost) = best.expect("at least one restart");
 
     // Materialise the partition (ties to the lowest medoid index).
     let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); config.k];
@@ -142,11 +183,11 @@ pub fn clarans<S: PairwiseSimilarity, R: Rng + ?Sized>(
                 .expect("each cluster contains its medoid")
         })
         .collect();
-    ClaransResult {
+    Ok(ClaransResult {
         clustering,
         medoids: medoids_ordered,
         cost,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -9,6 +9,8 @@
 //! difference is density-reachability vs links.
 
 use rock_core::cluster::Clustering;
+use rock_core::error::RockError;
+use rock_core::governor::{Phase, RunGovernor};
 use rock_core::neighbors::NeighborGraph;
 
 /// DBSCAN configuration.
@@ -32,6 +34,21 @@ impl DbscanConfig {
 /// (non-core neighbors of a core point) join the first cluster that
 /// reaches them; everything else is noise (reported as outliers).
 pub fn dbscan(graph: &NeighborGraph, config: DbscanConfig) -> Clustering {
+    // tidy-allow(panic): an unlimited governor never trips
+    dbscan_governed(graph, config, &RunGovernor::unlimited())
+        .expect("an unlimited governor never trips")
+}
+
+/// As [`dbscan`], under a [`RunGovernor`]: the budgets and cancellation
+/// token are checked at every seed-point expansion.
+///
+/// # Errors
+/// [`RockError::Interrupted`] when the governor trips.
+pub fn dbscan_governed(
+    graph: &NeighborGraph,
+    config: DbscanConfig,
+    governor: &RunGovernor,
+) -> Result<Clustering, RockError> {
     let n = graph.len();
     const UNVISITED: u32 = u32::MAX;
     const NOISE: u32 = u32::MAX - 1;
@@ -41,6 +58,7 @@ pub fn dbscan(graph: &NeighborGraph, config: DbscanConfig) -> Clustering {
 
     let mut queue: Vec<u32> = Vec::new();
     for p in 0..n {
+        governor.check_at(Phase::Merge, p as u64)?;
         if label[p] != UNVISITED {
             continue;
         }
@@ -73,7 +91,7 @@ pub fn dbscan(graph: &NeighborGraph, config: DbscanConfig) -> Clustering {
     let outliers: Vec<u32> = (0..n as u32)
         .filter(|&p| label[p as usize] == NOISE)
         .collect();
-    Clustering::new(clusters, outliers)
+    Ok(Clustering::new(clusters, outliers))
 }
 
 #[cfg(test)]

@@ -9,6 +9,8 @@
 use crate::vectorize::sq_euclidean;
 use rand::Rng;
 use rock_core::cluster::Clustering;
+use rock_core::error::RockError;
+use rock_core::governor::{Phase, RunGovernor};
 
 /// Configuration for a k-means run.
 #[derive(Clone, Copy, Debug)]
@@ -55,6 +57,25 @@ pub fn kmeans<R: Rng + ?Sized>(
     config: KMeansConfig,
     rng: &mut R,
 ) -> KMeansResult {
+    // tidy-allow(panic): an unlimited governor never trips
+    kmeans_governed(points, config, rng, &RunGovernor::unlimited())
+        .expect("an unlimited governor never trips")
+}
+
+/// As [`kmeans`], under a [`RunGovernor`]: the budgets and cancellation
+/// token are checked at every Lloyd sweep.
+///
+/// # Errors
+/// [`RockError::Interrupted`] when the governor trips.
+///
+/// # Panics
+/// As [`kmeans`] on invalid input.
+pub fn kmeans_governed<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    config: KMeansConfig,
+    rng: &mut R,
+    governor: &RunGovernor,
+) -> Result<KMeansResult, RockError> {
     let n = points.len();
     assert!(n > 0, "cannot cluster zero points");
     assert!(
@@ -88,20 +109,21 @@ pub fn kmeans<R: Rng + ?Sized>(
             }
             chosen
         };
-        centroids.push(points[next].clone());
+        let next_centroid = points[next].clone();
         for (i, p) in points.iter().enumerate() {
-            // tidy-allow(panic): `centroids` was seeded with the first pick before this loop and only grows
-            let d = sq_euclidean(p, centroids.last().expect("nonempty"));
+            let d = sq_euclidean(p, &next_centroid);
             if d < d2[i] {
                 d2[i] = d;
             }
         }
+        centroids.push(next_centroid);
     }
 
     // Lloyd iterations.
     let mut assign: Vec<usize> = vec![0; n];
     let mut iterations = 0;
     for iter in 0..config.max_iters {
+        governor.check_at(Phase::Merge, iter as u64)?;
         iterations = iter + 1;
         let mut changes = 0usize;
         for (i, p) in points.iter().enumerate() {
@@ -159,12 +181,12 @@ pub fn kmeans<R: Rng + ?Sized>(
             sum
         })
         .collect();
-    KMeansResult {
+    Ok(KMeansResult {
         clustering,
         centroids: centroids_ordered,
         criterion,
         iterations,
-    }
+    })
 }
 
 /// The §1.1 criterion function `E`: the sum over all points of the

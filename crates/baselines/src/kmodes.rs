@@ -11,6 +11,8 @@
 
 use rand::Rng;
 use rock_core::cluster::Clustering;
+use rock_core::error::RockError;
+use rock_core::governor::{Phase, RunGovernor};
 use rock_core::points::CategoricalRecord;
 use rock_core::util::FxHashMap;
 
@@ -71,11 +73,11 @@ fn mode_of(records: &[CategoricalRecord], members: &[u32], arity: usize) -> Cate
             }
         }
         // Deterministic mode: highest count, smallest value on ties.
-        let mode = counts
-            .into_iter()
-            .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then(vb.cmp(va)))
-            .map(|(v, _)| v);
-        values.push(mode);
+        // Canonicalise the hash-map contents with a total sort so the
+        // winner never depends on iteration order.
+        let mut tallies: Vec<(u32, usize)> = counts.into_iter().collect();
+        tallies.sort_unstable_by(|(va, ca), (vb, cb)| cb.cmp(ca).then(va.cmp(vb)));
+        values.push(tallies.first().map(|&(v, _)| v));
     }
     CategoricalRecord::new(values)
 }
@@ -90,6 +92,25 @@ pub fn kmodes<R: Rng + ?Sized>(
     config: KModesConfig,
     rng: &mut R,
 ) -> KModesResult {
+    // tidy-allow(panic): an unlimited governor never trips
+    kmodes_governed(records, config, rng, &RunGovernor::unlimited())
+        .expect("an unlimited governor never trips")
+}
+
+/// As [`kmodes`], under a [`RunGovernor`]: the budgets and cancellation
+/// token are checked at every reassignment sweep.
+///
+/// # Errors
+/// [`RockError::Interrupted`] when the governor trips.
+///
+/// # Panics
+/// As [`kmodes`] on invalid input.
+pub fn kmodes_governed<R: Rng + ?Sized>(
+    records: &[CategoricalRecord],
+    config: KModesConfig,
+    rng: &mut R,
+    governor: &RunGovernor,
+) -> Result<KModesResult, RockError> {
     let n = records.len();
     assert!(n > 0, "cannot cluster zero records");
     let arity = records[0].arity();
@@ -130,6 +151,7 @@ pub fn kmodes<R: Rng + ?Sized>(
     let mut assign: Vec<usize> = vec![0; n];
     let mut iterations = 0;
     for iter in 0..config.max_iters {
+        governor.check_at(Phase::Merge, iter as u64)?;
         iterations = iter + 1;
         let mut changes = 0usize;
         for (i, r) in records.iter().enumerate() {
@@ -174,12 +196,12 @@ pub fn kmodes<R: Rng + ?Sized>(
         .iter()
         .map(|members| mode_of(records, members, arity))
         .collect();
-    KModesResult {
+    Ok(KModesResult {
         clustering,
         modes: modes_ordered,
         cost,
         iterations,
-    }
+    })
 }
 
 #[cfg(test)]

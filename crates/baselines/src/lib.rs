@@ -14,7 +14,11 @@
 //! * [`clarans`] — Ng & Han's randomized k-medoids search (§2);
 //! * [`dbscan`] — Ester et al.'s density-based clustering (§2), run over
 //!   the same θ-neighbor graph as ROCK;
-//! * [`vectorize`] — the §5 categorical → boolean 0/1 encoding.
+//! * [`vectorize`] — the §5 categorical → boolean 0/1 encoding;
+//! * [`models`] — [`rock_core::ClusterModel`] adapters putting every
+//!   baseline behind the same fit-and-report trait as ROCK, each with a
+//!   governed core (`*_governed`) accepting a
+//!   [`rock_core::governor::RunGovernor`] for cancellation and budgets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,14 +29,21 @@ pub mod dbscan;
 pub mod kmeans;
 pub mod kmodes;
 pub mod linkage;
+pub mod models;
 pub mod vectorize;
 
-pub use centroid::{centroid_hierarchical, centroid_hierarchical_with_centroids, CentroidConfig};
-pub use clarans::{clarans, ClaransConfig, ClaransResult};
-pub use dbscan::{dbscan, DbscanConfig};
-pub use kmeans::{criterion_e, kmeans, KMeansConfig, KMeansResult};
-pub use kmodes::{kmodes, KModesConfig, KModesResult};
-pub use linkage::{similarity_linkage, Linkage, LinkageConfig};
+pub use centroid::{
+    centroid_hierarchical, centroid_hierarchical_governed, centroid_hierarchical_with_centroids,
+    CentroidConfig,
+};
+pub use clarans::{clarans, clarans_governed, ClaransConfig, ClaransResult};
+pub use dbscan::{dbscan, dbscan_governed, DbscanConfig};
+pub use kmeans::{criterion_e, kmeans, kmeans_governed, KMeansConfig, KMeansResult};
+pub use kmodes::{kmodes, kmodes_governed, KModesConfig, KModesResult};
+pub use linkage::{similarity_linkage, similarity_linkage_governed, Linkage, LinkageConfig};
+pub use models::{
+    CentroidModel, ClaransModel, DbscanModel, KMeansModel, KModesModel, LinkageModel,
+};
 pub use vectorize::{euclidean, records_to_vectors, sq_euclidean, transactions_to_vectors};
 
 #[cfg(test)]

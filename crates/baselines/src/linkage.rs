@@ -15,6 +15,8 @@
 //! adequate for sample-sized inputs.
 
 use rock_core::cluster::Clustering;
+use rock_core::error::RockError;
+use rock_core::governor::{Phase, RunGovernor};
 use rock_core::similarity::PairwiseSimilarity;
 
 /// How inter-cluster similarity is derived when clusters merge.
@@ -63,6 +65,24 @@ impl LinkageConfig {
 /// # Panics
 /// Panics if the point set is empty or `config.k == 0`.
 pub fn similarity_linkage<S: PairwiseSimilarity>(sim: &S, config: LinkageConfig) -> Clustering {
+    // tidy-allow(panic): an unlimited governor never trips
+    similarity_linkage_governed(sim, config, &RunGovernor::unlimited())
+        .expect("an unlimited governor never trips")
+}
+
+/// As [`similarity_linkage`], under a [`RunGovernor`]: the budgets and
+/// cancellation token are checked at every merge.
+///
+/// # Errors
+/// [`RockError::Interrupted`] when the governor trips.
+///
+/// # Panics
+/// As [`similarity_linkage`] on invalid input.
+pub fn similarity_linkage_governed<S: PairwiseSimilarity>(
+    sim: &S,
+    config: LinkageConfig,
+    governor: &RunGovernor,
+) -> Result<Clustering, RockError> {
     assert!(config.k >= 1, "need at least one target cluster");
     let n = sim.len();
     assert!(n > 0, "cannot cluster zero points");
@@ -80,12 +100,17 @@ pub fn similarity_linkage<S: PairwiseSimilarity>(sim: &S, config: LinkageConfig)
         }
     }
 
-    let mut members: Vec<Option<Vec<u32>>> = (0..n).map(|i| Some(vec![i as u32])).collect();
+    // Member lists are never vacated: a merged cluster's members move
+    // out with `mem::take` as its index leaves `live`, so every index
+    // reachable through `live` is always valid.
+    let mut members: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32]).collect();
     let mut live: Vec<usize> = (0..n).collect();
     // nearest-partner cache: (best similarity, partner) per live cluster.
     let mut nearest: Vec<Option<(f64, usize)>> = vec![None; n];
+    let mut merges: u64 = 0;
 
     while live.len() > config.k {
+        governor.check_at(Phase::Merge, merges)?;
         let mut best: Option<(f64, usize, usize)> = None;
         for pos in 0..live.len() {
             let i = live[pos];
@@ -124,10 +149,8 @@ pub fn similarity_linkage<S: PairwiseSimilarity>(sim: &S, config: LinkageConfig)
         }
         let (u, w) = (u_raw.min(v_raw), u_raw.max(v_raw));
         // Merge w into u with the Lance–Williams update.
-        // tidy-allow(panic): indices drawn from `live` always point at occupied members slots; a slot is vacated only when its index leaves `live`
-        let nu = members[u].as_ref().expect("live").len() as f64;
-        // tidy-allow(panic): indices drawn from `live` always point at occupied members slots; a slot is vacated only when its index leaves `live`
-        let nw = members[w].as_ref().expect("live").len() as f64;
+        let nu = members[u].len() as f64;
+        let nw = members[w].len() as f64;
         for &x in &live {
             if x == u || x == w {
                 continue;
@@ -140,12 +163,11 @@ pub fn similarity_linkage<S: PairwiseSimilarity>(sim: &S, config: LinkageConfig)
                 Linkage::Average => (nu * su + nw * sw) / (nu + nw),
             };
         }
-        // tidy-allow(panic): indices drawn from `live` always point at occupied members slots; a slot is vacated only when its index leaves `live`
-        let mw = members[w].take().expect("live");
-        // tidy-allow(panic): indices drawn from `live` always point at occupied members slots; a slot is vacated only when its index leaves `live`
-        members[u].as_mut().expect("live").extend(mw);
+        let mw = std::mem::take(&mut members[w]);
+        members[u].extend(mw);
         live.retain(|&i| i != w);
         nearest[u] = None;
+        merges += 1;
         for &i in &live {
             if let Some((_, j)) = nearest[i] {
                 if j == u || j == w {
@@ -157,15 +179,15 @@ pub fn similarity_linkage<S: PairwiseSimilarity>(sim: &S, config: LinkageConfig)
 
     let clusters: Vec<Vec<u32>> = live
         .into_iter()
-        // tidy-allow(panic): indices drawn from `live` always point at occupied members slots; a slot is vacated only when its index leaves `live`
-        .map(|i| members[i].take().expect("live"))
+        .map(|i| std::mem::take(&mut members[i]))
         .collect();
-    Clustering::new(clusters, Vec::new())
+    Ok(Clustering::new(clusters, Vec::new()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rock_core::governor::{CancellationToken, TripReason};
     use rock_core::points::Transaction;
     use rock_core::similarity::{Jaccard, PointsWith, SimilarityMatrix};
 
@@ -257,5 +279,27 @@ mod tests {
         let c = similarity_linkage(&m, LinkageConfig::new(1, Linkage::Average));
         assert_eq!(c.num_clusters(), 1);
         assert_eq!(c.clusters[0].len(), 5);
+    }
+
+    #[test]
+    fn governed_matches_plain_and_cancels() {
+        let m = chain_matrix();
+        let cfg = LinkageConfig::new(2, Linkage::Average);
+        let plain = similarity_linkage(&m, cfg);
+        let governed = similarity_linkage_governed(&m, cfg, &RunGovernor::unlimited()).unwrap();
+        assert_eq!(plain, governed);
+
+        let token = CancellationToken::new();
+        token.cancel();
+        let g = RunGovernor::unlimited().with_cancel_token(token);
+        let err = similarity_linkage_governed(&m, cfg, &g).unwrap_err();
+        assert!(matches!(
+            err,
+            RockError::Interrupted {
+                phase: Phase::Merge,
+                reason: TripReason::Cancelled,
+                ..
+            }
+        ));
     }
 }

@@ -1,0 +1,449 @@
+//! [`ClusterModel`] adapters: every baseline behind the same trait as
+//! ROCK itself.
+//!
+//! `rock-eval` and `rock-bench` drive clustering algorithms generically —
+//! fit a model, score/tabulate its [`ModelFit`] — so each baseline gets a
+//! thin adapter that owns its configuration, seeds its own RNG stream
+//! (for the randomized searches), runs the governed core under the
+//! model's [`RunGovernor`], and accounts for wall-clock time and outliers
+//! in the returned [`rock_core::report::RunReport`].
+//!
+//! | Model | Data type `D` | Core driver |
+//! |---|---|---|
+//! | [`CentroidModel`] | `[Vec<f64>]` | [`centroid_hierarchical_governed`] |
+//! | [`KMeansModel`] | `[Vec<f64>]` | [`kmeans_governed`] |
+//! | [`KModesModel`] | `[CategoricalRecord]` | [`kmodes_governed`] |
+//! | [`LinkageModel`] | any [`PairwiseSimilarity`] | [`similarity_linkage_governed`] |
+//! | [`ClaransModel`] | any [`PairwiseSimilarity`] | [`clarans_governed`] |
+//! | [`DbscanModel`] | any [`PairwiseSimilarity`] `+ Sync` | [`dbscan_governed`] |
+//!
+//! (`rock_core::RockModel` completes the set — ROCK over point slices.)
+//!
+//! The adapters return `dendrogram: None` — merge histories are not
+//! tracked for the baselines; only ROCK's own engine produces a
+//! replayable [`rock_core::Dendrogram`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rock_core::cluster::Clustering;
+use rock_core::engine::{ClusterModel, ModelFit};
+use rock_core::error::RockError;
+use rock_core::governor::RunGovernor;
+use rock_core::neighbors::NeighborGraph;
+use rock_core::points::CategoricalRecord;
+use rock_core::report::{PhaseTimer, RunReport};
+use rock_core::similarity::PairwiseSimilarity;
+
+use crate::centroid::{centroid_hierarchical_governed, CentroidConfig};
+use crate::clarans::{clarans_governed, ClaransConfig};
+use crate::dbscan::{dbscan_governed, DbscanConfig};
+use crate::kmeans::{kmeans_governed, KMeansConfig};
+use crate::kmodes::{kmodes_governed, KModesConfig};
+use crate::linkage::{similarity_linkage_governed, Linkage, LinkageConfig};
+
+/// Wraps a finished clustering into a [`ModelFit`], accounting for the
+/// timed "cluster" phase and the outlier count.
+fn finish(clustering: Clustering, timer: PhaseTimer, mut report: RunReport) -> ModelFit {
+    timer.record(&mut report, "cluster");
+    report.outliers = clustering.outliers.len() as u64;
+    ModelFit {
+        clustering,
+        dendrogram: None,
+        report,
+    }
+}
+
+/// The §5 traditional comparator as a [`ClusterModel`] over dense 0/1
+/// vectors (see [`crate::vectorize`]).
+#[derive(Clone, Debug)]
+pub struct CentroidModel {
+    config: CentroidConfig,
+    governor: RunGovernor,
+}
+
+impl CentroidModel {
+    /// A model with the given configuration and no budgets.
+    pub fn new(config: CentroidConfig) -> Self {
+        CentroidModel {
+            config,
+            governor: RunGovernor::unlimited(),
+        }
+    }
+
+    /// Runs fits under `governor` (cancellation, deadline, memory).
+    #[must_use]
+    pub fn with_governor(mut self, governor: RunGovernor) -> Self {
+        self.governor = governor;
+        self
+    }
+}
+
+impl ClusterModel<[Vec<f64>]> for CentroidModel {
+    fn name(&self) -> &'static str {
+        "centroid"
+    }
+
+    fn fit(&self, data: &[Vec<f64>]) -> Result<ModelFit, RockError> {
+        let mut report = RunReport::new();
+        report.records_read = data.len() as u64;
+        let timer = PhaseTimer::start();
+        let clustering = centroid_hierarchical_governed(data, self.config, &self.governor)?;
+        Ok(finish(clustering, timer, report))
+    }
+}
+
+/// Lloyd's k-means as a [`ClusterModel`] over dense vectors.
+#[derive(Clone, Debug)]
+pub struct KMeansModel {
+    config: KMeansConfig,
+    seed: u64,
+    governor: RunGovernor,
+}
+
+impl KMeansModel {
+    /// A model seeding its k-means++ stream from `seed`.
+    pub fn new(config: KMeansConfig, seed: u64) -> Self {
+        KMeansModel {
+            config,
+            seed,
+            governor: RunGovernor::unlimited(),
+        }
+    }
+
+    /// Runs fits under `governor` (cancellation, deadline, memory).
+    #[must_use]
+    pub fn with_governor(mut self, governor: RunGovernor) -> Self {
+        self.governor = governor;
+        self
+    }
+}
+
+impl ClusterModel<[Vec<f64>]> for KMeansModel {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn fit(&self, data: &[Vec<f64>]) -> Result<ModelFit, RockError> {
+        let mut report = RunReport::new();
+        report.records_read = data.len() as u64;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let timer = PhaseTimer::start();
+        let result = kmeans_governed(data, self.config, &mut rng, &self.governor)?;
+        Ok(finish(result.clustering, timer, report))
+    }
+}
+
+/// Huang's k-modes as a [`ClusterModel`] over categorical records.
+#[derive(Clone, Debug)]
+pub struct KModesModel {
+    config: KModesConfig,
+    seed: u64,
+    governor: RunGovernor,
+}
+
+impl KModesModel {
+    /// A model seeding its mode-selection stream from `seed`.
+    pub fn new(config: KModesConfig, seed: u64) -> Self {
+        KModesModel {
+            config,
+            seed,
+            governor: RunGovernor::unlimited(),
+        }
+    }
+
+    /// Runs fits under `governor` (cancellation, deadline, memory).
+    #[must_use]
+    pub fn with_governor(mut self, governor: RunGovernor) -> Self {
+        self.governor = governor;
+        self
+    }
+}
+
+impl ClusterModel<[CategoricalRecord]> for KModesModel {
+    fn name(&self) -> &'static str {
+        "kmodes"
+    }
+
+    fn fit(&self, data: &[CategoricalRecord]) -> Result<ModelFit, RockError> {
+        let mut report = RunReport::new();
+        report.records_read = data.len() as u64;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let timer = PhaseTimer::start();
+        let result = kmodes_governed(data, self.config, &mut rng, &self.governor)?;
+        Ok(finish(result.clustering, timer, report))
+    }
+}
+
+/// MST/single-link, complete-link or group-average clustering as a
+/// [`ClusterModel`] over any pairwise similarity.
+#[derive(Clone, Debug)]
+pub struct LinkageModel {
+    config: LinkageConfig,
+    governor: RunGovernor,
+}
+
+impl LinkageModel {
+    /// A model with the given linkage configuration and no budgets.
+    pub fn new(config: LinkageConfig) -> Self {
+        LinkageModel {
+            config,
+            governor: RunGovernor::unlimited(),
+        }
+    }
+
+    /// Runs fits under `governor` (cancellation, deadline, memory).
+    #[must_use]
+    pub fn with_governor(mut self, governor: RunGovernor) -> Self {
+        self.governor = governor;
+        self
+    }
+}
+
+impl<PS: PairwiseSimilarity> ClusterModel<PS> for LinkageModel {
+    fn name(&self) -> &'static str {
+        match self.config.linkage {
+            Linkage::Single => "single-link",
+            Linkage::Complete => "complete-link",
+            Linkage::Average => "group-average",
+        }
+    }
+
+    fn fit(&self, data: &PS) -> Result<ModelFit, RockError> {
+        let mut report = RunReport::new();
+        report.records_read = data.len() as u64;
+        let timer = PhaseTimer::start();
+        let clustering = similarity_linkage_governed(data, self.config, &self.governor)?;
+        Ok(finish(clustering, timer, report))
+    }
+}
+
+/// CLARANS randomized k-medoids as a [`ClusterModel`] over any pairwise
+/// similarity.
+#[derive(Clone, Debug)]
+pub struct ClaransModel {
+    config: ClaransConfig,
+    seed: u64,
+    governor: RunGovernor,
+}
+
+impl ClaransModel {
+    /// A model seeding its randomized search from `seed`.
+    pub fn new(config: ClaransConfig, seed: u64) -> Self {
+        ClaransModel {
+            config,
+            seed,
+            governor: RunGovernor::unlimited(),
+        }
+    }
+
+    /// Runs fits under `governor` (cancellation, deadline, memory).
+    #[must_use]
+    pub fn with_governor(mut self, governor: RunGovernor) -> Self {
+        self.governor = governor;
+        self
+    }
+}
+
+impl<PS: PairwiseSimilarity> ClusterModel<PS> for ClaransModel {
+    fn name(&self) -> &'static str {
+        "clarans"
+    }
+
+    fn fit(&self, data: &PS) -> Result<ModelFit, RockError> {
+        let mut report = RunReport::new();
+        report.records_read = data.len() as u64;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let timer = PhaseTimer::start();
+        let result = clarans_governed(data, self.config, &mut rng, &self.governor)?;
+        Ok(finish(result.clustering, timer, report))
+    }
+}
+
+/// DBSCAN as a [`ClusterModel`]: builds the θ-neighbor graph ROCK uses
+/// (a similarity threshold is an ε-radius in similarity space), then
+/// grows density-connected clusters over it. Reports the graph build as
+/// its own "neighbors" phase.
+#[derive(Clone, Debug)]
+pub struct DbscanModel {
+    config: DbscanConfig,
+    theta: f64,
+    threads: usize,
+    governor: RunGovernor,
+}
+
+impl DbscanModel {
+    /// A model thresholding neighborhoods at `theta`, single-threaded.
+    pub fn new(config: DbscanConfig, theta: f64) -> Self {
+        DbscanModel {
+            config,
+            theta,
+            threads: 1,
+            governor: RunGovernor::unlimited(),
+        }
+    }
+
+    /// Builds the neighbor graph with `threads` workers.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs fits under `governor` (cancellation, deadline, memory).
+    #[must_use]
+    pub fn with_governor(mut self, governor: RunGovernor) -> Self {
+        self.governor = governor;
+        self
+    }
+}
+
+impl<PS: PairwiseSimilarity + Sync> ClusterModel<PS> for DbscanModel {
+    fn name(&self) -> &'static str {
+        "dbscan"
+    }
+
+    fn fit(&self, data: &PS) -> Result<ModelFit, RockError> {
+        let mut report = RunReport::new();
+        report.records_read = data.len() as u64;
+        let timer = PhaseTimer::start();
+        let graph = if self.threads > 1 {
+            NeighborGraph::build_parallel(data, self.theta, self.threads)
+        } else {
+            NeighborGraph::build(data, self.theta)
+        };
+        timer.record(&mut report, "neighbors");
+        let timer = PhaseTimer::start();
+        let clustering = dbscan_governed(&graph, self.config, &self.governor)?;
+        Ok(finish(clustering, timer, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmodes::kmodes;
+    use crate::vectorize::transactions_to_vectors;
+    use rock_core::governor::{CancellationToken, Phase, TripReason};
+    use rock_core::points::Transaction;
+    use rock_core::similarity::{Jaccard, PointsWith, SimilarityMatrix};
+
+    fn block_matrix(n: usize) -> SimilarityMatrix {
+        SimilarityMatrix::from_fn(n, |i, j| {
+            if (i < n / 2) == (j < n / 2) {
+                0.9
+            } else {
+                0.1
+            }
+        })
+    }
+
+    #[test]
+    fn centroid_model_matches_direct_call() {
+        let ts: Vec<Transaction> = (0..12)
+            .map(|i| {
+                if i < 6 {
+                    Transaction::from([1, 2, 3 + (i % 2) as u32])
+                } else {
+                    Transaction::from([10, 11, 12 + (i % 2) as u32])
+                }
+            })
+            .collect();
+        let vs = transactions_to_vectors(&ts, 14);
+        let model = CentroidModel::new(CentroidConfig::plain(2));
+        let fit = model.fit(&vs).unwrap();
+        assert_eq!(
+            fit.clustering,
+            crate::centroid::centroid_hierarchical(&vs, CentroidConfig::plain(2))
+        );
+        assert_eq!(fit.report.records_read, 12);
+        assert!(fit.report.phase_duration("cluster").is_some());
+        assert!(fit.dendrogram.is_none());
+        assert_eq!(model.name(), "centroid");
+    }
+
+    #[test]
+    fn randomized_models_are_reproducible() {
+        let vs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![if i < 10 { 0.0 } else { 9.0 }, (i % 3) as f64 * 0.1])
+            .collect();
+        let model = KMeansModel::new(KMeansConfig::new(2), 7);
+        let a = model.fit(&vs).unwrap();
+        let b = model.fit(&vs).unwrap();
+        assert_eq!(a.clustering, b.clustering);
+
+        let m = block_matrix(12);
+        let cl = ClaransModel::new(ClaransConfig::new(2), 94);
+        assert_eq!(cl.fit(&m).unwrap().clustering, cl.fit(&m).unwrap().clustering);
+    }
+
+    #[test]
+    fn kmodes_model_matches_direct_call() {
+        let rs: Vec<CategoricalRecord> = (0..10)
+            .map(|i| CategoricalRecord::complete(vec![(i / 5) * 5, (i / 5) * 5, i % 2]))
+            .collect();
+        let model = KModesModel::new(KModesConfig::new(2), 11);
+        let fit = model.fit(&rs).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(fit.clustering, kmodes(&rs, KModesConfig::new(2), &mut rng).clustering);
+    }
+
+    #[test]
+    fn linkage_model_names_follow_the_criterion() {
+        for (linkage, name) in [
+            (Linkage::Single, "single-link"),
+            (Linkage::Complete, "complete-link"),
+            (Linkage::Average, "group-average"),
+        ] {
+            let model = LinkageModel::new(LinkageConfig::new(2, linkage));
+            assert_eq!(ClusterModel::<SimilarityMatrix>::name(&model), name);
+        }
+        let m = block_matrix(8);
+        let fit = LinkageModel::new(LinkageConfig::new(2, Linkage::Average))
+            .fit(&m)
+            .unwrap();
+        assert_eq!(fit.clustering.sizes(), vec![4, 4]);
+    }
+
+    #[test]
+    fn dbscan_model_reports_both_phases_and_outliers() {
+        let ts = vec![
+            Transaction::from([1, 2, 3]),
+            Transaction::from([1, 2, 4]),
+            Transaction::from([1, 3, 4]),
+            Transaction::from([2, 3, 4]),
+            Transaction::from([10, 11, 12]),
+            Transaction::from([10, 11, 13]),
+            Transaction::from([10, 12, 13]),
+            Transaction::from([11, 12, 13]),
+            Transaction::from([99]),
+        ];
+        let pw = PointsWith::new(&ts, Jaccard);
+        let model = DbscanModel::new(DbscanConfig::new(3), 0.5);
+        let fit = model.fit(&pw).unwrap();
+        assert_eq!(fit.clustering.sizes(), vec![4, 4]);
+        assert_eq!(fit.report.outliers, 1);
+        assert!(fit.report.phase_duration("neighbors").is_some());
+        assert!(fit.report.phase_duration("cluster").is_some());
+        assert_eq!(fit.assignments(9)[8], None, "noise point is unassigned");
+    }
+
+    #[test]
+    fn cancelled_governor_interrupts_any_model() {
+        let token = CancellationToken::new();
+        token.cancel();
+        let g = RunGovernor::unlimited().with_cancel_token(token);
+        let m = block_matrix(10);
+        let err = ClaransModel::new(ClaransConfig::new(2), 1)
+            .with_governor(g)
+            .fit(&m)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RockError::Interrupted {
+                phase: Phase::Merge,
+                reason: TripReason::Cancelled,
+                ..
+            }
+        ));
+    }
+}

@@ -6,28 +6,21 @@
 //! domain." Transactions are likewise 0/1 vectors over the item universe
 //! (§1.1, Example 1.1). These encoders produce the dense `f64` vectors the
 //! centroid-based algorithms operate on.
+//!
+//! Both encoders are thin fronts over the packed item-set substrate
+//! ([`rock_data::packed::PackedBaskets`]) — the bit-packed rows are the
+//! single source of truth for item membership, expanded to dense `f64`
+//! by [`PackedBaskets::to_dense`].
 
 use rock_core::points::{CategoricalRecord, CategoricalSchema, Transaction};
+use rock_data::packed::PackedBaskets;
 
 /// Encodes transactions as 0/1 vectors over `num_items` dimensions.
 ///
 /// # Panics
 /// Panics if a transaction contains an item id ≥ `num_items`.
 pub fn transactions_to_vectors(transactions: &[Transaction], num_items: usize) -> Vec<Vec<f64>> {
-    transactions
-        .iter()
-        .map(|t| {
-            let mut v = vec![0.0; num_items];
-            for &item in t.items() {
-                assert!(
-                    (item as usize) < num_items,
-                    "item id {item} out of range {num_items}"
-                );
-                v[item as usize] = 1.0;
-            }
-            v
-        })
-        .collect()
+    PackedBaskets::new(transactions).to_dense(num_items)
 }
 
 /// Encodes categorical records as 0/1 vectors with one dimension per
@@ -36,20 +29,15 @@ pub fn transactions_to_vectors(transactions: &[Transaction], num_items: usize) -
 /// Missing values leave the attribute's whole block at 0 — the natural
 /// extension of the paper's encoding (and one of the reasons the
 /// traditional algorithm struggles with missing-value data, §5.2).
+/// Records are routed through the §3.1.2 record → transaction mapping,
+/// so the encoding is definitionally consistent with the transaction
+/// encoder above.
+///
+/// # Panics
+/// Panics if a record's arity differs from the schema.
 pub fn records_to_vectors(records: &[CategoricalRecord], schema: &CategoricalSchema) -> Vec<Vec<f64>> {
-    let dims = schema.num_items();
-    records
-        .iter()
-        .map(|r| {
-            let mut v = vec![0.0; dims];
-            for (a, value) in r.values().iter().enumerate() {
-                if let Some(val) = value {
-                    v[schema.item_id(a, *val) as usize] = 1.0;
-                }
-            }
-            v
-        })
-        .collect()
+    let ts: Vec<Transaction> = records.iter().map(|r| schema.to_transaction(r)).collect();
+    PackedBaskets::new(&ts).to_dense(schema.num_items())
 }
 
 /// Squared Euclidean distance between dense vectors.

@@ -1,76 +1,65 @@
 //! ROCK vs the traditional algorithms on identical categorical data:
-//! wall-clock comparison on the votes-like and basket workloads.
+//! wall-clock comparison on the votes-like workload, with every
+//! algorithm — ROCK included — driven through the shared
+//! [`ClusterModel`] fit entry point.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
 use rock_baselines::{
-    centroid_hierarchical, clarans, dbscan, kmeans, kmodes, records_to_vectors,
-    similarity_linkage, CentroidConfig, ClaransConfig, DbscanConfig, KMeansConfig,
-    KModesConfig, Linkage, LinkageConfig,
+    records_to_vectors, CentroidConfig, CentroidModel, ClaransConfig, ClaransModel, DbscanConfig,
+    DbscanModel, KMeansConfig, KMeansModel, KModesConfig, KModesModel, Linkage, LinkageConfig,
+    LinkageModel,
 };
-use rock_core::neighbors::NeighborGraph;
 use rock_core::similarity::{CategoricalJaccard, PointsWith};
-use rock_core::Rock;
+use rock_core::{ClusterModel, Rock, RockModel};
 use rock_data::{generate_votes, VotesSpec};
 use std::hint::black_box;
 
 fn bench_votes_algorithms(c: &mut Criterion) {
     let data = generate_votes(&VotesSpec::paper(), &mut StdRng::seed_from_u64(84));
     let vectors = records_to_vectors(&data.records, &data.schema);
+    let sim = CategoricalJaccard::default();
+    let pairwise = PointsWith::new(&data.records, &sim);
     let mut group = c.benchmark_group("votes_435");
 
+    let rock = RockModel::new(
+        Rock::builder()
+            .theta(0.73)
+            .clusters(2)
+            .build()
+            .expect("valid"),
+        CategoricalJaccard::default(),
+    );
     group.bench_function("rock", |b| {
-        let rock = Rock::builder().theta(0.73).clusters(2).build().expect("valid");
-        let sim = CategoricalJaccard::default();
-        b.iter(|| black_box(rock.cluster(&data.records, &sim)))
+        b.iter(|| black_box(rock.fit(&data.records).expect("unlimited fit")))
     });
+    let centroid = CentroidModel::new(CentroidConfig::paper(2));
     group.bench_function("centroid_hierarchical", |b| {
-        b.iter(|| black_box(centroid_hierarchical(&vectors, CentroidConfig::paper(2))))
+        b.iter(|| black_box(centroid.fit(&vectors).expect("unlimited fit")))
     });
+    let average = LinkageModel::new(LinkageConfig::new(2, Linkage::Average));
     group.bench_function("group_average", |b| {
-        let sim = CategoricalJaccard::default();
-        b.iter(|| {
-            black_box(similarity_linkage(
-                &PointsWith::new(&data.records, &sim),
-                LinkageConfig::new(2, Linkage::Average),
-            ))
-        })
+        b.iter(|| black_box(average.fit(&pairwise).expect("unlimited fit")))
     });
+    let single = LinkageModel::new(LinkageConfig::new(2, Linkage::Single));
     group.bench_function("single_link_mst", |b| {
-        let sim = CategoricalJaccard::default();
-        b.iter(|| {
-            black_box(similarity_linkage(
-                &PointsWith::new(&data.records, &sim),
-                LinkageConfig::new(2, Linkage::Single),
-            ))
-        })
+        b.iter(|| black_box(single.fit(&pairwise).expect("unlimited fit")))
     });
+    let km = KMeansModel::new(KMeansConfig::new(2), 1);
     group.bench_function("kmeans", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(1);
-            black_box(kmeans(&vectors, KMeansConfig::new(2), &mut rng))
-        })
+        b.iter(|| black_box(km.fit(&vectors).expect("unlimited fit")))
     });
+    let kmo = KModesModel::new(KModesConfig::new(2), 1);
     group.bench_function("kmodes", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(1);
-            black_box(kmodes(&data.records, KModesConfig::new(2), &mut rng))
-        })
+        b.iter(|| black_box(kmo.fit(&data.records).expect("unlimited fit")))
     });
+    let db = DbscanModel::new(DbscanConfig::new(4), 0.73);
     group.bench_function("dbscan", |b| {
-        let sim = CategoricalJaccard::default();
-        b.iter(|| {
-            let g = NeighborGraph::build(&PointsWith::new(&data.records, &sim), 0.73);
-            black_box(dbscan(&g, DbscanConfig::new(4)))
-        })
+        b.iter(|| black_box(db.fit(&pairwise).expect("unlimited fit")))
     });
+    let cl = ClaransModel::new(ClaransConfig::new(2), 1);
     group.bench_function("clarans", |b| {
-        let sim = CategoricalJaccard::default();
-        let pw = PointsWith::new(&data.records, &sim);
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(1);
-            black_box(clarans(&pw, ClaransConfig::new(2), &mut rng))
-        })
+        b.iter(|| black_box(cl.fit(&pairwise).expect("unlimited fit")))
     });
     group.finish();
 }

@@ -9,10 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use rock_core::engine::{ClusterModel, ModelFit};
+use rock_core::error::RockError;
 use rock_core::goodness::GoodnessKind;
 use rock_core::points::CategoricalRecord;
 use rock_core::similarity::{CategoricalJaccard, MissingPolicy};
 use rock_core::{Clustering, Rock, RockRun};
+use rock_eval::ModelScore;
 use std::time::Instant;
 
 /// A tiny `--flag value` / `--flag` parser for the experiment binaries.
@@ -97,6 +100,55 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64())
+}
+
+/// One generically-driven model fit: the fit itself, its quality scores
+/// against ground truth, and the wall-clock seconds it took.
+#[derive(Debug)]
+pub struct ModelRun {
+    /// The model's self-reported name.
+    pub name: &'static str,
+    /// The fitted clustering, dendrogram (if any) and run report.
+    pub fit: ModelFit,
+    /// External quality indices vs ground truth.
+    pub score: ModelScore,
+    /// Wall-clock seconds of the fit.
+    pub seconds: f64,
+}
+
+/// Fits any [`ClusterModel`] on `data`, scores it against `truth` and
+/// times the fit — the uniform driver for ROCK-vs-baseline comparisons.
+///
+/// # Errors
+/// Whatever the model's `fit` surfaces (an interrupted governor, invalid
+/// labeling parameters, …).
+pub fn run_model<D: ?Sized, M: ClusterModel<D>>(
+    model: &M,
+    data: &D,
+    truth: &[Option<usize>],
+) -> Result<ModelRun, RockError> {
+    let (result, seconds) = timed(|| model.fit(data));
+    let fit = result?;
+    let score = rock_eval::score_fit(&fit, truth);
+    Ok(ModelRun {
+        name: model.name(),
+        fit,
+        score,
+        seconds,
+    })
+}
+
+/// Renders a [`ModelRun`] as one [`print_table`] row: name, cluster
+/// count, outliers, misclassified, ARI, seconds.
+pub fn model_row(run: &ModelRun) -> Vec<String> {
+    vec![
+        run.name.to_owned(),
+        run.score.num_clusters.to_string(),
+        run.score.outliers.to_string(),
+        run.score.misclassification.misclassified.to_string(),
+        format!("{:.3}", run.score.ari),
+        format!("{:.3}", run.seconds),
+    ]
 }
 
 /// Runs ROCK over categorical records with the paper's standard setup
@@ -206,5 +258,23 @@ mod tests {
     fn bad_value_panics() {
         let a = Args::from_vec(vec!["--scale".into(), "abc".into()]);
         let _ = a.get::<f64>("scale", 1.0);
+    }
+
+    #[test]
+    fn run_model_times_and_scores() {
+        use rock_baselines::{CentroidConfig, CentroidModel};
+        let vectors: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![if i < 5 { 0.0 } else { 8.0 }, (i % 2) as f64 * 0.1])
+            .collect();
+        let truth: Vec<Option<usize>> = (0..10).map(|i| Some(usize::from(i >= 5))).collect();
+        let model = CentroidModel::new(CentroidConfig::plain(2));
+        let run = run_model(&model, &vectors[..], &truth).expect("unlimited fit");
+        assert_eq!(run.name, "centroid");
+        assert_eq!(run.score.misclassification.misclassified, 0);
+        assert_eq!(run.score.ari, 1.0);
+        assert!(run.seconds >= 0.0);
+        let row = model_row(&run);
+        assert_eq!(row.len(), 6);
+        assert_eq!(row[0], "centroid");
     }
 }

@@ -1,0 +1,110 @@
+//! The uniform `fit → labels + report` contract shared by ROCK and the
+//! traditional baseline algorithms.
+//!
+//! | Model | Crate | Data type `D` |
+//! |---|---|---|
+//! | ROCK ([`RockModel`]) | `rock-core` | `[P]` + any [`Similarity`] |
+//! | centroid hierarchical | `rock-baselines` | `[Vec<f64>]` |
+//! | single-link (MST) / group-average | `rock-baselines` | any `PairwiseSimilarity` |
+//! | k-means | `rock-baselines` | `[Vec<f64>]` |
+//! | k-modes | `rock-baselines` | `[CategoricalRecord]` |
+//! | CLARANS | `rock-baselines` | any `PairwiseSimilarity` |
+//! | DBSCAN | `rock-baselines` | any `PairwiseSimilarity` |
+//!
+//! `rock-eval` scores a [`ModelFit`] against ground truth and
+//! `rock-bench` times one generically, so adding an algorithm to the
+//! comparison is one trait impl, not a bespoke driver.
+
+use crate::cluster::Clustering;
+use crate::dendrogram::Dendrogram;
+use crate::error::RockError;
+use crate::report::RunReport;
+use crate::rock::Rock;
+use crate::similarity::Similarity;
+
+/// What any clustering model produces: a flat clustering, the merge
+/// hierarchy when the algorithm has one, and the run's structured
+/// report (per-phase timings, degradation/interruption outcome).
+#[derive(Clone, Debug)]
+pub struct ModelFit {
+    /// The flat clustering over the input data (outliers separated).
+    pub clustering: Clustering,
+    /// The full merge tree, for hierarchical models whose trace can be
+    /// replayed ([`Dendrogram::from_run`]); `None` for partitional
+    /// models and weeded hierarchical runs.
+    pub dendrogram: Option<Dendrogram>,
+    /// Structured account of the run.
+    pub report: RunReport,
+}
+
+impl ModelFit {
+    /// Per-point cluster assignments over `n` points (`None` =
+    /// outlier), the shape evaluation metrics consume.
+    pub fn assignments(&self, n: usize) -> Vec<Option<usize>> {
+        self.clustering.assignments(n)
+    }
+}
+
+/// A clustering algorithm fit through the shared engine contract.
+///
+/// `D` is the unsized data view the model consumes (`[Vec<f64>]` for
+/// geometric baselines, `[CategoricalRecord]` for k-modes, a
+/// `PairwiseSimilarity` source for similarity-driven models). Models
+/// are configured at construction — including their
+/// [`crate::governor::RunGovernor`], so every implementation is
+/// cancellable and budget-aware — and `fit` is reusable: each call is
+/// an independent run.
+pub trait ClusterModel<D: ?Sized> {
+    /// Short stable model name (`"rock"`, `"kmeans"`, …), used as the
+    /// row label by evaluation and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the model over `data`.
+    ///
+    /// # Errors
+    /// [`RockError::Interrupted`] when the model's governor trips, plus
+    /// model-specific input errors.
+    fn fit(&self, data: &D) -> Result<ModelFit, RockError>;
+}
+
+/// ROCK as a [`ClusterModel`]: the full governed Fig.-2 pipeline
+/// ([`crate::rock::Rock::try_run`]) with a user-chosen similarity
+/// measure baked in.
+#[derive(Clone, Debug)]
+pub struct RockModel<S> {
+    rock: Rock,
+    measure: S,
+}
+
+impl<S> RockModel<S> {
+    /// Wraps a configured driver and measure.
+    pub fn new(rock: Rock, measure: S) -> Self {
+        RockModel { rock, measure }
+    }
+
+    /// The underlying driver (e.g. to reach its governor's cancel
+    /// token).
+    pub fn rock(&self) -> &Rock {
+        &self.rock
+    }
+}
+
+impl<P, S> ClusterModel<[P]> for RockModel<S>
+where
+    P: Clone + Sync,
+    S: Similarity<P> + Sync,
+{
+    fn name(&self) -> &'static str {
+        "rock"
+    }
+
+    fn fit(&self, data: &[P]) -> Result<ModelFit, RockError> {
+        let (result, report) = self.rock.try_run(data, &self.measure)?;
+        let dendrogram = Dendrogram::from_run(&result.sample_run);
+        Ok(ModelFit {
+            clustering: result.full_clustering(),
+            dendrogram,
+            report,
+        })
+    }
+}

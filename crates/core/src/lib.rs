@@ -98,6 +98,7 @@ pub mod cluster;
 pub mod components;
 pub mod criterion_fn;
 pub mod dendrogram;
+pub mod engine;
 pub mod error;
 pub mod goodness;
 pub mod governor;
@@ -122,6 +123,8 @@ pub use algorithm::{OutlierPolicy, RockAlgorithm, RockRun, WeedPolicy};
 pub use cluster::{Clustering, MergeRecord};
 pub use components::{neighbor_components, DisjointSet};
 pub use dendrogram::Dendrogram;
+pub use engine::model::RockModel;
+pub use engine::{ClusterModel, ModelFit, Pipeline, RunCtx};
 pub use error::RockError;
 pub use goodness::{BasketF, ConstantF, FTheta, Goodness, GoodnessKind};
 pub use governor::{

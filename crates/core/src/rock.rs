@@ -2,20 +2,20 @@
 //! with links, label the remaining data.
 //!
 //! [`Rock`] is configured through [`RockBuilder`]; see the crate docs for
-//! a worked example.
+//! a worked example. The governed entry points ([`Rock::try_run`],
+//! [`Rock::cluster_wal`], [`Rock::resume_cluster`]) are thin wrappers
+//! over the staged [`crate::engine::Pipeline`]; [`Rock::session`] hands
+//! out the pipeline directly for custom stage compositions.
 
 use crate::algorithm::{OutlierPolicy, RockAlgorithm, RockRun, WeedPolicy};
 use crate::cluster::Clustering;
-use crate::components::neighbor_components;
+use crate::engine::Pipeline;
 use crate::error::RockError;
 use crate::goodness::{BasketF, FTheta, Goodness, GoodnessKind};
-use crate::governor::{
-    CancellationToken, DegradationNote, DegradationPolicy, Phase, RunGovernor, TripReason,
-};
+use crate::governor::{CancellationToken, DegradationPolicy, RunGovernor};
 use crate::labeling::{Labeler, Labeling};
-use crate::links_matrix::{LinkKernel, LinkMatrix};
 use crate::neighbors::NeighborGraph;
-use crate::report::{PhaseTimer, RunReport};
+use crate::report::RunReport;
 use crate::similarity::{CheckedSimilarity, PairwiseSimilarity, PointsWith, Similarity};
 use crate::wal::MergeWal;
 use rand::{rngs::StdRng, SeedableRng};
@@ -41,6 +41,10 @@ pub struct RockConfig {
     pub labeling_fraction: f64,
     /// RNG seed for sampling/labeling; `None` seeds from the OS.
     pub seed: Option<u64>,
+    /// Optional seed perturbing the merge engine's internal hash maps
+    /// ([`RockAlgorithm::with_hash_seed`]); `None` keeps the default
+    /// hasher. Results are bit-identical for every value.
+    pub hash_seed: Option<u64>,
     /// Worker threads for the neighbor, link and labeling kernels
     /// (1 = serial). Results are bit-identical for every value.
     pub threads: usize,
@@ -63,6 +67,7 @@ pub struct RockBuilder {
     sample_size: Option<usize>,
     labeling_fraction: f64,
     seed: Option<u64>,
+    hash_seed: Option<u64>,
     threads: usize,
     degradation: DegradationPolicy,
     governor: RunGovernor,
@@ -90,6 +95,7 @@ impl Default for RockBuilder {
             sample_size: None,
             labeling_fraction: 0.25,
             seed: None,
+            hash_seed: None,
             threads: 1,
             degradation: DegradationPolicy::Fail,
             governor: RunGovernor::unlimited(),
@@ -154,6 +160,15 @@ impl RockBuilder {
     /// Fixes the RNG seed for reproducible sampling and labeling.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Perturbs the merge engine's internal hash maps with `seed`
+    /// ([`RockAlgorithm::with_hash_seed`]). The clustering result does
+    /// not depend on it — the equivalence proptests sweep this knob to
+    /// prove hasher independence.
+    pub fn hash_seed(mut self, seed: u64) -> Self {
+        self.hash_seed = Some(seed);
         self
     }
 
@@ -247,6 +262,7 @@ impl RockBuilder {
                 sample_size: self.sample_size,
                 labeling_fraction: self.labeling_fraction,
                 seed: self.seed,
+                hash_seed: self.hash_seed,
                 threads: self.threads,
                 degradation: self.degradation,
             },
@@ -345,7 +361,23 @@ impl Rock {
     }
 
     fn algorithm(&self) -> RockAlgorithm {
-        RockAlgorithm::new(self.goodness(), self.config.k, self.config.outliers)
+        let algorithm = RockAlgorithm::new(self.goodness(), self.config.k, self.config.outliers);
+        match self.config.hash_seed {
+            Some(seed) => algorithm.with_hash_seed(seed),
+            None => algorithm,
+        }
+    }
+
+    /// A staged [`Pipeline`] over this driver's configuration and
+    /// governor — the engine behind [`Rock::try_run`],
+    /// [`Rock::cluster_wal`] and the resume entry points, exposed for
+    /// custom stage compositions (attach a WAL, run individual stages,
+    /// inspect the run context).
+    ///
+    /// The pipeline's governor shares this driver's token, clock and
+    /// memory meter.
+    pub fn session(&self) -> Pipeline<'static> {
+        Pipeline::new(self.config, self.governor.clone())
     }
 
     fn rng(&self) -> StdRng {
@@ -459,93 +491,6 @@ impl Rock {
         }
     }
 
-    /// Governed link computation and merge loop over a prebuilt graph.
-    ///
-    /// Applies the configured degradation policy: a memory budget that
-    /// cannot fit the dense kernel downshifts to sparse
-    /// ([`DegradationPolicy::SparseLinks`]); a budget trip inside the
-    /// links/merge work falls back to connected components
-    /// ([`DegradationPolicy::Components`]). [`DegradationPolicy::Subsample`]
-    /// is handled one level up, in [`Rock::try_run`], where the sample can
-    /// be re-drawn. Cancellation is authoritative and never degrades.
-    fn cluster_graph_governed(
-        &self,
-        graph: &NeighborGraph,
-        governor: &RunGovernor,
-        wal: Option<&mut MergeWal>,
-        note: &mut Option<DegradationNote>,
-    ) -> Result<RockRun, RockError> {
-        let result = self.cluster_graph_budgeted(graph, governor, wal, note);
-        match result {
-            Err(RockError::Interrupted { phase, reason, .. })
-                if reason != TripReason::Cancelled
-                    && matches!(self.config.degradation, DegradationPolicy::Components { .. }) =>
-            {
-                let DegradationPolicy::Components { min_cluster_size } = self.config.degradation
-                else {
-                    // tidy-allow(panic): the match guard two lines up proved the policy is the Components variant
-                    unreachable!()
-                };
-                let clustering = neighbor_components(graph, min_cluster_size);
-                *note = Some(DegradationNote {
-                    policy: self.config.degradation,
-                    phase,
-                    reason,
-                    detail: format!(
-                        "link agglomeration abandoned; finished as {} connected components",
-                        clustering.num_clusters()
-                    ),
-                });
-                Ok(RockRun {
-                    clustering,
-                    merges: Vec::new(),
-                    initial_points: Vec::new(),
-                })
-            }
-            other => other,
-        }
-    }
-
-    /// The budget-observing core of [`Rock::cluster_graph_governed`]:
-    /// kernel choice (with the proactive sparse downshift), link
-    /// computation charged against the memory budget, and the governed
-    /// merge loop.
-    fn cluster_graph_budgeted(
-        &self,
-        graph: &NeighborGraph,
-        governor: &RunGovernor,
-        wal: Option<&mut MergeWal>,
-        note: &mut Option<DegradationNote>,
-    ) -> Result<RockRun, RockError> {
-        governor.check(Phase::Links)?;
-        let mut kernel = LinkMatrix::choose_kernel(graph);
-        if kernel == LinkKernel::Dense
-            && self.config.degradation == DegradationPolicy::SparseLinks
-            && governor.would_exceed(LinkMatrix::estimated_dense_bytes(graph.len()))
-        {
-            kernel = LinkKernel::Sparse;
-            *note = Some(DegradationNote {
-                policy: DegradationPolicy::SparseLinks,
-                phase: Phase::Links,
-                reason: TripReason::MemoryBudgetExceeded,
-                detail: format!(
-                    "dense link kernel (~{} bytes over {} points) downshifted to sparse",
-                    LinkMatrix::estimated_dense_bytes(graph.len()),
-                    graph.len(),
-                ),
-            });
-        }
-        let links = LinkMatrix::compute_kernel(graph, self.config.threads, kernel);
-        let link_bytes = links.memory_bytes() as u64;
-        governor.charge(link_bytes);
-        let result = governor.check(Phase::Links).and_then(|()| {
-            self.algorithm()
-                .run_with_matrix_governed(graph, &links, governor, wal)
-        });
-        governor.release(link_bytes);
-        result
-    }
-
     /// Clusters `points` under the configured governor while journaling
     /// every merge decision to `wal`.
     ///
@@ -569,16 +514,7 @@ impl Rock {
         P: Sync,
     {
         let pw = PointsWith::new(points, measure);
-        self.governor.check(Phase::Neighbors)?;
-        let graph = self.build_graph(&pw);
-        let graph_bytes = graph.memory_bytes() as u64;
-        self.governor.charge(graph_bytes);
-        let result = self.governor.check(Phase::Neighbors).and_then(|()| {
-            self.algorithm()
-                .run_governed(&graph, self.config.threads, &self.governor, Some(wal))
-        });
-        self.governor.release(graph_bytes);
-        result
+        self.session().attach_wal(wal).fit_wal(&pw)
     }
 
     /// Resumes an interrupted [`Rock::cluster_wal`] run from the bytes of
@@ -605,15 +541,10 @@ impl Rock {
         P: Sync,
     {
         let pw = PointsWith::new(points, measure);
-        self.governor.check(Phase::Neighbors)?;
-        let graph = self.build_graph(&pw);
-        self.algorithm().resume(
-            wal_bytes,
-            Some(&graph),
-            self.config.threads,
-            &self.governor,
-            wal_out,
-        )
+        match wal_out {
+            Some(out) => self.session().attach_wal(out).resume(&pw, wal_bytes),
+            None => self.session().resume(&pw, wal_bytes),
+        }
     }
 
     /// Resumes from a snapshot-bearing WAL **without** the original data:
@@ -628,8 +559,10 @@ impl Rock {
         wal_bytes: &[u8],
         wal_out: Option<&mut MergeWal>,
     ) -> Result<RockRun, RockError> {
-        self.algorithm()
-            .resume(wal_bytes, None, self.config.threads, &self.governor, wal_out)
+        match wal_out {
+            Some(out) => self.session().attach_wal(out).resume_snapshot(wal_bytes),
+            None => self.session().resume_snapshot(wal_bytes),
+        }
     }
 
     /// The full Fig.-2 pipeline with the robustness guarantees of the
@@ -655,111 +588,14 @@ impl Rock {
         P: Clone + Sync,
         S: Similarity<P> + Sync,
     {
-        let governor = &self.governor;
-        let mut report = RunReport::new();
-        let checked = CheckedSimilarity::new(measure);
-        let mut rng = self.rng();
-
-        governor.check(Phase::Sample)?;
-        let t = PhaseTimer::start();
-        let mut sample_indices = match self.config.sample_size {
-            Some(size) if size < data.len() => {
-                crate::sampling::sample_indices(data.len(), size, &mut rng)
-            }
-            _ => (0..data.len()).collect(),
-        };
-        let mut sample: Vec<P> = sample_indices.iter().map(|&i| data[i].clone()).collect();
-        t.record(&mut report, "sample");
-
-        let t = PhaseTimer::start();
-        let mut note = None;
-        let outcome = {
-            governor.check(Phase::Neighbors)?;
-            let pw = PointsWith::new(&sample, &checked);
-            let graph = self.build_graph(&pw);
-            if let Some(e) = checked.error() {
-                return Err(e);
-            }
-            let graph_bytes = graph.memory_bytes() as u64;
-            governor.charge(graph_bytes);
-            // No explicit check here: a memory trip from the graph charge
-            // is observed at the Links checkpoint inside, where the
-            // degradation policies can still see the graph.
-            let r = self.cluster_graph_governed(&graph, governor, None, &mut note);
-            governor.release(graph_bytes);
-            r
-        };
-        let sample_run = match outcome {
-            Ok(run) => run,
-            Err(RockError::Interrupted { phase, reason, .. })
-                if reason != TripReason::Cancelled
-                    && matches!(self.config.degradation, DegradationPolicy::Subsample { .. }) =>
-            {
-                let DegradationPolicy::Subsample { fraction } = self.config.degradation else {
-                    // tidy-allow(panic): the match guard above proved the policy is the Subsample variant
-                    unreachable!()
-                };
-                let orig = sample.len();
-                let keep = ((orig as f64 * fraction).ceil() as usize)
-                    .clamp(self.config.k.min(orig), orig);
-                let sub = crate::sampling::sample_indices(orig, keep, &mut rng);
-                sample_indices = sub.iter().map(|&i| sample_indices[i]).collect();
-                sample = sub.iter().map(|&i| sample[i].clone()).collect();
-                note = Some(DegradationNote {
-                    policy: self.config.degradation,
-                    phase,
-                    reason,
-                    detail: format!(
-                        "restarted on a {keep}-point subsample of the {orig}-point sample"
-                    ),
-                });
-                // The retry drops the tripped budgets but keeps the shared
-                // cancellation token: cancellation stays authoritative.
-                let retry = RunGovernor::unlimited().with_cancel_token(governor.cancel_token());
-                let pw = PointsWith::new(&sample, &checked);
-                let graph = self.build_graph(&pw);
-                if let Some(e) = checked.error() {
-                    return Err(e);
-                }
-                let mut retry_note = None;
-                self.cluster_graph_governed(&graph, &retry, None, &mut retry_note)?
-            }
-            Err(e) => return Err(e),
-        };
-        t.record(&mut report, "cluster");
-
-        let t = PhaseTimer::start();
-        let labeler = Labeler::new(
-            &sample,
-            &sample_run.clustering.clusters,
-            self.config.labeling_fraction,
-            self.config.theta,
-            self.config.ftheta,
-            &mut rng,
-        )?;
-        let labeling = labeler.label_all_governed(data, &checked, self.config.threads, governor)?;
-        if let Some(e) = checked.error() {
-            return Err(e);
-        }
-        t.record(&mut report, "label");
-
-        report.records_read = data.len() as u64;
-        report.outliers = labeling.num_outliers as u64;
-        report.degraded = note;
-        Ok((
-            RockResult {
-                sample_indices,
-                sample_run,
-                labeling,
-            },
-            report,
-        ))
+        self.session().fit(data, measure)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::governor::{Phase, TripReason};
     use crate::points::Transaction;
     use crate::similarity::Jaccard;
 

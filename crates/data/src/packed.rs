@@ -118,6 +118,28 @@ impl PackedBaskets {
             + self.bits.len() * 8
     }
 
+    /// Expands every row to the §5 boolean 0/1 vector over `num_items`
+    /// dimensions — the dense encoding the centroid-family baselines
+    /// operate on. Works in both bitmap and CSR modes.
+    ///
+    /// # Panics
+    /// Panics if a row contains an item id ≥ `num_items`.
+    pub fn to_dense(&self, num_items: usize) -> Vec<Vec<f64>> {
+        (0..self.len())
+            .map(|i| {
+                let mut v = vec![0.0; num_items];
+                for &item in self.items_of(i) {
+                    assert!(
+                        (item as usize) < num_items,
+                        "item id {item} out of range {num_items}"
+                    );
+                    v[item as usize] = 1.0;
+                }
+                v
+            })
+            .collect()
+    }
+
     /// `|Tᵢ ∩ Tⱼ|` via popcount (bitmap) or sorted merge (fallback).
     #[inline]
     pub fn intersection_size(&self, i: usize, j: usize) -> usize {
@@ -246,6 +268,23 @@ mod tests {
         assert_eq!(empty.len(), 0);
         assert!(empty.is_empty());
         assert_eq!(empty.num_items(), 0);
+    }
+
+    #[test]
+    fn to_dense_expands_rows() {
+        let ts = vec![Transaction::from([0, 2]), Transaction::new(vec![])];
+        let packed = PackedBaskets::new(&ts);
+        assert_eq!(
+            packed.to_dense(4),
+            vec![vec![1.0, 0.0, 1.0, 0.0], vec![0.0; 4]]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn to_dense_rejects_narrow_universe() {
+        let packed = PackedBaskets::new(&[Transaction::from([9])]);
+        let _ = packed.to_dense(5);
     }
 
     #[test]

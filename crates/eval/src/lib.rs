@@ -11,7 +11,10 @@
 //!   it;
 //! * [`agreement`] — Rand index, adjusted Rand index, NMI;
 //! * [`profile`] — frequent-attribute-value cluster characterisation
-//!   (Tables 7–9).
+//!   (Tables 7–9);
+//! * [`scoring`] — one-call scoring of any
+//!   [`rock_core::ClusterModel`] fit: misclassification + Rand/ARI/NMI
+//!   from a [`rock_core::ModelFit`]'s assignments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,9 +24,11 @@ pub mod contingency;
 pub mod hungarian;
 pub mod misclassification;
 pub mod profile;
+pub mod scoring;
 
 pub use agreement::{adjusted_rand_index, normalized_mutual_information, rand_index};
 pub use contingency::ContingencyTable;
 pub use hungarian::{maximum_value_assignment, minimum_cost_assignment};
 pub use misclassification::{count_misclassified, Misclassification};
 pub use profile::{cluster_profiles, ClusterProfile, FrequentValue};
+pub use scoring::{dense_labels, score_assignments, score_fit, score_model, ModelScore};

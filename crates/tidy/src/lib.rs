@@ -15,7 +15,10 @@
 //! * **unsafe audit** — `#![forbid(unsafe_code)]` on every library root,
 //!   `// SAFETY:` on every `unsafe` occurrence anywhere;
 //! * **hygiene** — no committed `dbg!`/`todo!`, shims document their
-//!   vendored API subset, CHANGES.md carries an entry per PR.
+//!   vendored API subset, CHANGES.md carries an entry per PR;
+//! * **engine contract** — the staged pipeline engine
+//!   (`crates/core/src/engine/**`) is panic-free with *no* `tidy-allow`
+//!   escape hatch, and every public engine item is documented.
 //!
 //! Sites that are sound for a reason the checker cannot see carry a
 //! `// tidy-allow(<rule>): <reason>` annotation; the reason is mandatory

@@ -227,14 +227,16 @@ pub fn check_float_ordering(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// **nondeterministic-iter** — in `rock-core`, iterating a
-/// `HashMap`/`HashSet` in an order-sensitive position is the classic way
-/// to lose bit-identical replay. Every iteration over a hash-typed
+/// **nondeterministic-iter** — in `rock-core` and `rock-baselines`,
+/// iterating a `HashMap`/`HashSet` in an order-sensitive position is the
+/// classic way to lose bit-identical replay (or, in a baseline, a
+/// seed-reproducible comparison run). Every iteration over a hash-typed
 /// binding must either be followed by a sort (within the next few lines)
 /// or carry a `tidy-allow(nondeterministic-iter)` annotation explaining
 /// why the order cannot reach merge decisions, reports or WAL bytes.
 pub fn check_nondeterministic_iter(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if file.kind != FileKind::Lib || file.crate_name != "core" {
+    const ORDERED_LIBS: &[&str] = &["core", "baselines"];
+    if file.kind != FileKind::Lib || !ORDERED_LIBS.contains(&file.crate_name.as_str()) {
         return;
     }
     let idents = hash_idents(file);
@@ -366,6 +368,74 @@ fn hash_idents(file: &SourceFile) -> Vec<String> {
     idents
 }
 
+/// **engine-contract** — `crates/core/src/engine/**` is the staged
+/// orchestration layer every governed run flows through, so it carries a
+/// stricter contract than the rest of the checked libraries:
+///
+/// * panic patterns are violations even when `tidy-allow(panic)`-
+///   annotated — the escape hatch stops at the engine boundary; fallible
+///   stage code returns `RockError`, full stop;
+/// * every `pub` item must carry a `///` doc comment (the engine is the
+///   extension surface for new stages and models).
+///
+/// The rule is deliberately **not** in [`ALLOWABLE_RULES`]: a
+/// `tidy-allow(engine-contract)` annotation is itself an **annotation**
+/// violation, so there is no way to opt a site out.
+pub fn check_engine_contract(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.kind != FileKind::Lib || !file.rel.starts_with("crates/core/src/engine/") {
+        return;
+    }
+    const PANICS: &[&str] = &[".unwrap()", ".expect(", "panic!(", "unreachable!("];
+    const ITEMS: &[&str] = &[
+        "struct ", "enum ", "trait ", "fn ", "type ", "const ", "mod ", "union ",
+    ];
+    for (i, line) in lib_lines(file) {
+        if let Some(pat) = PANICS.iter().find(|p| line.code.contains(**p)) {
+            out.push(diag(
+                file,
+                i,
+                "engine-contract",
+                format!(
+                    "`{pat}…` in engine code: stages and the pipeline are panic-free \
+                     by contract (no tidy-allow escape); return a RockError instead"
+                ),
+            ));
+        }
+        let trimmed = line.code.trim_start();
+        if let Some(mut rest) = trimmed.strip_prefix("pub ") {
+            for modifier in ["unsafe ", "async "] {
+                rest = rest.strip_prefix(modifier).unwrap_or(rest);
+            }
+            if ITEMS.iter().any(|item| rest.starts_with(item)) && !doc_comment_above(file, i) {
+                out.push(diag(
+                    file,
+                    i,
+                    "engine-contract",
+                    "public engine item without a `///` doc comment: the engine is the \
+                     stage/model extension surface and its API must be documented"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// True if the nearest line above `idx` that is not an outer attribute is
+/// a `///` doc comment. (Attribute detection is line-oriented: a
+/// multi-line `#[derive(…)]` hides the doc above it — keep attributes on
+/// one line in engine code.)
+fn doc_comment_above(file: &SourceFile, idx: usize) -> bool {
+    for j in (0..idx).rev() {
+        let l = &file.lines[j];
+        if l.code.trim().starts_with("#[") {
+            continue;
+        }
+        // `/// text` scans to empty code and a comment starting with `/`.
+        return l.code.trim().is_empty() && l.comment.trim_start().starts_with('/');
+    }
+    false
+}
+
 /// **unsafe-block** — every `unsafe` occurrence in code must carry an
 /// adjacent `// SAFETY:` comment (same line or the three lines above)
 /// justifying it. Applies to *all* files, shims and tests included.
@@ -473,6 +543,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     check_wall_clock(file, &mut out);
     check_float_ordering(file, &mut out);
     check_nondeterministic_iter(file, &mut out);
+    check_engine_contract(file, &mut out);
     check_unsafe(file, &mut out);
     check_forbid_unsafe(file, &mut out);
     check_debris(file, &mut out);

@@ -183,6 +183,84 @@ fn patterns_in_strings_and_comments_do_not_fire() {
     assert!(check_file(&file).is_empty());
 }
 
+/// Scans `src` as if it lived inside `crates/core/src/engine/`.
+fn scan_as_engine(src: &str) -> Vec<Diagnostic> {
+    let file = load_source(
+        "crates/core/src/engine/fixture.rs",
+        FileKind::Lib,
+        "core".to_string(),
+        src,
+    );
+    check_file(&file)
+}
+
+#[test]
+fn engine_contract_rejects_panic_even_with_allow() {
+    let src = "/// Doc.\npub fn f(x: Option<u32>) -> u32 {\n    \
+               // tidy-allow(panic): caller guarantees Some by construction\n    \
+               x.unwrap()\n}\n";
+    let diags = scan_as_engine(src);
+    // The annotation exempts the `panic` rule but not the engine contract.
+    assert!(diags.iter().all(|d| d.rule != "panic"), "{diags:#?}");
+    assert_single(&diags, "engine-contract", 4);
+}
+
+#[test]
+fn engine_contract_requires_docs_on_pub_items() {
+    let src = "pub struct Undocumented;\n";
+    assert_single(&scan_as_engine(src), "engine-contract", 1);
+}
+
+#[test]
+fn engine_contract_accepts_documented_attributed_items() {
+    let src = "/// A documented stage.\n\
+               #[derive(Clone, Debug)]\n\
+               pub struct Documented {\n    \
+               field: u32,\n}\n";
+    assert!(scan_as_engine(src).is_empty());
+}
+
+#[test]
+fn engine_contract_has_no_allow_escape() {
+    // Naming the rule in a tidy-allow is itself an annotation violation.
+    let src = "/// Doc.\n\
+               // tidy-allow(engine-contract): trying to opt out\n\
+               pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let diags = scan_as_engine(src);
+    assert!(diags.iter().any(|d| d.rule == "annotation"), "{diags:#?}");
+    assert!(diags.iter().any(|d| d.rule == "engine-contract"), "{diags:#?}");
+}
+
+#[test]
+fn engine_contract_only_applies_under_engine_dir() {
+    let src = "pub struct Undocumented;\n";
+    let file = load_source(
+        "crates/core/src/fixture.rs",
+        FileKind::Lib,
+        "core".to_string(),
+        src,
+    );
+    assert!(check_file(&file).is_empty());
+}
+
+#[test]
+fn nondeterministic_iter_covers_baselines_crate() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn keys(m: &HashMap<u32, u32>) -> Vec<u32> {\n    \
+               m.keys().copied().collect()\n}\n";
+    let file = load_source(
+        "crates/baselines/src/fixture.rs",
+        FileKind::Lib,
+        "baselines".to_string(),
+        src,
+    );
+    let diags: Vec<_> = check_file(&file)
+        .into_iter()
+        .filter(|d| d.rule == "nondeterministic-iter")
+        .collect();
+    assert_single(&diags, "nondeterministic-iter", 3);
+}
+
 #[test]
 fn safety_comment_satisfies_unsafe_audit() {
     let src = "pub fn f(x: &u64) -> &i64 {\n    \

@@ -1,0 +1,87 @@
+//! Golden snapshots of [`RunReport`]'s `Display` rendering.
+//!
+//! The run report is the operator-facing account of a fit — scripts grep
+//! it, the README quotes it. These tests pin the exact textual shape:
+//! one snapshot of a real baseline fit obtained through the shared
+//! [`ClusterModel`] entry point (wall-clock durations masked), and one
+//! fully deterministic snapshot of a hand-built report exercising every
+//! optional line (resume offset, degradation note, interruption,
+//! quarantine detail).
+
+use rock::governor::{DegradationNote, DegradationPolicy, Phase, TripReason};
+use rock::report::RunReport;
+use rock::ClusterModel;
+use rock_baselines::{CentroidConfig, CentroidModel};
+use std::time::Duration;
+
+/// Replaces the duration after each phase name with `<dur>` so snapshots
+/// stay stable across machines. Only the `  phases:` line carries
+/// wall-clock text; everything else renders verbatim.
+fn mask_phase_durations(report: &str) -> String {
+    let mut out = String::new();
+    for line in report.lines() {
+        if let Some(rest) = line.strip_prefix("  phases:") {
+            out.push_str("  phases:");
+            for (i, token) in rest.split_whitespace().enumerate() {
+                out.push(' ');
+                out.push_str(if i % 2 == 1 { "<dur>" } else { token });
+            }
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn centroid_fit_report_matches_golden_snapshot() {
+    let vectors: Vec<Vec<f64>> = (0..10)
+        .map(|i| vec![if i < 5 { 0.0 } else { 8.0 }, f64::from(i) * 0.01])
+        .collect();
+    let model = CentroidModel::new(CentroidConfig::plain(2));
+    let fit = model.fit(&vectors[..]).expect("unlimited fit");
+
+    let golden = "run report:\n\
+                  \x20 records: 10 read, 0 skipped, 0 quarantined\n\
+                  \x20 io: 0 transient errors, 0 retries\n\
+                  \x20 outliers: 0\n\
+                  \x20 checkpoints: 0 written\n\
+                  \x20 phases: cluster <dur>\n";
+    assert_eq!(mask_phase_durations(&fit.report.to_string()), golden);
+}
+
+#[test]
+fn full_report_display_is_stable() {
+    let mut r = RunReport::new();
+    r.records_read = 42;
+    r.records_skipped = 3;
+    r.transient_io_errors = 2;
+    r.io_retries = 2;
+    r.outliers = 7;
+    r.checkpoints_written = 1;
+    r.resumed_from_offset = Some(512);
+    r.record_phase("sample", Duration::from_millis(2));
+    r.record_phase("cluster", Duration::from_millis(5));
+    r.record_phase("label", Duration::from_micros(1500));
+    r.degraded = Some(DegradationNote {
+        policy: DegradationPolicy::SparseLinks,
+        phase: Phase::Links,
+        reason: TripReason::MemoryBudgetExceeded,
+        detail: "dense matrix skipped".to_owned(),
+    });
+    r.interrupted = Some((Phase::Merge, TripReason::Cancelled));
+    r.quarantine(17, "bad item token", 8);
+
+    let golden = "run report:
+  records: 42 read, 3 skipped, 1 quarantined
+  io: 2 transient errors, 2 retries
+  outliers: 7
+  checkpoints: 1 written (resumed from byte 512)
+  phases: sample 2.0ms cluster 5.0ms label 1.5ms
+  degraded: sparse-links in links phase (memory budget exceeded): dense matrix skipped
+  interrupted: merge phase (cancelled)
+  quarantined line 17: bad item token
+";
+    assert_eq!(r.to_string(), golden);
+}
