@@ -43,9 +43,52 @@ impl Dendrogram {
         }
     }
 
+    /// Rebuilds a dendrogram from persisted parts (the
+    /// [`crate::artifact`] dendrogram section).
+    ///
+    /// Validates the merge trace structurally before accepting it: every
+    /// record must mint the next dense arena id and consume two distinct,
+    /// still-live cluster ids below it. Returns `None` otherwise, so an
+    /// inconsistent artifact can never panic a later [`Dendrogram::cut`].
+    pub fn from_parts(
+        initial_points: Vec<u32>,
+        merges: Vec<MergeRecord>,
+        outliers: Vec<u32>,
+    ) -> Option<Dendrogram> {
+        let n = initial_points.len();
+        let mut alive = vec![true; n + merges.len()];
+        for (i, m) in merges.iter().enumerate() {
+            let minted = n + i;
+            let (l, r) = (m.left as usize, m.right as usize);
+            if m.merged as usize != minted || l >= minted || r >= minted || l == r {
+                return None;
+            }
+            if !alive[l] || !alive[r] {
+                return None;
+            }
+            alive[l] = false;
+            alive[r] = false;
+        }
+        Some(Dendrogram {
+            initial_points,
+            merges,
+            outliers,
+        })
+    }
+
     /// Number of leaves (initial clusters).
     pub fn num_leaves(&self) -> usize {
         self.initial_points.len()
+    }
+
+    /// Point id of each leaf, in arena order.
+    pub fn initial_points(&self) -> &[u32] {
+        &self.initial_points
+    }
+
+    /// Points pruned before clustering (never in the tree).
+    pub fn outliers(&self) -> &[u32] {
+        &self.outliers
     }
 
     /// The recorded merges, in execution order.
@@ -212,6 +255,37 @@ mod tests {
         if !run.clustering.outliers.is_empty() {
             assert!(Dendrogram::from_run(&run).is_none());
         }
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_bad_traces() {
+        let run = figure1_run(2);
+        let d = Dendrogram::from_run(&run).unwrap();
+        let rebuilt = Dendrogram::from_parts(
+            d.initial_points().to_vec(),
+            d.merges().to_vec(),
+            d.outliers().to_vec(),
+        )
+        .expect("valid parts");
+        assert_eq!(rebuilt.cut(2), d.cut(2));
+        assert!(d.merges().len() >= 2, "figure 1 run merges enough");
+
+        // A record consuming an already-consumed id is rejected.
+        let mut dead_input = d.merges().to_vec();
+        dead_input[1].left = dead_input[0].left;
+        assert!(
+            Dendrogram::from_parts(d.initial_points().to_vec(), dead_input, vec![]).is_none()
+        );
+        // A record minting a non-dense arena id is rejected.
+        let mut bad_mint = d.merges().to_vec();
+        bad_mint[0].merged += 1;
+        assert!(Dendrogram::from_parts(d.initial_points().to_vec(), bad_mint, vec![]).is_none());
+        // A self-merge is rejected.
+        let mut self_merge = d.merges().to_vec();
+        self_merge[0].right = self_merge[0].left;
+        assert!(
+            Dendrogram::from_parts(d.initial_points().to_vec(), self_merge, vec![]).is_none()
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! `rock-bench` times one generically, so adding an algorithm to the
 //! comparison is one trait impl, not a bespoke driver.
 
+use crate::artifact::{ArtifactPoint, ModelArtifact};
 use crate::cluster::Clustering;
 use crate::dendrogram::Dendrogram;
 use crate::error::RockError;
@@ -65,6 +66,42 @@ pub trait ClusterModel<D: ?Sized> {
     /// [`RockError::Interrupted`] when the model's governor trips, plus
     /// model-specific input errors.
     fn fit(&self, data: &D) -> Result<ModelFit, RockError>;
+
+    /// Persists `fit` as a durable model artifact at `path`, tagged
+    /// with this model's [`name`](ClusterModel::name) (atomic
+    /// write-then-rename; see [`ModelArtifact::save`]).
+    ///
+    /// The generic artifact carries the clustering, dendrogram and
+    /// report but no representative sets; ROCK fits that should also be
+    /// *servable* go through
+    /// [`RockModel::fit_artifact`] instead.
+    ///
+    /// # Errors
+    /// [`RockError::ArtifactIo`] on filesystem failure.
+    fn save(&self, fit: &ModelFit, path: &std::path::Path) -> Result<(), RockError> {
+        ModelArtifact::from_fit(self.name(), fit).save(path)
+    }
+
+    /// Loads a fit previously [`save`](ClusterModel::save)d by this
+    /// model, re-validating the artifact end to end.
+    ///
+    /// # Errors
+    /// [`RockError::ArtifactMismatch`] when the artifact was saved
+    /// under a different model name; otherwise as
+    /// [`ModelArtifact::load`].
+    fn load(&self, path: &std::path::Path) -> Result<ModelFit, RockError> {
+        let artifact = ModelArtifact::load(path)?;
+        if artifact.model() != self.name() {
+            return Err(RockError::ArtifactMismatch {
+                detail: format!(
+                    "artifact was saved by model \"{}\", not \"{}\"",
+                    artifact.model(),
+                    self.name()
+                ),
+            });
+        }
+        Ok(artifact.to_fit())
+    }
 }
 
 /// ROCK as a [`ClusterModel`]: the full governed Fig.-2 pipeline
@@ -86,6 +123,38 @@ impl<S> RockModel<S> {
     /// token).
     pub fn rock(&self) -> &Rock {
         &self.rock
+    }
+
+    /// Fits like [`ClusterModel::fit`] and additionally captures the
+    /// drawn per-cluster labeling sets Lᵢ into a *servable*
+    /// [`ModelArtifact`] — labeling through the artifact (live or
+    /// reloaded, any thread count) is bit-identical to this run.
+    ///
+    /// # Errors
+    /// As [`ClusterModel::fit`], plus [`RockError::ArtifactMismatch`]
+    /// if the labeler disagrees with the fit (unreachable for a healthy
+    /// pipeline).
+    pub fn fit_artifact<P>(&self, data: &[P]) -> Result<(ModelFit, ModelArtifact), RockError>
+    where
+        P: ArtifactPoint + Clone + Sync,
+        S: Similarity<P> + Sync,
+    {
+        let (result, report, labeler) = self.rock.try_run_labeled(data, &self.measure)?;
+        let dendrogram = Dendrogram::from_run(&result.sample_run);
+        let fit = ModelFit {
+            clustering: result.full_clustering(),
+            dendrogram,
+            report,
+        };
+        let config = self.rock.config();
+        let artifact = ModelArtifact::from_labeled(
+            "rock",
+            &fit,
+            &labeler,
+            config.labeling_fraction,
+            config.hash_seed,
+        )?;
+        Ok((fit, artifact))
     }
 }
 

@@ -10,6 +10,7 @@ use crate::engine::stage::{
 use crate::error::RockError;
 use crate::goodness::{ConstantF, Goodness};
 use crate::governor::{DegradationNote, DegradationPolicy, RunGovernor, TripReason};
+use crate::labeling::Labeler;
 use crate::neighbors::NeighborGraph;
 use crate::report::{PhaseTimer, RunReport};
 use crate::rock::{RockConfig, RockResult};
@@ -184,10 +185,30 @@ impl<'w> Pipeline<'w> {
     /// [`RockError::Interrupted`] if the governor trips with no policy
     /// able to absorb it.
     pub fn fit<P, S>(
-        mut self,
+        self,
         data: &[P],
         measure: &S,
     ) -> Result<(RockResult, RunReport), RockError>
+    where
+        P: Clone + Sync,
+        S: Similarity<P> + Sync,
+    {
+        let (result, report, _labeler) = self.fit_with_labeler(data, measure)?;
+        Ok((result, report))
+    }
+
+    /// [`Pipeline::fit`], additionally returning the [`Labeler`] whose
+    /// Lᵢ sets produced the labeling — the ingredient
+    /// [`crate::artifact::ModelArtifact`] persists so that labeling
+    /// through a reloaded artifact is bit-identical to this run.
+    ///
+    /// # Errors
+    /// As [`Pipeline::fit`].
+    pub fn fit_with_labeler<P, S>(
+        mut self,
+        data: &[P],
+        measure: &S,
+    ) -> Result<(RockResult, RunReport, Labeler<P>), RockError>
     where
         P: Clone + Sync,
         S: Similarity<P> + Sync,
@@ -285,7 +306,7 @@ impl<'w> Pipeline<'w> {
         t.record(&mut self.ctx.report, "cluster");
 
         let t = PhaseTimer::start();
-        let labeling = self.stage(LabelStage {
+        let (labeler, labeling) = self.stage(LabelStage {
             sample: &sample,
             clusters: &sample_run.clustering.clusters,
             data,
@@ -310,6 +331,7 @@ impl<'w> Pipeline<'w> {
                 labeling,
             },
             self.ctx.report,
+            labeler,
         ))
     }
 

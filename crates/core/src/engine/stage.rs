@@ -244,7 +244,10 @@ where
     P: Clone + Sync,
     S: Similarity<P> + Sync,
 {
-    type Out = Labeling;
+    /// The drawn labeler travels with the labeling so callers can
+    /// persist the exact Lᵢ sets (see [`crate::artifact`]) — labeling
+    /// through a reloaded artifact is then bit-identical to this run.
+    type Out = (Labeler<P>, Labeling);
 
     fn phase(&self) -> Phase {
         Phase::Labeling
@@ -254,7 +257,7 @@ where
         "label"
     }
 
-    fn run(self, ctx: &mut RunCtx<'_>) -> Result<Labeling, RockError> {
+    fn run(self, ctx: &mut RunCtx<'_>) -> Result<(Labeler<P>, Labeling), RockError> {
         let labeler = Labeler::new(
             self.sample,
             self.clusters,
@@ -263,7 +266,9 @@ where
             self.ftheta,
             &mut ctx.rng,
         )?;
-        labeler.label_all_governed(self.data, self.measure, self.threads, &ctx.governor)
+        let labeling =
+            labeler.label_all_governed(self.data, self.measure, self.threads, &ctx.governor)?;
+        Ok((labeler, labeling))
     }
 }
 

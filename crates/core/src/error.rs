@@ -76,6 +76,39 @@ pub enum RockError {
         /// The disagreement found.
         detail: String,
     },
+    /// A fitted-model artifact is structurally damaged: bad magic, a
+    /// truncated tail, a frame that fails its CRC, a record that does
+    /// not decode, or bytes past the end marker. Unlike the WAL, the
+    /// artifact tolerates **no** damage — any byte flip or truncation is
+    /// this error, never a silently wrong clustering.
+    ArtifactCorrupt {
+        /// Byte offset of the damage.
+        offset: u64,
+        /// What failed to parse.
+        detail: String,
+    },
+    /// A fitted-model artifact declares a format version this build does
+    /// not understand.
+    ArtifactVersion {
+        /// The version found in the artifact header.
+        found: u32,
+        /// The newest version this build can read.
+        supported: u32,
+    },
+    /// A fitted-model artifact decodes cleanly but is internally
+    /// inconsistent (a representative index out of range, a cluster
+    /// count mismatch between sections, a dendrogram that does not
+    /// replay) or does not belong to the model loading it.
+    ArtifactMismatch {
+        /// The inconsistency found.
+        detail: String,
+    },
+    /// An I/O failure while reading or writing a fitted-model artifact
+    /// that persisted past the serve layer's bounded retries.
+    ArtifactIo {
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RockError {
@@ -125,6 +158,20 @@ impl fmt::Display for RockError {
             }
             RockError::WalMismatch { detail } => {
                 write!(f, "merge WAL does not match this run: {detail}")
+            }
+            RockError::ArtifactCorrupt { offset, detail } => {
+                write!(f, "model artifact corrupt at byte {offset}: {detail}")
+            }
+            RockError::ArtifactVersion { found, supported } => write!(
+                f,
+                "model artifact format version {found} is not supported \
+                 (this build reads up to version {supported})"
+            ),
+            RockError::ArtifactMismatch { detail } => {
+                write!(f, "model artifact is inconsistent: {detail}")
+            }
+            RockError::ArtifactIo { detail } => {
+                write!(f, "model artifact I/O failed: {detail}")
             }
         }
     }
@@ -177,6 +224,32 @@ mod tests {
                     detail: "k differs".into(),
                 },
                 "k differs",
+            ),
+            (
+                RockError::ArtifactCorrupt {
+                    offset: 42,
+                    detail: "truncated frame".into(),
+                },
+                "byte 42",
+            ),
+            (
+                RockError::ArtifactVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "9",
+            ),
+            (
+                RockError::ArtifactMismatch {
+                    detail: "representative index out of range".into(),
+                },
+                "representative index",
+            ),
+            (
+                RockError::ArtifactIo {
+                    detail: "read timed out".into(),
+                },
+                "timed out",
             ),
         ];
         for (e, needle) in cases {

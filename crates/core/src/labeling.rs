@@ -104,9 +104,48 @@ impl<P: Clone> Labeler<P> {
         }
     }
 
+    /// Rebuilds a labeler from previously drawn labeling sets — the
+    /// deserialization path of [`crate::artifact::ModelArtifact`], which
+    /// persists the sets so loaded-artifact labeling is bit-identical to
+    /// the live run that saved them.
+    ///
+    /// # Errors
+    /// Returns [`RockError::InvalidTheta`] if `theta ∉ [0, 1]` and
+    /// [`RockError::InvalidFTheta`] if `ftheta` is non-finite or
+    /// negative.
+    pub fn from_sets(sets: Vec<Vec<P>>, theta: f64, ftheta: f64) -> Result<Self, RockError> {
+        if !(0.0..=1.0).contains(&theta) {
+            return Err(RockError::InvalidTheta(theta));
+        }
+        if !(ftheta.is_finite() && ftheta >= 0.0) {
+            return Err(RockError::InvalidFTheta(ftheta));
+        }
+        Ok(Labeler {
+            sets,
+            theta,
+            ftheta,
+        })
+    }
+
     /// Number of clusters.
     pub fn num_clusters(&self) -> usize {
         self.sets.len()
+    }
+
+    /// The labeling sets: `sets()[i]` holds the representatives of
+    /// cluster `i`.
+    pub fn sets(&self) -> &[Vec<P>] {
+        &self.sets
+    }
+
+    /// The similarity threshold θ the sets were drawn under.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The `f(θ)` used in the normalisation exponent.
+    pub fn ftheta(&self) -> f64 {
+        self.ftheta
     }
 
     /// Size of labeling set `i`.

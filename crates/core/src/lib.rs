@@ -63,6 +63,8 @@
 //! | [`report`] | — | structured [`RunReport`] for graceful-degradation visibility |
 //! | [`governor`] | — | cancellation tokens, deadlines, memory budgets, degradation policies |
 //! | [`wal`] | — | crash-safe merge write-ahead log with bit-identical resume |
+//! | [`artifact`] | Fig. 2 | durable fitted-model artifact: versioned, CRC-framed, atomic save/load |
+//! | [`serve`] | §4.6 | corruption-tolerant assign service over a loaded artifact |
 //!
 //! ## Robustness
 //!
@@ -94,6 +96,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod artifact;
 pub mod cluster;
 pub mod components;
 pub mod criterion_fn;
@@ -112,6 +115,7 @@ pub mod points;
 pub mod report;
 pub mod rock;
 pub mod sampling;
+pub mod serve;
 pub mod similarity;
 pub mod util;
 pub mod wal;
@@ -120,6 +124,7 @@ pub mod wal;
 pub(crate) mod testdata;
 
 pub use algorithm::{OutlierPolicy, RockAlgorithm, RockRun, WeedPolicy};
+pub use artifact::{ArtifactPoint, ArtifactSource, FileSource, ModelArtifact};
 pub use cluster::{Clustering, MergeRecord};
 pub use components::{neighbor_components, DisjointSet};
 pub use dendrogram::Dendrogram;
@@ -141,6 +146,10 @@ pub use neighbors::NeighborGraph;
 pub use points::{CategoricalRecord, CategoricalSchema, ItemCatalog, Transaction};
 pub use report::{PhaseTiming, QuarantinedRecord, RunReport};
 pub use rock::{Rock, RockBuilder, RockConfig, RockResult};
+pub use serve::{
+    load_artifact_with_retry, AssignService, Centroid, RetryPolicy, ServeBatch, ServeConfig,
+    ServeDegradation, ServeDegradationNote, ServeReport,
+};
 pub use wal::{parse_wal, MergeWal, WalReplay};
 pub use similarity::{
     CategoricalJaccard, CheckedSimilarity, FaultySimilarity, Hamming, Jaccard, MissingPolicy,

@@ -590,6 +590,26 @@ impl Rock {
     {
         self.session().fit(data, measure)
     }
+
+    /// [`Rock::try_run`], additionally returning the
+    /// [`crate::labeling::Labeler`] whose Lᵢ sets produced the labeling —
+    /// hand it to [`crate::artifact::ModelArtifact::from_labeled`] to
+    /// persist a fitted model whose reloaded labeling is bit-identical
+    /// to this run's.
+    ///
+    /// # Errors
+    /// As [`Rock::try_run`].
+    pub fn try_run_labeled<P, S>(
+        &self,
+        data: &[P],
+        measure: &S,
+    ) -> Result<(RockResult, RunReport, crate::labeling::Labeler<P>), RockError>
+    where
+        P: Clone + Sync,
+        S: Similarity<P> + Sync,
+    {
+        self.session().fit_with_labeler(data, measure)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,748 @@
+//! Corruption-tolerant assign service: batched §4.6 labeling queries
+//! against a loaded [`ModelArtifact`].
+//!
+//! The paper's Fig.-2 split — cluster a sample once, then label the
+//! rest of the data against the per-cluster representative sets Lᵢ —
+//! makes the fitted model a *servable* object: an
+//! [`AssignService`] answers "which cluster does this point belong to"
+//! queries long after the fit, from an artifact reloaded off disk.
+//! The service layers the repo's robustness machinery around that
+//! query path:
+//!
+//! * **Bounded retry** around a pluggable [`ArtifactSource`]
+//!   ([`load_artifact_with_retry`]): transient I/O errors
+//!   (`WouldBlock`, `TimedOut`, `Interrupted`) are retried with capped
+//!   exponential backoff; anything else — including artifact
+//!   corruption, which retrying cannot fix — surfaces immediately as a
+//!   typed [`RockError`].
+//! * **Per-batch deadline and cancellation** via the existing
+//!   [`RunGovernor`]: every query is a [`Phase::Labeling`] checkpoint.
+//! * **Degradation ladder** ([`ServeDegradation`]): when the batch
+//!   deadline trips mid-batch, the service either fails the batch
+//!   ([`ServeDegradation::Fail`]) or downshifts from full
+//!   representative scoring to a single centroid per cluster
+//!   ([`ServeDegradation::Centroid`]) — O(k) instead of O(Σ|Lᵢ|) per
+//!   query — and finishes the batch, recording the switch in the
+//!   [`ServeReport`]. Cancellation always aborts.
+//! * **Quarantine**: a query whose similarity evaluation degenerates
+//!   (NaN/±∞ from a user measure) is recorded and left unassigned
+//!   instead of poisoning the batch.
+//!
+//! Queries borrow the service immutably, so one service instance
+//! safely serves concurrent reader threads.
+
+use crate::artifact::{ArtifactPoint, ArtifactSource, ModelArtifact};
+use crate::error::RockError;
+use crate::governor::{Phase, RunGovernor, TripReason};
+use crate::labeling::Labeler;
+use crate::report::QuarantinedRecord;
+use crate::similarity::Similarity;
+use std::time::Duration;
+
+/// What to do when the batch deadline trips mid-batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeDegradation {
+    /// Abort the batch with [`RockError::Interrupted`].
+    Fail,
+    /// Downshift to centroid-of-representatives scoring for the rest of
+    /// the batch and complete it (the default).
+    #[default]
+    Centroid,
+}
+
+impl std::fmt::Display for ServeDegradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeDegradation::Fail => write!(f, "fail"),
+            ServeDegradation::Centroid => write!(f, "centroid"),
+        }
+    }
+}
+
+/// Bounded retry-with-backoff around an [`ArtifactSource`] fetch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = try once).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_delay · 2ⁿ`…
+    pub base_delay: Duration,
+    /// …capped at this.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The capped exponential backoff before retry number `attempt`.
+    fn backoff(&self, attempt: u64) -> Duration {
+        let shift = attempt.min(20) as u32;
+        self.base_delay
+            .saturating_mul(1u32.checked_shl(shift).unwrap_or(u32::MAX))
+            .min(self.max_delay)
+    }
+}
+
+/// Serving knobs for an [`AssignService`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Wall-clock budget per [`AssignService::assign_batch`] call;
+    /// `None` = no deadline.
+    pub batch_deadline: Option<Duration>,
+    /// What a mid-batch deadline trip does.
+    pub degradation: ServeDegradation,
+    /// Retry policy for [`AssignService::from_source`].
+    pub retry: RetryPolicy,
+    /// At most this many quarantined queries keep a detailed record
+    /// per batch (the count is always exact).
+    pub quarantine_detail_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch_deadline: None,
+            degradation: ServeDegradation::default(),
+            retry: RetryPolicy::default(),
+            quarantine_detail_cap: 32,
+        }
+    }
+}
+
+/// A mid-batch downshift, as recorded in the [`ServeReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeDegradationNote {
+    /// The policy that was applied.
+    pub policy: ServeDegradation,
+    /// Index of the first query served degraded.
+    pub at_query: u64,
+    /// Which budget tripped.
+    pub reason: TripReason,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ServeDegradationNote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "degraded to {} from query {} ({}): {}",
+            self.policy, self.at_query, self.reason, self.detail
+        )
+    }
+}
+
+/// Structured account of one served batch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeReport {
+    /// Queries in the batch.
+    pub queries: u64,
+    /// Queries assigned to a cluster.
+    pub assigned: u64,
+    /// Queries labeled as outliers (no neighbors in any labeling set).
+    pub unassigned: u64,
+    /// Queries quarantined (non-finite similarity) — always exact, even
+    /// past the detail cap.
+    pub records_quarantined: u64,
+    /// Detailed records for the first
+    /// [`ServeConfig::quarantine_detail_cap`] quarantined queries
+    /// (`line` = query index within the batch).
+    pub quarantined: Vec<QuarantinedRecord>,
+    /// The mid-batch downshift, if the deadline tripped.
+    pub degraded: Option<ServeDegradationNote>,
+}
+
+/// One served batch: per-query assignments plus the report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeBatch {
+    /// `assignments[i]` = cluster index for query `i`, or `None` for
+    /// outliers and quarantined queries.
+    pub assignments: Vec<Option<usize>>,
+    /// What happened while serving.
+    pub report: ServeReport,
+}
+
+/// A point type whose representative set can collapse to one summary
+/// point — the degraded scoring mode of [`ServeDegradation::Centroid`].
+pub trait Centroid: Sized {
+    /// A single point summarising `reps`, or `None` when `reps` is
+    /// empty. Must be deterministic.
+    fn centroid(reps: &[Self]) -> Option<Self>;
+}
+
+impl Centroid for crate::points::Transaction {
+    /// Majority vote: keeps every item present in at least half of the
+    /// representatives (2·count ≥ |reps|).
+    fn centroid(reps: &[Self]) -> Option<Self> {
+        if reps.is_empty() {
+            return None;
+        }
+        let mut counts = std::collections::BTreeMap::new();
+        for t in reps {
+            for &item in t.items() {
+                *counts.entry(item).or_insert(0usize) += 1;
+            }
+        }
+        let items = counts
+            .into_iter()
+            .filter(|&(_, n)| n * 2 >= reps.len())
+            .map(|(item, _)| item)
+            .collect();
+        Some(crate::points::Transaction::new(items))
+    }
+}
+
+impl Centroid for Vec<f64> {
+    /// Componentwise mean over the shortest common prefix.
+    fn centroid(reps: &[Self]) -> Option<Self> {
+        if reps.is_empty() {
+            return None;
+        }
+        let len = reps.iter().map(Vec::len).min().unwrap_or(0);
+        Some(
+            (0..len)
+                .map(|i| reps.iter().map(|r| r[i]).sum::<f64>() / reps.len() as f64)
+                .collect(),
+        )
+    }
+}
+
+/// Transient I/O kinds worth retrying; everything else fails fast.
+fn is_transient(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+    )
+}
+
+/// Fetches and parses an artifact through `source`, retrying transient
+/// I/O errors with capped exponential backoff. Returns the artifact and
+/// the number of retries it took.
+///
+/// # Errors
+/// [`RockError::ArtifactIo`] when a non-transient error occurs or the
+/// retry budget is exhausted; parse/validation errors as
+/// [`ModelArtifact::from_bytes`] (corruption is *not* retried — a
+/// deterministic reread cannot fix it).
+pub fn load_artifact_with_retry(
+    source: &mut dyn ArtifactSource,
+    retry: &RetryPolicy,
+) -> Result<(ModelArtifact, u64), RockError> {
+    let mut retries = 0u64;
+    loop {
+        match source.fetch() {
+            Ok(bytes) => return ModelArtifact::from_bytes(&bytes).map(|a| (a, retries)),
+            Err(e) if is_transient(e.kind()) && retries < u64::from(retry.max_retries) => {
+                std::thread::sleep(retry.backoff(retries));
+                retries += 1;
+            }
+            Err(e) => {
+                return Err(RockError::ArtifactIo {
+                    detail: format!("artifact fetch failed after {retries} retries: {e}"),
+                })
+            }
+        }
+    }
+}
+
+/// A loaded model serving batched assign/label queries.
+///
+/// All query methods take `&self`; the service is `Sync` (for `Sync`
+/// point and measure types) and one instance serves concurrent reader
+/// threads.
+#[derive(Clone, Debug)]
+pub struct AssignService<P, S> {
+    full: Labeler<P>,
+    centroid: Labeler<P>,
+    measure: S,
+    config: ServeConfig,
+}
+
+impl<P, S> AssignService<P, S>
+where
+    P: ArtifactPoint + Centroid + Clone,
+    S: Similarity<P>,
+{
+    /// A service over `artifact`'s representative sets.
+    ///
+    /// # Errors
+    /// [`RockError::ArtifactMismatch`] when the artifact has no
+    /// representative section or its points do not decode as `P`.
+    pub fn new(artifact: &ModelArtifact, measure: S, config: ServeConfig) -> Result<Self, RockError> {
+        let full = artifact.labeler::<P>()?;
+        let centroid_sets = full
+            .sets()
+            .iter()
+            .map(|set| P::centroid(set).map_or_else(Vec::new, |c| vec![c]))
+            .collect();
+        let centroid = Labeler::from_sets(centroid_sets, full.theta(), full.ftheta())?;
+        Ok(AssignService {
+            full,
+            centroid,
+            measure,
+            config,
+        })
+    }
+
+    /// Loads the artifact through `source` (with the config's retry
+    /// policy) and builds the service. Returns the service and the
+    /// number of fetch retries.
+    ///
+    /// # Errors
+    /// As [`load_artifact_with_retry`] and [`AssignService::new`].
+    pub fn from_source(
+        source: &mut dyn ArtifactSource,
+        measure: S,
+        config: ServeConfig,
+    ) -> Result<(Self, u64), RockError> {
+        let (artifact, retries) = load_artifact_with_retry(source, &config.retry)?;
+        Ok((AssignService::new(&artifact, measure, config)?, retries))
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Number of clusters queries are assigned into.
+    pub fn num_clusters(&self) -> usize {
+        self.full.num_clusters()
+    }
+
+    /// Serves one batch under the configured deadline
+    /// ([`ServeConfig::batch_deadline`]).
+    ///
+    /// # Errors
+    /// [`RockError::Interrupted`] when cancelled, or when the deadline
+    /// trips under [`ServeDegradation::Fail`].
+    pub fn assign_batch(&self, queries: &[P]) -> Result<ServeBatch, RockError> {
+        let mut governor = RunGovernor::unlimited().with_check_every(1);
+        if let Some(deadline) = self.config.batch_deadline {
+            governor = governor.with_time_budget(deadline);
+        }
+        self.assign_batch_governed(queries, &governor)
+    }
+
+    /// Serves one batch under an injected governor — the seam for
+    /// shared cancellation tokens and deterministic deadline tests.
+    /// Every query is a [`Phase::Labeling`] checkpoint.
+    ///
+    /// # Errors
+    /// As [`AssignService::assign_batch`].
+    pub fn assign_batch_governed(
+        &self,
+        queries: &[P],
+        governor: &RunGovernor,
+    ) -> Result<ServeBatch, RockError> {
+        governor.arm();
+        let mut report = ServeReport {
+            queries: queries.len() as u64,
+            ..ServeReport::default()
+        };
+        let mut assignments = Vec::with_capacity(queries.len());
+        for (i, query) in queries.iter().enumerate() {
+            if let Err(trip) = governor.check_at(Phase::Labeling, i as u64) {
+                let RockError::Interrupted { reason, .. } = trip else {
+                    return Err(trip);
+                };
+                let may_degrade = reason == TripReason::DeadlineExceeded
+                    && self.config.degradation == ServeDegradation::Centroid;
+                match (may_degrade, &report.degraded) {
+                    // Already degraded: the deadline stays tripped for
+                    // the rest of the batch; keep completing it.
+                    (true, Some(_)) => {}
+                    (true, None) => {
+                        report.degraded = Some(ServeDegradationNote {
+                            policy: ServeDegradation::Centroid,
+                            at_query: i as u64,
+                            reason,
+                            detail: format!(
+                                "batch deadline tripped at query {i}/{}; finishing with \
+                                 centroid-of-representatives scoring",
+                                queries.len()
+                            ),
+                        });
+                    }
+                    // Cancellation, memory trips and the Fail policy
+                    // always abort.
+                    (false, _) => {
+                        return Err(RockError::Interrupted {
+                            phase: Phase::Labeling,
+                            reason,
+                            resumable: false,
+                        })
+                    }
+                }
+            }
+            let labeler = if report.degraded.is_some() {
+                &self.centroid
+            } else {
+                &self.full
+            };
+            match labeler.label_point_checked(query, &self.measure) {
+                Ok(assignment) => {
+                    match assignment {
+                        Some(_) => report.assigned += 1,
+                        None => report.unassigned += 1,
+                    }
+                    assignments.push(assignment);
+                }
+                Err(RockError::NonFiniteSimilarity { value }) => {
+                    report.records_quarantined += 1;
+                    if report.quarantined.len() < self.config.quarantine_detail_cap {
+                        report.quarantined.push(QuarantinedRecord {
+                            line: i as u64,
+                            reason: format!("non-finite similarity {value}"),
+                        });
+                    }
+                    assignments.push(None);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(ServeBatch {
+            assignments,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Clustering;
+    use crate::engine::model::ModelFit;
+    use crate::governor::CancellationToken;
+    use crate::points::Transaction;
+    use crate::report::RunReport;
+    use crate::similarity::Jaccard;
+
+    fn sample_artifact() -> ModelArtifact {
+        let fit = ModelFit {
+            clustering: Clustering::new(vec![vec![0, 1, 2], vec![3, 4]], vec![]),
+            dendrogram: None,
+            report: RunReport::new(),
+        };
+        let labeler: Labeler<Transaction> = Labeler::from_sets(
+            vec![
+                vec![
+                    Transaction::from([0, 1, 2]),
+                    Transaction::from([0, 1, 3]),
+                    Transaction::from([0, 2, 3]),
+                ],
+                vec![Transaction::from([10, 11, 12]), Transaction::from([10, 11, 13])],
+            ],
+            0.5,
+            1.0,
+        )
+        .unwrap();
+        ModelArtifact::from_labeled("rock", &fit, &labeler, 1.0, None).unwrap()
+    }
+
+    fn queries() -> Vec<Transaction> {
+        vec![
+            Transaction::from([0, 1, 2, 3]), // cluster 0
+            Transaction::from([10, 11]),     // cluster 1
+            Transaction::from([77, 78]),     // outlier
+        ]
+    }
+
+    #[test]
+    fn assign_batch_matches_live_labeler() {
+        let artifact = sample_artifact();
+        let service: AssignService<Transaction, Jaccard> =
+            AssignService::new(&artifact, Jaccard, ServeConfig::default()).unwrap();
+        let batch = service.assign_batch(&queries()).unwrap();
+        let live: Labeler<Transaction> = artifact.labeler().unwrap();
+        let expected: Vec<Option<usize>> = queries()
+            .iter()
+            .map(|q| live.label_point(q, &Jaccard))
+            .collect();
+        assert_eq!(batch.assignments, expected);
+        assert_eq!(batch.assignments, vec![Some(0), Some(1), None]);
+        assert_eq!(batch.report.queries, 3);
+        assert_eq!(batch.report.assigned, 2);
+        assert_eq!(batch.report.unassigned, 1);
+        assert_eq!(batch.report.records_quarantined, 0);
+        assert!(batch.report.degraded.is_none());
+    }
+
+    #[test]
+    fn tripped_deadline_degrades_to_centroid_and_completes() {
+        let service: AssignService<Transaction, Jaccard> =
+            AssignService::new(&sample_artifact(), Jaccard, ServeConfig::default()).unwrap();
+        let governor = RunGovernor::unlimited()
+            .with_check_every(1)
+            .with_time_budget(Duration::ZERO);
+        governor.arm();
+        std::thread::sleep(Duration::from_millis(1));
+        let batch = service.assign_batch_governed(&queries(), &governor).unwrap();
+        let note = batch.report.degraded.expect("deadline must be recorded");
+        assert_eq!(note.policy, ServeDegradation::Centroid);
+        assert_eq!(note.at_query, 0);
+        assert_eq!(note.reason, TripReason::DeadlineExceeded);
+        // The whole batch was served via centroids and still completed.
+        assert_eq!(batch.assignments.len(), 3);
+        // Centroid of cluster 0 reps {0,1,2},{0,1,3},{0,2,3} is {0,1,2,3};
+        // of cluster 1 reps it is {10,11}. The clean queries still land.
+        assert_eq!(batch.assignments[0], Some(0));
+        assert_eq!(batch.assignments[1], Some(1));
+        assert_eq!(batch.assignments[2], None);
+    }
+
+    #[test]
+    fn tripped_deadline_with_fail_policy_aborts() {
+        let config = ServeConfig {
+            degradation: ServeDegradation::Fail,
+            ..ServeConfig::default()
+        };
+        let service: AssignService<Transaction, Jaccard> =
+            AssignService::new(&sample_artifact(), Jaccard, config).unwrap();
+        let governor = RunGovernor::unlimited()
+            .with_check_every(1)
+            .with_time_budget(Duration::ZERO);
+        governor.arm();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(matches!(
+            service.assign_batch_governed(&queries(), &governor),
+            Err(RockError::Interrupted {
+                phase: Phase::Labeling,
+                reason: TripReason::DeadlineExceeded,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn cancellation_aborts_even_under_centroid_policy() {
+        let service: AssignService<Transaction, Jaccard> =
+            AssignService::new(&sample_artifact(), Jaccard, ServeConfig::default()).unwrap();
+        let token = CancellationToken::new();
+        token.cancel();
+        let governor = RunGovernor::unlimited()
+            .with_check_every(1)
+            .with_cancel_token(token);
+        assert!(matches!(
+            service.assign_batch_governed(&queries(), &governor),
+            Err(RockError::Interrupted {
+                reason: TripReason::Cancelled,
+                ..
+            })
+        ));
+    }
+
+    /// Jaccard, except any transaction containing the marker item
+    /// evaluates to NaN — a deterministic stand-in for a degenerate
+    /// user measure.
+    struct NanOn(u32);
+
+    impl Similarity<Transaction> for NanOn {
+        fn similarity(&self, a: &Transaction, b: &Transaction) -> f64 {
+            if a.items().contains(&self.0) || b.items().contains(&self.0) {
+                f64::NAN
+            } else {
+                Jaccard.similarity(a, b)
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_queries_are_quarantined_not_fatal() {
+        let service: AssignService<Transaction, NanOn> =
+            AssignService::new(&sample_artifact(), NanOn(99), ServeConfig::default()).unwrap();
+        let mut qs = queries();
+        qs.insert(1, Transaction::from([99, 0, 1]));
+        let batch = service.assign_batch(&qs).unwrap();
+        assert_eq!(batch.assignments, vec![Some(0), None, Some(1), None]);
+        assert_eq!(batch.report.records_quarantined, 1);
+        assert_eq!(batch.report.quarantined.len(), 1);
+        assert_eq!(batch.report.quarantined[0].line, 1);
+        assert!(batch.report.quarantined[0].reason.contains("non-finite"));
+        assert_eq!(batch.report.assigned, 2);
+        assert_eq!(batch.report.unassigned, 1);
+    }
+
+    #[test]
+    fn quarantine_detail_is_capped_but_count_is_exact() {
+        let config = ServeConfig {
+            quarantine_detail_cap: 2,
+            ..ServeConfig::default()
+        };
+        let service: AssignService<Transaction, NanOn> =
+            AssignService::new(&sample_artifact(), NanOn(99), config).unwrap();
+        let qs: Vec<Transaction> = (0..5).map(|i| Transaction::from([99, i])).collect();
+        let batch = service.assign_batch(&qs).unwrap();
+        assert_eq!(batch.report.records_quarantined, 5);
+        assert_eq!(batch.report.quarantined.len(), 2);
+    }
+
+    /// An [`ArtifactSource`] that fails transiently `fail` times before
+    /// serving the bytes.
+    struct FlakySource {
+        bytes: Vec<u8>,
+        fail: u32,
+        kind: std::io::ErrorKind,
+    }
+
+    impl ArtifactSource for FlakySource {
+        fn fetch(&mut self) -> std::io::Result<Vec<u8>> {
+            if self.fail > 0 {
+                self.fail -= 1;
+                Err(std::io::Error::from(self.kind))
+            } else {
+                Ok(self.bytes.clone())
+            }
+        }
+    }
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(50),
+        }
+    }
+
+    #[test]
+    fn transient_fetch_errors_are_retried() {
+        let mut source = FlakySource {
+            bytes: sample_artifact().to_bytes(),
+            fail: 2,
+            kind: std::io::ErrorKind::WouldBlock,
+        };
+        let (artifact, retries) = load_artifact_with_retry(&mut source, &fast_retry()).unwrap();
+        assert_eq!(retries, 2);
+        assert_eq!(artifact.model(), "rock");
+    }
+
+    #[test]
+    fn exhausted_retries_and_hard_errors_are_typed() {
+        let mut source = FlakySource {
+            bytes: sample_artifact().to_bytes(),
+            fail: 10,
+            kind: std::io::ErrorKind::TimedOut,
+        };
+        assert!(matches!(
+            load_artifact_with_retry(&mut source, &fast_retry()),
+            Err(RockError::ArtifactIo { detail }) if detail.contains("after 3 retries")
+        ));
+        let mut source = FlakySource {
+            bytes: Vec::new(),
+            fail: 1,
+            kind: std::io::ErrorKind::NotFound,
+        };
+        assert!(matches!(
+            load_artifact_with_retry(&mut source, &fast_retry()),
+            Err(RockError::ArtifactIo { detail }) if detail.contains("after 0 retries")
+        ));
+    }
+
+    #[test]
+    fn corruption_is_not_retried() {
+        struct CountingSource {
+            bytes: Vec<u8>,
+            fetches: u32,
+        }
+        impl ArtifactSource for CountingSource {
+            fn fetch(&mut self) -> std::io::Result<Vec<u8>> {
+                self.fetches += 1;
+                Ok(self.bytes.clone())
+            }
+        }
+        let mut bytes = sample_artifact().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let mut source = CountingSource { bytes, fetches: 0 };
+        assert!(load_artifact_with_retry(&mut source, &fast_retry()).is_err());
+        assert_eq!(source.fetches, 1, "a deterministic reread cannot fix corruption");
+    }
+
+    #[test]
+    fn from_source_builds_a_working_service() {
+        let mut source = FlakySource {
+            bytes: sample_artifact().to_bytes(),
+            fail: 1,
+            kind: std::io::ErrorKind::Interrupted,
+        };
+        let config = ServeConfig {
+            retry: fast_retry(),
+            ..ServeConfig::default()
+        };
+        let (service, retries): (AssignService<Transaction, Jaccard>, u64) =
+            AssignService::from_source(&mut source, Jaccard, config).unwrap();
+        assert_eq!(retries, 1);
+        assert_eq!(service.num_clusters(), 2);
+        let batch = service.assign_batch(&queries()).unwrap();
+        assert_eq!(batch.assignments, vec![Some(0), Some(1), None]);
+    }
+
+    #[test]
+    fn concurrent_readers_agree() {
+        let service: AssignService<Transaction, Jaccard> =
+            AssignService::new(&sample_artifact(), Jaccard, ServeConfig::default()).unwrap();
+        let qs = queries();
+        let expected = service.assign_batch(&qs).unwrap().assignments;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (service, qs, expected) = (&service, &qs, &expected);
+                    scope.spawn(move || {
+                        for _ in 0..50 {
+                            let batch = service.assign_batch(qs).unwrap();
+                            assert_eq!(&batch.assignments, expected);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn transaction_centroid_is_majority_vote() {
+        let reps = [
+            Transaction::from([0, 1, 2]),
+            Transaction::from([0, 1, 3]),
+            Transaction::from([0, 2, 3]),
+        ];
+        // 0 in 3/3, 1 in 2/3, 2 in 2/3, 3 in 2/3 — all ≥ half.
+        assert_eq!(
+            Transaction::centroid(&reps),
+            Some(Transaction::from([0, 1, 2, 3]))
+        );
+        let reps = [Transaction::from([5]), Transaction::from([6]), Transaction::from([5])];
+        assert_eq!(Transaction::centroid(&reps), Some(Transaction::from([5])));
+        assert_eq!(Transaction::centroid(&[]), None);
+    }
+
+    #[test]
+    fn vec_f64_centroid_is_componentwise_mean() {
+        let reps = [vec![1.0, 2.0], vec![3.0, 6.0]];
+        assert_eq!(<Vec<f64> as Centroid>::centroid(&reps), Some(vec![2.0, 4.0]));
+        assert_eq!(<Vec<f64> as Centroid>::centroid(&[]), None);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let retry = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(25),
+        };
+        assert_eq!(retry.backoff(0), Duration::from_millis(10));
+        assert_eq!(retry.backoff(1), Duration::from_millis(20));
+        assert_eq!(retry.backoff(2), Duration::from_millis(25));
+        assert_eq!(retry.backoff(63), Duration::from_millis(25));
+    }
+}

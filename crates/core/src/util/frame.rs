@@ -1,0 +1,235 @@
+//! Shared CRC-32 frame codec for the workspace's durable binary formats.
+//!
+//! Both the merge WAL ([`crate::wal`]) and the fitted-model artifact
+//! ([`crate::artifact`]) persist themselves as a magic prefix followed by
+//! CRC-framed records:
+//!
+//! ```text
+//! frame := type:u8  len:u32le  payload[len]  crc32:u32le
+//! crc32 := CRC-32/IEEE over type ‖ len ‖ payload
+//! ```
+//!
+//! This module is the single implementation of that frame (writer,
+//! checked reader, bounds-checked payload cursor and the little-endian
+//! `put_*` helpers); the formats differ only in their record vocabulary
+//! and damage semantics (the WAL truncates torn tails, the artifact
+//! rejects any damage outright).
+
+use crate::util::crc32;
+
+/// Appends one CRC-framed record to `buf`.
+pub fn append_frame(buf: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+    let mut head = Vec::with_capacity(5 + payload.len());
+    head.push(kind);
+    head.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    head.extend_from_slice(payload);
+    let crc = crc32(&head);
+    buf.extend_from_slice(&head);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Reads and CRC-verifies the frame at `at`; returns
+/// `(type, payload, offset past the frame)` or `None` if the frame is
+/// incomplete or fails its checksum.
+pub fn read_frame(bytes: &[u8], at: usize) -> Option<(u8, &[u8], usize)> {
+    if at + 5 > bytes.len() {
+        return None;
+    }
+    let kind = bytes[at];
+    // tidy-allow(panic): the slice spans exactly 4 bytes by construction of the indices
+    let len = u32::from_le_bytes(bytes[at + 1..at + 5].try_into().expect("4 bytes")) as usize;
+    let payload_end = (at + 5).checked_add(len)?;
+    let frame_end = payload_end.checked_add(4)?;
+    if frame_end > bytes.len() {
+        return None;
+    }
+    // tidy-allow(panic): the slice spans exactly 4 bytes by construction of the indices
+    let stored = u32::from_le_bytes(bytes[payload_end..frame_end].try_into().expect("4 bytes"));
+    if crc32(&bytes[at..payload_end]) != stored {
+        return None;
+    }
+    Some((kind, &bytes[at + 5..payload_end], frame_end))
+}
+
+/// A forward-only, bounds-checked byte reader for record payloads.
+///
+/// Every accessor returns `None` past the end (or when a length prefix
+/// promises more items than bytes remain), so a damaged payload can never
+/// index out of bounds or over-allocate.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    /// Takes the next `n` bytes, if present.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Some(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        // tidy-allow(panic): take(4) returns an exactly-4-byte slice; the conversion is infallible
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        // tidy-allow(panic): take(8) returns an exactly-8-byte slice; the conversion is infallible
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` persisted as exact bits (see [`put_f64`]).
+    pub fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// Reads a `u32`-counted `u32` list (see [`put_u32_slice`]).
+    pub fn u32_vec(&mut self) -> Option<Vec<u32>> {
+        let n = self.u32()? as usize;
+        // A length prefix can never promise more items than bytes remain.
+        if n > (self.bytes.len() - self.at) / 4 {
+            return None;
+        }
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string (see [`put_str`]).
+    pub fn str(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    /// Bytes remaining past the cursor.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    /// Whether the payload was consumed exactly.
+    pub fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its exact bit pattern (round-trips NaN payloads
+/// and signed zeros — bit-identity is the repo's core guarantee).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Appends a `u32` count followed by each element (see
+/// [`Cursor::u32_vec`]).
+pub fn put_u32_slice(buf: &mut Vec<u8>, vs: &[u32]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_u32(buf, v);
+    }
+}
+
+/// Appends a `u32`-length-prefixed UTF-8 string (see [`Cursor::str`]).
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, 7, b"payload");
+        append_frame(&mut buf, 9, b"");
+        let (kind, payload, next) = read_frame(&buf, 0).unwrap();
+        assert_eq!((kind, payload), (7, &b"payload"[..]));
+        let (kind2, payload2, end) = read_frame(&buf, next).unwrap();
+        assert_eq!((kind2, payload2), (9, &b""[..]));
+        assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_detected() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, 3, b"abcdef");
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x55;
+            // A flipped length field may make the frame "incomplete";
+            // any other flip fails the CRC. Either way: None.
+            assert!(read_frame(&bad, 0).is_none(), "flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn any_truncation_is_detected() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, 3, b"abcdef");
+        for cut in 0..buf.len() {
+            assert!(read_frame(&buf[..cut], 0).is_none(), "cut at {cut} undetected");
+        }
+    }
+
+    #[test]
+    fn cursor_reads_and_bounds() {
+        let mut p = Vec::new();
+        put_u32(&mut p, 17);
+        put_u64(&mut p, u64::MAX);
+        put_f64(&mut p, -0.0);
+        put_u32_slice(&mut p, &[1, 2, 3]);
+        put_str(&mut p, "rock");
+        let mut c = Cursor::new(&p);
+        assert_eq!(c.u32(), Some(17));
+        assert_eq!(c.u64(), Some(u64::MAX));
+        assert_eq!(c.f64().map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(c.u32_vec(), Some(vec![1, 2, 3]));
+        assert_eq!(c.str().as_deref(), Some("rock"));
+        assert!(c.done());
+        assert_eq!(c.u8(), None);
+    }
+
+    #[test]
+    fn lying_length_prefixes_fail_cleanly() {
+        let mut p = Vec::new();
+        put_u32(&mut p, u32::MAX); // promises 4 billion items
+        assert_eq!(Cursor::new(&p).u32_vec(), None);
+        let mut q = Vec::new();
+        put_u32(&mut q, 100); // promises 100 string bytes, has none
+        assert_eq!(Cursor::new(&q).str(), None);
+    }
+
+    #[test]
+    fn non_utf8_string_is_none() {
+        let mut p = Vec::new();
+        put_u32(&mut p, 2);
+        p.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(Cursor::new(&p).str(), None);
+    }
+}

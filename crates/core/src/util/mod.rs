@@ -1,12 +1,14 @@
-//! Internal utilities: fast hashing, bitsets, checksums and stateless
-//! mixing.
+//! Internal utilities: fast hashing, bitsets, checksums, CRC framing and
+//! stateless mixing.
 
 pub mod bitset;
 pub mod crc32;
+pub mod frame;
 pub mod fxhash;
 pub mod splitmix;
 
 pub use bitset::BitSet;
 pub use crc32::crc32;
+pub use frame::{append_frame, read_frame, Cursor};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use splitmix::{seeded_hit, splitmix64};

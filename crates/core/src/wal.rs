@@ -19,6 +19,9 @@
 //! records := Begin (Merge | Snapshot)* Finish?
 //! ```
 //!
+//! The frame codec is shared with the fitted-model artifact
+//! ([`crate::artifact`]); see [`crate::util::frame`].
+//!
 //! * **Begin** — configuration fingerprint (k, goodness exponent/kind,
 //!   outlier policy) plus the initial arena: point id of every
 //!   post-pruning singleton and the pruned outliers.
@@ -47,7 +50,7 @@
 
 use crate::cluster::MergeRecord;
 use crate::error::RockError;
-use crate::util::crc32;
+use crate::util::frame::{append_frame, put_u32, put_u32_slice, put_u64, read_frame, Cursor};
 use std::io::Write as _;
 use std::path::Path;
 
@@ -171,13 +174,7 @@ impl MergeWal {
     }
 
     fn frame(&mut self, kind: u8, payload: &[u8]) {
-        let mut head = Vec::with_capacity(5 + payload.len());
-        head.push(kind);
-        head.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        head.extend_from_slice(payload);
-        let crc = crc32(&head);
-        self.buf.extend_from_slice(&head);
-        self.buf.extend_from_slice(&crc.to_le_bytes());
+        append_frame(&mut self.buf, kind, payload);
     }
 
     pub(crate) fn append_begin(&mut self, b: &WalBegin) {
@@ -274,70 +271,6 @@ impl WalReplay {
     /// Number of input points the logged run started from.
     pub fn num_points(&self) -> usize {
         self.begin.n_points as usize
-    }
-}
-
-/// A forward-only, bounds-checked byte reader for record payloads.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    at: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Cursor { bytes, at: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        let end = self.at.checked_add(n)?;
-        if end > self.bytes.len() {
-            return None;
-        }
-        let s = &self.bytes[self.at..end];
-        self.at = end;
-        Some(s)
-    }
-
-    fn u8(&mut self) -> Option<u8> {
-        self.take(1).map(|s| s[0])
-    }
-
-    fn u32(&mut self) -> Option<u32> {
-        // tidy-allow(panic): take(4) returns an exactly-4-byte slice; the conversion is infallible
-        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        // tidy-allow(panic): take(8) returns an exactly-8-byte slice; the conversion is infallible
-        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
-    }
-
-    fn u32_vec(&mut self) -> Option<Vec<u32>> {
-        let n = self.u32()? as usize;
-        // A length prefix can never promise more items than bytes remain.
-        if n > (self.bytes.len() - self.at) / 4 {
-            return None;
-        }
-        (0..n).map(|_| self.u32()).collect()
-    }
-
-    fn done(&self) -> bool {
-        self.at == self.bytes.len()
-    }
-}
-
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u32_slice(buf: &mut Vec<u8>, vs: &[u32]) {
-    put_u32(buf, vs.len() as u32);
-    for &v in vs {
-        put_u32(buf, v);
     }
 }
 
@@ -503,29 +436,6 @@ pub fn parse_wal(bytes: &[u8]) -> Result<WalReplay, RockError> {
         finished,
         truncated,
     })
-}
-
-/// Reads and CRC-verifies the frame at `at`; returns
-/// `(type, payload, offset past the frame)` or `None` if the frame is
-/// incomplete or fails its checksum.
-fn read_frame(bytes: &[u8], at: usize) -> Option<(u8, &[u8], usize)> {
-    if at + 5 > bytes.len() {
-        return None;
-    }
-    let kind = bytes[at];
-    // tidy-allow(panic): the slice spans exactly 4 bytes by construction of the indices
-    let len = u32::from_le_bytes(bytes[at + 1..at + 5].try_into().expect("4 bytes")) as usize;
-    let payload_end = (at + 5).checked_add(len)?;
-    let frame_end = payload_end.checked_add(4)?;
-    if frame_end > bytes.len() {
-        return None;
-    }
-    // tidy-allow(panic): the slice spans exactly 4 bytes by construction of the indices
-    let stored = u32::from_le_bytes(bytes[payload_end..frame_end].try_into().expect("4 bytes"));
-    if crc32(&bytes[at..payload_end]) != stored {
-        return None;
-    }
-    Some((kind, &bytes[at + 5..payload_end], frame_end))
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ use std::time::Duration;
 const STREAM_TRANSIENT: u64 = 0x10;
 const STREAM_GARBAGE: u64 = 0x20;
 const STREAM_TRUNCATE: u64 = 0x30;
+const STREAM_ARTIFACT: u64 = 0x40;
 
 /// A garbage token no numeric basket parser accepts.
 pub const GARBAGE_TOKEN: &str = "x7!";
@@ -212,6 +213,98 @@ pub fn corrupt_baskets(input: &str, spec: &FaultSpec) -> String {
 /// A deterministic index helper for picking truncation points.
 fn seeded_hit_index(seed: u64, line: u64) -> u64 {
     rock_core::util::splitmix64(seed ^ STREAM_TRUNCATE ^ line.wrapping_mul(0x9E37_79B9))
+}
+
+/// Flips exactly one seeded bit of an artifact image — the single-bit
+/// damage injector for the artifact corruption matrix. Pure function of
+/// `(seed, image length)`; returns the image unchanged only when empty.
+pub fn flip_artifact_bit(bytes: &[u8], seed: u64) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let r = rock_core::util::splitmix64(seed ^ STREAM_ARTIFACT);
+    let offset = (r as usize) % out.len();
+    let bit = ((r >> 32) % 8) as u32;
+    out[offset] ^= 1u8 << bit;
+    out
+}
+
+/// Truncates an artifact image at a seeded offset strictly inside it
+/// (torn write / partial transfer). Pure function of
+/// `(seed, image length)`.
+pub fn truncate_artifact(bytes: &[u8], seed: u64) -> Vec<u8> {
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    let r = rock_core::util::splitmix64(seed ^ STREAM_ARTIFACT.rotate_left(8));
+    let cut = (r as usize) % bytes.len();
+    bytes[..cut].to_vec()
+}
+
+/// An [`ArtifactSource`](rock_core::artifact::ArtifactSource) serving a
+/// fixed image through the seeded transient-error schedule of a
+/// [`FaultSpec`] — the injector behind the serve layer's
+/// retry-with-backoff tests. Fetch call indices play the role read call
+/// indices play for [`FaultyReader`]; a scheduled index starts a burst
+/// of [`FaultSpec::transient_burst`] consecutive failures, so a retry
+/// budget ≥ burst always recovers the exact image.
+#[derive(Clone, Debug)]
+pub struct FaultyArtifactSource {
+    bytes: Vec<u8>,
+    spec: FaultSpec,
+    calls: u64,
+    pending_burst: u32,
+    injected: u64,
+}
+
+impl FaultyArtifactSource {
+    /// Serves `bytes` under `spec`'s transient schedule.
+    pub fn new(bytes: Vec<u8>, spec: FaultSpec) -> Self {
+        FaultyArtifactSource {
+            bytes,
+            spec,
+            calls: 0,
+            pending_burst: 0,
+            injected: 0,
+        }
+    }
+
+    /// Number of transient errors injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    fn transient_error(&self) -> io::Error {
+        let kind = if self.injected.is_multiple_of(2) {
+            io::ErrorKind::WouldBlock
+        } else {
+            io::ErrorKind::TimedOut
+        };
+        io::Error::new(kind, format!("injected transient fault #{}", self.injected))
+    }
+}
+
+impl rock_core::artifact::ArtifactSource for FaultyArtifactSource {
+    fn fetch(&mut self) -> io::Result<Vec<u8>> {
+        if self.pending_burst > 0 {
+            self.pending_burst -= 1;
+            let e = self.transient_error();
+            self.injected += 1;
+            return Err(e);
+        }
+        let i = self.calls;
+        self.calls += 1;
+        if self.spec.transient_rate > 0.0
+            && seeded_hit(self.spec.seed, STREAM_TRANSIENT, i, self.spec.transient_rate)
+        {
+            self.pending_burst = self.spec.transient_burst.saturating_sub(1);
+            let e = self.transient_error();
+            self.injected += 1;
+            return Err(e);
+        }
+        Ok(self.bytes.clone())
+    }
 }
 
 /// A governor that simulates a kill signal after exactly `k` merge
@@ -408,6 +501,50 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn artifact_injectors_are_deterministic_and_damaging() {
+        let image: Vec<u8> = (0..255u8).collect();
+        let flipped = flip_artifact_bit(&image, 11);
+        assert_eq!(flipped, flip_artifact_bit(&image, 11));
+        assert_eq!(flipped.len(), image.len());
+        assert_eq!(
+            image.iter().zip(&flipped).filter(|(a, b)| a != b).count(),
+            1,
+            "exactly one byte must differ"
+        );
+        let cut = truncate_artifact(&image, 11);
+        assert_eq!(cut, truncate_artifact(&image, 11));
+        assert!(cut.len() < image.len());
+        assert_eq!(cut, image[..cut.len()]);
+        assert!(flip_artifact_bit(&[], 1).is_empty());
+        assert!(truncate_artifact(&[], 1).is_empty());
+    }
+
+    #[test]
+    fn faulty_artifact_source_recovers_after_burst() {
+        use rock_core::artifact::ArtifactSource;
+        let image = b"ROCKART1 pretend image".to_vec();
+        // Pick a seed whose schedule fires on fetch 0 but not fetch 1,
+        // so the burst length alone decides when recovery happens.
+        let seed = (0..)
+            .find(|&s| {
+                seeded_hit(s, STREAM_TRANSIENT, 0, 0.5) && !seeded_hit(s, STREAM_TRANSIENT, 1, 0.5)
+            })
+            .unwrap();
+        let spec = FaultSpec::none(seed).transient(0.5, 2);
+        let mut source = FaultyArtifactSource::new(image.clone(), spec);
+        // Fetch 0 starts a burst of 2; the third attempt reaches the
+        // unscheduled fetch 1 and serves the image intact.
+        assert!(source.fetch().is_err());
+        assert!(source.fetch().is_err());
+        assert_eq!(source.fetch().unwrap(), image);
+        assert_eq!(source.injected(), 2);
+        // Zero-rate spec is transparent.
+        let mut clean = FaultyArtifactSource::new(image.clone(), FaultSpec::none(5));
+        assert_eq!(clean.fetch().unwrap(), image);
+        assert_eq!(clean.injected(), 0);
     }
 
     #[test]

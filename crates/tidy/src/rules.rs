@@ -63,6 +63,7 @@ pub const ALLOWABLE_RULES: &[&str] = &[
     "nondeterministic-iter",
     "wall-clock",
     "float-ordering",
+    "file-io",
     "unsafe-block",
     "forbid-unsafe",
     "debris",
@@ -197,6 +198,50 @@ pub fn check_wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                     format!(
                         "`{pat}` outside report.rs/governor.rs: deterministic modules \
                          must not read the wall clock"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Library files allowed to touch the filesystem in `rock-core`: the
+/// two durable-bytes boundary modules (merge WAL, model artifact).
+const FILE_IO_FILES: &[&str] = &["crates/core/src/wal.rs", "crates/core/src/artifact.rs"];
+
+/// **file-io** — `rock-core` is an in-memory engine; the only modules
+/// allowed to open, read or write files are the durability boundaries
+/// (`wal.rs`, `artifact.rs`). Filesystem access creeping into any other
+/// module is how "pure" kernels quietly grow environment dependencies —
+/// and how the serve layer would lose its pluggable-source seam
+/// (everything else must go through `artifact::ArtifactSource`).
+pub fn check_file_io(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.kind != FileKind::Lib || file.crate_name != "core" {
+        return;
+    }
+    if FILE_IO_FILES.contains(&file.rel.as_str()) {
+        return;
+    }
+    const PATTERNS: &[&str] = &[
+        "std::fs",
+        "fs::read",
+        "fs::write",
+        "fs::rename",
+        "fs::remove",
+        "File::open",
+        "File::create",
+        "OpenOptions",
+    ];
+    for (i, line) in lib_lines(file) {
+        if let Some(pat) = PATTERNS.iter().find(|p| line.code.contains(**p)) {
+            if !allowed(file, i, "file-io") {
+                out.push(diag(
+                    file,
+                    i,
+                    "file-io",
+                    format!(
+                        "`{pat}` outside wal.rs/artifact.rs: rock-core file I/O is \
+                         confined to the durability boundary modules"
                     ),
                 ));
             }
@@ -541,6 +586,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     check_annotations(file, &mut out);
     check_panic(file, &mut out);
     check_wall_clock(file, &mut out);
+    check_file_io(file, &mut out);
     check_float_ordering(file, &mut out);
     check_nondeterministic_iter(file, &mut out);
     check_engine_contract(file, &mut out);

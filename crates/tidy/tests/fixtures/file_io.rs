@@ -1,0 +1,6 @@
+//! Fixture: seeds exactly one `file-io` violation (filesystem access
+//! outside the sanctioned durability boundary modules).
+
+pub fn slurp(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_rock.json from the rock_parallel bench.
+# Regenerates BENCH_rock.json from the rock_parallel and serve benches.
 #
 # Usage:
 #   scripts/bench_snapshot.sh [output.json]
@@ -13,7 +13,9 @@
 # host metadata into a single checked-in snapshot. Read it via DESIGN.md,
 # "Performance model": compare <group>/seq against <group>/par<N> means
 # on a host with >= N cores; host_cpus below records how many cores the
-# snapshot machine actually had.
+# snapshot machine actually had. The serve_assign/single_query record's
+# p99_ns is the tail per-query assign latency through a reloaded
+# artifact (DESIGN.md §11).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,11 +23,13 @@ out="${1:-BENCH_rock.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-args=(bench -p bench --bench rock_parallel)
-if [[ -n "${BENCH_FILTER:-}" ]]; then
-    args+=(-- "$BENCH_FILTER")
-fi
-BENCH_JSON="$tmp" cargo "${args[@]}"
+for bench in rock_parallel serve; do
+    args=(bench -p bench --bench "$bench")
+    if [[ -n "${BENCH_FILTER:-}" ]]; then
+        args+=(-- "$BENCH_FILTER")
+    fi
+    BENCH_JSON="$tmp" cargo "${args[@]}"
+done
 
 if [[ ! -s "$tmp" ]]; then
     echo "bench_snapshot: no records produced (filter too narrow?)" >&2
@@ -35,13 +39,13 @@ fi
 records="$(paste -sd, - <"$tmp")"
 {
     printf '{\n'
-    printf '  "bench": "rock_parallel",\n'
+    printf '  "bench": "rock_parallel+serve",\n'
     printf '  "generator": "SyntheticBasketSpec::paper_scaled(0.05), seed 42 (section 5.3)",\n'
     printf '  "generated_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "git_rev": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
     printf '  "host_cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
     printf '  "rustc": "%s",\n' "$(rustc --version | tr -d '\n')"
-    printf '  "units": "nanoseconds (wall clock; mean/min/max over samples)",\n'
+    printf '  "units": "nanoseconds (wall clock; mean/min/max/p99 over samples)",\n'
     printf '  "results": [\n'
     printf '%s\n' "$records" | sed 's/},{/},\n    {/g; s/^/    /'
     printf '  ]\n'

@@ -83,7 +83,17 @@ struct Record {
     mean_ns: f64,
     min_ns: f64,
     max_ns: f64,
+    p99_ns: f64,
     samples: usize,
+}
+
+/// Nearest-rank p99 over the sample durations (equals the max for
+/// fewer than 100 samples).
+fn percentile_99(ns: &[f64]) -> f64 {
+    let mut sorted = ns.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((sorted.len() as f64) * 0.99).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Benchmark driver: collects samples, prints a summary line per
@@ -156,25 +166,28 @@ impl Criterion {
             mean_ns: ns.iter().sum::<f64>() / ns.len() as f64,
             min_ns: ns.iter().copied().fold(f64::INFINITY, f64::min),
             max_ns: ns.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            p99_ns: percentile_99(&ns),
             samples: ns.len(),
         };
         println!(
-            "bench {:<60} mean {:>12}  min {:>12}  max {:>12}  ({} samples)",
+            "bench {:<60} mean {:>12}  min {:>12}  max {:>12}  p99 {:>12}  ({} samples)",
             record.id,
             human_time(record.mean_ns),
             human_time(record.min_ns),
             human_time(record.max_ns),
+            human_time(record.p99_ns),
             record.samples
         );
         if let Some(path) = &self.json_path {
             if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
                 let _ = writeln!(
                     file,
-                    "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}",
+                    "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"p99_ns\":{:.1},\"samples\":{}}}",
                     record.id.replace('"', "'"),
                     record.mean_ns,
                     record.min_ns,
                     record.max_ns,
+                    record.p99_ns,
                     record.samples
                 );
             }
@@ -301,6 +314,15 @@ mod tests {
         });
         // 3 timed samples + 1 warm-up.
         assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn p99_is_nearest_rank() {
+        // Under 100 samples, p99 collapses to the max.
+        assert_eq!(percentile_99(&[3.0, 1.0, 2.0]), 3.0);
+        // With 200 samples 0..200, rank ceil(200*0.99)=198 → value 197.
+        let ns: Vec<f64> = (0..200).map(f64::from).collect();
+        assert_eq!(percentile_99(&ns), 197.0);
     }
 
     #[test]
