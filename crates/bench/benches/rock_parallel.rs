@@ -16,9 +16,19 @@
 //! packages the records into `BENCH_rock.json` (see DESIGN.md,
 //! "Performance model", for how to read it). All parallel paths are
 //! bit-identical to sequential by construction, so the ids here only vary
-//! in speed, never in output — enforced by `tests/parallel_determinism.rs`.
+//! in speed, never in output — enforced by `tests/parallel_determinism.rs`
+//! and `tests/kernel_invariance.rs`.
+//!
+//! Every id declares its worker-thread count, so the harness can mark
+//! records measured with more threads than host CPUs as oversubscribed
+//! (see the criterion shim's thread-count honesty notes). The process
+//! also runs under a counting allocator that feeds
+//! [`rock_core::perf::count_allocs`]; the `perf_footer` pseudo-target
+//! prints the accumulated work counters after the last group so a
+//! snapshot records how much the kernels allocated.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
 use rand::{rngs::StdRng, SeedableRng};
 use rock_core::labeling::Labeler;
 use rock_core::links::compute_links_sparse;
@@ -33,6 +43,34 @@ use std::hint::black_box;
 const THETA: f64 = 0.5;
 const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
 
+/// System-allocator wrapper that counts every heap allocation into the
+/// rock-core perf counters, so bench snapshots can report how much the
+/// kernels allocate (the hot loops are expected to allocate nothing —
+/// rock-tidy's `kernel-alloc` rule enforces it statically, this
+/// measures it dynamically).
+struct CountingAlloc;
+
+// SAFETY: a pass-through to the system allocator. The bookkeeping is
+// two relaxed atomic adds, which never allocate or unwind, so the
+// GlobalAlloc contract is inherited unchanged from `System`.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: counts, then forwards the caller's layout to `System`
+    // unchanged; the atomic add cannot allocate or unwind.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        rock_core::perf::count_allocs(1, layout.size() as u64);
+        System.alloc(layout)
+    }
+
+    // SAFETY: forwards a pointer/layout pair that came from the matching
+    // `alloc` above straight to `System`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 fn pool() -> Vec<Transaction> {
     // ~5.7k transactions of the paper's §5.3 distribution.
     let spec = SyntheticBasketSpec::paper_scaled(0.05);
@@ -44,16 +82,16 @@ fn bench_neighbors(c: &mut Criterion) {
     let sample = &pool[..1500.min(pool.len())];
     let packed = PackedBaskets::new(sample);
     let mut group = c.benchmark_group("neighbors");
-    group.bench_function("transactions_seq", |b| {
+    group.bench_function(BenchmarkId::from("transactions_seq").threads(1), |b| {
         let points = PointsWith::new(sample, Jaccard);
         b.iter(|| black_box(NeighborGraph::build(&points, THETA)))
     });
-    group.bench_function("packed_seq", |b| {
+    group.bench_function(BenchmarkId::from("packed_seq").threads(1), |b| {
         b.iter(|| black_box(NeighborGraph::build(&packed, THETA)))
     });
     for threads in THREAD_COUNTS {
         group.bench_with_input(
-            BenchmarkId::new("packed_par", threads),
+            BenchmarkId::new("packed_par", threads).threads(threads),
             &threads,
             |b, &threads| {
                 b.iter(|| black_box(NeighborGraph::build_parallel(&packed, THETA, threads)))
@@ -69,15 +107,15 @@ fn bench_links(c: &mut Criterion) {
     let graph = NeighborGraph::build(&PackedBaskets::new(sample), THETA);
 
     let mut sparse = c.benchmark_group("links_sparse");
-    sparse.bench_function("reference_hashmap", |b| {
+    sparse.bench_function(BenchmarkId::from("reference_hashmap").threads(1), |b| {
         b.iter(|| black_box(compute_links_sparse(&graph)))
     });
-    sparse.bench_function("csr_seq", |b| {
+    sparse.bench_function(BenchmarkId::from("csr_seq").threads(1), |b| {
         b.iter(|| black_box(LinkMatrix::compute_sparse(&graph, 1)))
     });
     for threads in THREAD_COUNTS {
         sparse.bench_with_input(
-            BenchmarkId::new("csr_par", threads),
+            BenchmarkId::new("csr_par", threads).threads(threads),
             &threads,
             |b, &threads| b.iter(|| black_box(LinkMatrix::compute_sparse(&graph, threads))),
         );
@@ -85,12 +123,12 @@ fn bench_links(c: &mut Criterion) {
     sparse.finish();
 
     let mut dense = c.benchmark_group("links_dense");
-    dense.bench_function("csr_seq", |b| {
+    dense.bench_function(BenchmarkId::from("csr_seq").threads(1), |b| {
         b.iter(|| black_box(LinkMatrix::compute_dense(&graph, 1)))
     });
     for threads in THREAD_COUNTS {
         dense.bench_with_input(
-            BenchmarkId::new("csr_par", threads),
+            BenchmarkId::new("csr_par", threads).threads(threads),
             &threads,
             |b, &threads| b.iter(|| black_box(LinkMatrix::compute_dense(&graph, threads))),
         );
@@ -109,12 +147,12 @@ fn bench_labeling(c: &mut Criterion) {
     ];
     let labeler = Labeler::full(sample, &clusters, THETA, 1.0 / 3.0);
     let mut group = c.benchmark_group("labeling");
-    group.bench_function("seq", |b| {
+    group.bench_function(BenchmarkId::from("seq").threads(1), |b| {
         b.iter(|| black_box(labeler.label_all(&pool, &Jaccard)))
     });
     for threads in THREAD_COUNTS {
         group.bench_with_input(
-            BenchmarkId::new("par", threads),
+            BenchmarkId::new("par", threads).threads(threads),
             &threads,
             |b, &threads| {
                 b.iter(|| black_box(labeler.label_all_parallel(&pool, &Jaccard, threads)))
@@ -124,9 +162,16 @@ fn bench_labeling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Not a benchmark: prints the perf counters the preceding groups
+/// accumulated (pairs emitted, bytes touched, similarity evaluations,
+/// scratch reuse, and the counting allocator's totals).
+fn perf_footer(_c: &mut Criterion) {
+    println!("perf totals: {}", rock_core::perf::snapshot());
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_neighbors, bench_links, bench_labeling
+    targets = bench_neighbors, bench_links, bench_labeling, perf_footer
 }
 criterion_main!(benches);

@@ -1,0 +1,252 @@
+//! Diffs two `BENCH_*.json` snapshots (produced by
+//! `scripts/bench_snapshot.sh`) id by id.
+//!
+//! For every benchmark id present in both snapshots, prints the before
+//! and after mean, the mean delta, and the p99 delta. Ids present in
+//! only one snapshot are listed separately so renames and new kernels
+//! are visible rather than silently dropped. Records whose snapshot was
+//! measured with more worker threads than the snapshot host had CPUs
+//! are tagged `[oversub]` — their deltas describe scheduler behaviour,
+//! not kernel scaling.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_compare -- \
+//!     BENCH_before.json BENCH_after.json [--threshold 10] [--strict]
+//! ```
+//!
+//! `--threshold` is the mean-regression tolerance in percent (default
+//! 10). Regressions beyond it are flagged in the output; with
+//! `--strict` they also make the process exit non-zero. CI runs the
+//! comparison without `--strict` as a non-blocking report step, because
+//! wall-clock deltas on shared runners are advisory, not a gate.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// One benchmark record pulled out of a snapshot's `results` array.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchRecord {
+    id: String,
+    mean_ns: f64,
+    p99_ns: f64,
+    oversubscribed: bool,
+}
+
+/// One parsed snapshot: host metadata plus its records in file order.
+#[derive(Debug)]
+struct Snapshot {
+    git_rev: String,
+    host_cpus: String,
+    records: Vec<BenchRecord>,
+}
+
+/// Extracts the JSON string value following `"<key>":"` at the top
+/// level of `text`, if present.
+fn string_field(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the numeric value following `"<key>":` inside `text`.
+fn number_field(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a snapshot file: top-level metadata plus every object in the
+/// `results` array that carries an `"id"`. This is a purposeful
+/// subset-parser for the snapshot format this repo writes (one record
+/// object per line, no nested objects inside records), not a general
+/// JSON parser — the workspace vendors no serde.
+fn parse_snapshot(text: &str) -> Snapshot {
+    let mut records = Vec::new();
+    for chunk in text.split('{').skip(1) {
+        let body = chunk.split('}').next().unwrap_or("");
+        if !body.trim_start().starts_with("\"id\"") {
+            continue;
+        }
+        let (Some(id), Some(mean_ns), Some(p99_ns)) = (
+            string_field(body, "id"),
+            number_field(body, "mean_ns"),
+            number_field(body, "p99_ns"),
+        ) else {
+            continue;
+        };
+        records.push(BenchRecord {
+            id,
+            mean_ns,
+            p99_ns,
+            oversubscribed: body.contains("\"oversubscribed\":true"),
+        });
+    }
+    Snapshot {
+        git_rev: string_field(text, "git_rev").unwrap_or_else(|| "unknown".to_string()),
+        host_cpus: string_field(text, "host_cpus")
+            .or_else(|| number_field(text, "host_cpus").map(|n| format!("{n}")))
+            .unwrap_or_else(|| "?".to_string()),
+        records,
+    }
+}
+
+/// Percent change from `before` to `after` (positive = slower).
+fn delta_pct(before: f64, after: f64) -> f64 {
+    if before <= 0.0 {
+        return 0.0;
+    }
+    (after - before) / before * 100.0
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.1} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare <before.json> <after.json> [--threshold <pct>] [--strict]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut files = Vec::new();
+    let mut threshold = 10.0f64;
+    let mut strict = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--strict" => strict = true,
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ => files.push(arg),
+        }
+    }
+    if files.len() != 2 {
+        usage();
+    }
+
+    let read = |path: &str| -> Snapshot {
+        match std::fs::read_to_string(path) {
+            Ok(text) => parse_snapshot(&text),
+            Err(e) => {
+                eprintln!("bench_compare: cannot read {path}: {e}");
+                std::process::exit(2)
+            }
+        }
+    };
+    let before = read(&files[0]);
+    let after = read(&files[1]);
+
+    println!(
+        "bench_compare: {} (rev {}, {} cpus) -> {} (rev {}, {} cpus), threshold {threshold}%",
+        files[0], before.git_rev, before.host_cpus, files[1], after.git_rev, after.host_cpus
+    );
+
+    let mut regressions = 0usize;
+    let mut missing_after = Vec::new();
+    let mut rows = String::new();
+    for b in &before.records {
+        let Some(a) = after.records.iter().find(|a| a.id == b.id) else {
+            missing_after.push(b.id.clone());
+            continue;
+        };
+        let dm = delta_pct(b.mean_ns, a.mean_ns);
+        let dp = delta_pct(b.p99_ns, a.p99_ns);
+        let oversub = b.oversubscribed || a.oversubscribed;
+        let regressed = dm > threshold && !oversub;
+        if regressed {
+            regressions += 1;
+        }
+        let _ = writeln!(
+            rows,
+            "  {:<40} mean {:>10} -> {:>10} ({:+6.1}%)  p99 {:+6.1}%{}{}",
+            a.id,
+            human_time(b.mean_ns),
+            human_time(a.mean_ns),
+            dm,
+            dp,
+            if oversub { "  [oversub]" } else { "" },
+            if regressed { "  REGRESSION" } else { "" },
+        );
+    }
+    print!("{rows}");
+
+    for id in &missing_after {
+        println!("  {id:<40} only in {}", files[0]);
+    }
+    for a in &after.records {
+        if !before.records.iter().any(|b| b.id == a.id) {
+            println!(
+                "  {:<40} only in {} (mean {})",
+                a.id,
+                files[1],
+                human_time(a.mean_ns)
+            );
+        }
+    }
+
+    println!(
+        "bench_compare: {} shared ids, {} regressions beyond {threshold}% (oversubscribed records excluded)",
+        before.records.len() - missing_after.len(),
+        regressions
+    );
+    if strict && regressions > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "git_rev": "abc1234",
+  "host_cpus": 1,
+  "results": [
+    {"id":"g/seq","mean_ns":100.0,"min_ns":90.0,"max_ns":110.0,"p99_ns":110.0,"samples":10},
+    {"id":"g/par/2","mean_ns":200.0,"min_ns":180.0,"max_ns":220.0,"p99_ns":220.0,"samples":10,"threads":2,"oversubscribed":true}
+  ]
+}"#;
+
+    #[test]
+    fn parses_records_and_metadata() {
+        let snap = parse_snapshot(SAMPLE);
+        assert_eq!(snap.git_rev, "abc1234");
+        assert_eq!(snap.host_cpus, "1");
+        assert_eq!(snap.records.len(), 2);
+        assert_eq!(snap.records[0].id, "g/seq");
+        assert_eq!(snap.records[0].mean_ns, 100.0);
+        assert_eq!(snap.records[0].p99_ns, 110.0);
+        assert!(!snap.records[0].oversubscribed);
+        assert!(snap.records[1].oversubscribed);
+    }
+
+    #[test]
+    fn delta_is_signed_percent() {
+        assert_eq!(delta_pct(100.0, 110.0), 10.0);
+        assert_eq!(delta_pct(100.0, 90.0), -10.0);
+        assert_eq!(delta_pct(0.0, 90.0), 0.0);
+    }
+}

@@ -22,7 +22,7 @@ use crate::cluster::{Clustering, MergeRecord};
 use crate::error::RockError;
 use crate::goodness::{Goodness, GoodnessKind};
 use crate::governor::{Phase, RunGovernor};
-use crate::heap::AddressableHeap;
+use crate::heap::{AddressableHeap, HeapPool};
 use crate::links::LinkTable;
 use crate::links_matrix::LinkMatrix;
 use crate::neighbors::NeighborGraph;
@@ -708,6 +708,12 @@ struct State {
     /// Number of live clusters.
     live: usize,
     goodness: Goodness,
+    /// Recycled candidate-heap buffers: every merge retires `q[u]` and
+    /// `q[v]` and builds one `q[w]`, so the pool keeps the agglomeration
+    /// phase at a handful of heap/map allocations total instead of
+    /// O(merges). Pool state never affects results (see
+    /// [`HeapPool`]).
+    heap_pool: HeapPool<u32>,
 }
 
 impl State {
@@ -720,6 +726,7 @@ impl State {
             global: AddressableHeap::with_capacity(n),
             members,
             goodness,
+            heap_pool: HeapPool::new(),
         }
     }
 
@@ -778,7 +785,7 @@ impl State {
         lw.remove(&u);
         lw.remove(&v);
 
-        let mut qw = AddressableHeap::with_capacity(lw.len());
+        let mut qw = self.heap_pool.acquire();
         // tidy-allow(nondeterministic-iter): each iteration updates only x-keyed state, and heap orderings break goodness ties by key, so visit order cannot affect any outcome
         for (&x, &cxw) in &lw {
             // Steps 11–14: replace u, v by w in x's bookkeeping.
@@ -797,9 +804,10 @@ impl State {
             qw.insert(x, g);
         }
 
-        // Step 17: deallocate q[u], q[v].
-        self.local[u as usize].clear();
-        self.local[v as usize].clear();
+        // Step 17: deallocate q[u], q[v] — their buffers return to the
+        // pool and come back as future merges' candidate heaps.
+        std::mem::take(&mut self.local[u as usize]).recycle_into(&mut self.heap_pool);
+        std::mem::take(&mut self.local[v as usize]).recycle_into(&mut self.heap_pool);
         self.links.push(lw);
         self.local.push(qw);
         self.refresh_global(w);

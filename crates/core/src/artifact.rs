@@ -48,7 +48,8 @@ use crate::engine::model::ModelFit;
 use crate::error::RockError;
 use crate::governor::{DegradationNote, DegradationPolicy, Phase, TripReason};
 use crate::labeling::Labeler;
-use crate::report::{PhaseTiming, QuarantinedRecord, RunReport};
+use crate::perf::PerfCounters;
+use crate::report::{PhasePerf, PhaseTiming, QuarantinedRecord, RunReport};
 use crate::util::frame::{
     append_frame, put_f64, put_str, put_u32, put_u32_slice, put_u64, read_frame, Cursor,
 };
@@ -835,6 +836,16 @@ fn encode_report(buf: &mut Vec<u8>, r: &RunReport) {
         put_u64(buf, p.duration.as_secs());
         put_u32(buf, p.duration.subsec_nanos());
     }
+    put_u32(buf, r.phase_perf.len() as u32);
+    for p in &r.phase_perf {
+        put_str(buf, &p.name);
+        put_u64(buf, p.counters.pairs_emitted);
+        put_u64(buf, p.counters.bytes_touched);
+        put_u64(buf, p.counters.sim_evals);
+        put_u64(buf, p.counters.scratch_reused);
+        put_u64(buf, p.counters.allocs);
+        put_u64(buf, p.counters.alloc_bytes);
+    }
     match &r.degraded {
         None => buf.push(0),
         Some(note) => {
@@ -892,6 +903,24 @@ fn parse_report(payload: &[u8]) -> Option<RunReport> {
             duration: std::time::Duration::new(secs, nanos),
         });
     }
+    let npp = c.u32()? as usize;
+    if npp > payload.len() / 52 {
+        return None; // each perf entry costs at least 52 bytes
+    }
+    for _ in 0..npp {
+        let name = c.str()?;
+        r.phase_perf.push(PhasePerf {
+            name,
+            counters: PerfCounters {
+                pairs_emitted: c.u64()?,
+                bytes_touched: c.u64()?,
+                sim_evals: c.u64()?,
+                scratch_reused: c.u64()?,
+                allocs: c.u64()?,
+                alloc_bytes: c.u64()?,
+            },
+        });
+    }
     r.degraded = match c.u8()? {
         0 => None,
         1 => Some(DegradationNote {
@@ -927,6 +956,17 @@ mod tests {
         r.resumed_from_offset = Some(512);
         r.record_phase("sample", Duration::from_micros(1500));
         r.record_phase("cluster", Duration::new(2, 345));
+        r.record_phase_perf(
+            "cluster",
+            PerfCounters {
+                pairs_emitted: 4242,
+                bytes_touched: 1 << 20,
+                sim_evals: 99,
+                scratch_reused: 7,
+                allocs: 0,
+                alloc_bytes: 0,
+            },
+        );
         r.degraded = Some(DegradationNote {
             policy: DegradationPolicy::Subsample { fraction: 0.5 },
             phase: Phase::Merge,

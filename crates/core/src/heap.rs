@@ -183,6 +183,12 @@ impl<K: Copy + Eq + Hash + Ord> AddressableHeap<K> {
         }
     }
 
+    /// Clears this heap and hands it to `pool` for reuse.
+    pub fn recycle_into(mut self, pool: &mut HeapPool<K>) {
+        self.clear();
+        pool.free.push(self);
+    }
+
     #[cfg(test)]
     fn check_invariants(&self) {
         assert_eq!(self.data.len(), self.pos.len());
@@ -199,9 +205,88 @@ impl<K: Copy + Eq + Hash + Ord> AddressableHeap<K> {
     }
 }
 
+/// A free pool of cleared [`AddressableHeap`]s for allocation-heavy
+/// loops: the Fig.-3 merge loop builds one candidate heap per merge and
+/// discards two, so recycling turns O(merges) heap+map allocations into
+/// a handful that are grown once and reused.
+///
+/// Recycling cannot change results: a cleared heap holds no entries, pop
+/// order is the total order on `(priority, key)` regardless of capacity,
+/// and the key→slot map is only ever *looked up*, never iterated.
+#[derive(Clone, Debug, Default)]
+pub struct HeapPool<K> {
+    free: Vec<AddressableHeap<K>>,
+}
+
+impl<K: Copy + Eq + Hash + Ord> HeapPool<K> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        HeapPool { free: Vec::new() }
+    }
+
+    /// Hands out a cleared heap, reusing a pooled one (and its grown
+    /// buffers) when available.
+    pub fn acquire(&mut self) -> AddressableHeap<K> {
+        match self.free.pop() {
+            Some(heap) => {
+                crate::perf::count_scratch_reused(1);
+                heap
+            }
+            None => AddressableHeap::new(),
+        }
+    }
+
+    /// Number of heaps waiting in the pool.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the pool has no heaps available.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pool_recycles_cleared_heaps() {
+        let mut pool: HeapPool<u32> = HeapPool::new();
+        assert!(pool.is_empty());
+        let mut h = pool.acquire(); // empty pool → fresh heap
+        h.insert(1, 0.5);
+        h.insert(2, 0.25);
+        h.recycle_into(&mut pool);
+        assert_eq!(pool.len(), 1);
+        let recycled = pool.acquire();
+        assert!(recycled.is_empty(), "recycled heap must arrive cleared");
+        assert!(!recycled.contains(&1));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn recycled_heap_behaves_like_fresh() {
+        let mut pool: HeapPool<u32> = HeapPool::new();
+        let mut seed = pool.acquire();
+        for k in 0u32..100 {
+            seed.insert(k, f64::from(k % 10) / 10.0);
+        }
+        seed.recycle_into(&mut pool);
+        let mut recycled = pool.acquire();
+        let mut fresh = AddressableHeap::new();
+        for (k, p) in [(7u32, 0.9), (3, 0.9), (11, 0.2), (5, 0.4)] {
+            recycled.insert(k, p);
+            fresh.insert(k, p);
+        }
+        // Identical pop order: capacity left over from the previous life
+        // cannot leak into results.
+        while let Some(want) = fresh.pop() {
+            assert_eq!(recycled.pop(), Some(want));
+        }
+        assert!(recycled.is_empty());
+    }
 
     #[test]
     fn push_pop_in_priority_order() {

@@ -14,6 +14,13 @@ use crate::governor::{Phase, RunGovernor};
 use crate::similarity::Similarity;
 use rand::Rng;
 
+/// Minimum labeling cost (points × total labeling-set size — i.e.
+/// similarity evaluations) before [`Labeler::label_all_parallel`] spawns
+/// workers. Below this the whole pass is faster than thread spawn/join.
+/// Replaces the old `data.len() < 1024` bailout, which misjudged both
+/// huge labeling sets over few points and tiny sets over many.
+const PARALLEL_CUTOFF_SCORES: u64 = 16 * 1024;
+
 /// The per-cluster labeling sets drawn from the clustered sample.
 #[derive(Clone, Debug)]
 pub struct Labeler<P> {
@@ -234,12 +241,23 @@ impl<P: Clone> Labeler<P> {
     ///
     /// The labeling phase is embarrassingly parallel (each point is
     /// scored against the fixed Lᵢ sets independently); this is the path
-    /// for paper-scale data (114,586 transactions in §5.4).
+    /// for paper-scale data (114,586 transactions in §5.4). Each worker
+    /// accumulates its chunk's cluster counts and outlier tally into a
+    /// thread-local outcome buffer while writing assignment slots; the
+    /// buffers are merged once after the join, so no sequential pass
+    /// over the full assignment vector remains.
     ///
     /// **Determinism:** worker `t` writes the slots of its own chunk of
-    /// points in place, so the assignment vector — and the aggregate
-    /// counts derived from it — is bit-identical to [`Labeler::label_all`]
-    /// for every thread count.
+    /// points in place, and the merged counts are sums of per-chunk
+    /// counts in which every point contributes exactly once — the result
+    /// is bit-identical to [`Labeler::label_all`] for every thread count
+    /// (pinned against the fault-injection matrix in
+    /// `tests/kernel_invariance.rs`).
+    ///
+    /// The parallel path engages on a cost basis (points × total
+    /// labeling-set size, [`PARALLEL_CUTOFF_SCORES`]) rather than a
+    /// point-count floor: few points against huge labeling sets
+    /// parallelise just as profitably as many points against small ones.
     ///
     /// # Panics
     /// Panics if `threads == 0`.
@@ -249,21 +267,55 @@ impl<P: Clone> Labeler<P> {
         P: Sync,
     {
         assert!(threads > 0, "need at least one thread");
-        if threads == 1 || data.len() < 1024 {
+        let set_points: usize = self.sets.iter().map(Vec::len).sum();
+        let cost = data.len() as u64 * set_points.max(1) as u64;
+        if threads == 1 || cost < PARALLEL_CUTOFF_SCORES {
             return self.label_all(data, sim);
         }
         let chunk = data.len().div_ceil(threads);
+        let num_chunks = data.len().div_ceil(chunk);
         let mut assignments: Vec<Option<usize>> = vec![None; data.len()];
+        // Thread-local outcome buffers: (per-cluster counts, outliers).
+        let mut outcomes: Vec<(Vec<usize>, usize)> = Vec::with_capacity(num_chunks);
+        outcomes.resize_with(num_chunks, || (vec![0usize; self.sets.len()], 0));
         rayon::scope(|scope| {
-            for (part, slots) in data.chunks(chunk).zip(assignments.chunks_mut(chunk)) {
+            for ((part, slots), outcome) in data
+                .chunks(chunk)
+                .zip(assignments.chunks_mut(chunk))
+                .zip(outcomes.iter_mut())
+            {
                 scope.spawn(move |_| {
+                    let (counts, outliers) = outcome;
+                    // tidy:kernel-hot-loop — per-point scoring
                     for (p, slot) in part.iter().zip(slots.iter_mut()) {
-                        *slot = self.label_point(p, sim);
+                        let label = self.label_point(p, sim);
+                        match label {
+                            Some(c) => counts[c] += 1,
+                            None => *outliers += 1,
+                        }
+                        *slot = label;
                     }
+                    // tidy:end-kernel-hot-loop
                 });
             }
         });
-        self.collect(assignments.into_iter())
+        crate::perf::count_sim_evals(data.len() as u64 * set_points as u64);
+        // Single merge of the thread-local buffers: addition is
+        // commutative and each point lands in exactly one chunk, so the
+        // totals equal the sequential tally.
+        let mut cluster_counts = vec![0usize; self.sets.len()];
+        let mut num_outliers = 0usize;
+        for (counts, outliers) in &outcomes {
+            for (total, c) in cluster_counts.iter_mut().zip(counts) {
+                *total += c;
+            }
+            num_outliers += outliers;
+        }
+        Labeling {
+            assignments,
+            cluster_counts,
+            num_outliers,
+        }
     }
 
     /// Like [`Labeler::label_all_parallel`], but governed: labels `data`
@@ -440,6 +492,35 @@ mod tests {
         for threads in [1, 2, 5] {
             let par = labeler.label_all_parallel(&data, &Jaccard, threads);
             assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cost_based_cutoff_parallelises_small_data_over_big_sets() {
+        // 200 points × 600 set points = 120k score evaluations — well
+        // past the cost cutoff even though the old `len < 1024` bailout
+        // would have forced this serial.
+        let sample: Vec<Transaction> = (0..600u32)
+            .map(|i| {
+                let base = if i < 300 { 0 } else { 100 };
+                Transaction::from([base + i % 7, base + i % 11 + 20, base + i % 13 + 40])
+            })
+            .collect();
+        let clusters = vec![(0..300).collect(), (300..600).collect()];
+        let labeler = Labeler::full(&sample, &clusters, 0.2, 1.0 / 3.0);
+        let data: Vec<Transaction> = (0..200u32)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0 } else { 100 };
+                Transaction::from([base + i % 7, base + i % 11 + 20])
+            })
+            .collect();
+        let serial = labeler.label_all(&data, &Jaccard);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                labeler.label_all_parallel(&data, &Jaccard, threads),
+                serial,
+                "threads={threads}"
+            );
         }
     }
 

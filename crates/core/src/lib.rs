@@ -60,6 +60,7 @@
 //! | [`sampling`] | §4.6 | Vitter reservoir sampling (Algorithms R and X) |
 //! | [`labeling`] | §4.6 | assigning disk-resident points to sample clusters |
 //! | [`rock`] | Fig. 2 | builder-configured end-to-end driver |
+//! | [`perf`] | — | phase-scoped kernel counters (pairs, bytes, sims, allocations) |
 //! | [`report`] | — | structured [`RunReport`] for graceful-degradation visibility |
 //! | [`governor`] | — | cancellation tokens, deadlines, memory budgets, degradation policies |
 //! | [`wal`] | — | crash-safe merge write-ahead log with bit-identical resume |
@@ -111,6 +112,7 @@ pub mod links;
 pub mod links_l3;
 pub mod links_matrix;
 pub mod neighbors;
+pub mod perf;
 pub mod points;
 pub mod report;
 pub mod rock;
@@ -143,8 +145,9 @@ pub use links::{
 pub use links_l3::{combine_links, compute_links_l3, compute_links_l3_parallel};
 pub use links_matrix::{LinkKernel, LinkMatrix};
 pub use neighbors::NeighborGraph;
+pub use perf::PerfCounters;
 pub use points::{CategoricalRecord, CategoricalSchema, ItemCatalog, Transaction};
-pub use report::{PhaseTiming, QuarantinedRecord, RunReport};
+pub use report::{PhasePerf, PhaseTiming, QuarantinedRecord, RunReport};
 pub use rock::{Rock, RockBuilder, RockConfig, RockResult};
 pub use serve::{
     load_artifact_with_retry, AssignService, Centroid, RetryPolicy, ServeBatch, ServeConfig,

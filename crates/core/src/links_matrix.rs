@@ -12,14 +12,19 @@
 //! Two construction kernels are provided, selected by [`LinkMatrix::compute_auto`]:
 //!
 //! * [`LinkMatrix::compute_sparse`] — Fig. 4 reformulated as a pair
-//!   stream: every point emits one `(j, l)` pair per pair of its
-//!   neighbors; points are sharded across workers (balanced by the
-//!   per-point `mᵢ²` cost), each worker counting-sorts its own stream
-//!   (histogram by smaller endpoint, scatter, dense per-segment count),
-//!   and the per-shard `(key, count)` runs are k-way merged with counts
-//!   summed. The multiset of emitted pairs — and therefore the merged,
-//!   sorted result — is independent of the shard boundaries, so output
-//!   is **bit-identical for every thread count**.
+//!   stream sharded by **smaller endpoint**: a global O(Σmᵢ) histogram
+//!   prices every CSR row by its emitted-pair count, contiguous row
+//!   ranges of equal pair mass are handed to workers, and each worker
+//!   counting-sorts exactly the pairs whose smaller endpoint falls in
+//!   its range (histogram segment, scatter, dense per-segment count).
+//!   Because the key space `pack(j, l)` is ordered by smaller endpoint
+//!   first, the per-shard sorted runs occupy *disjoint, ascending key
+//!   ranges*: the final CSR is assembled by scanning the runs in shard
+//!   order with **no merge step and no cross-shard count summing**. The
+//!   pair multiset owned by each row is independent of where the shard
+//!   boundaries fall, so output is **bit-identical for every thread
+//!   count and every shard split** (proptest-pinned in
+//!   `tests/kernel_invariance.rs`).
 //! * [`LinkMatrix::compute_dense`] — §4.4's boolean `A²` over bit-packed
 //!   adjacency rows: worker `t` owns a block of rows and computes
 //!   `popcount(rowᵢ & rowⱼ)` for `j > i`, writing into its own block, so
@@ -28,9 +33,11 @@
 //! See DESIGN.md §"Performance model" for layout diagrams and the
 //! measured crossover between the kernels.
 
+use std::ops::Range;
+
 use crate::links::LinkTable;
 use crate::neighbors::NeighborGraph;
-use crate::util::BitSet;
+use crate::util::{balanced_ranges, BitSet};
 
 /// Which link-construction kernel to run (see
 /// [`LinkMatrix::choose_kernel`]).
@@ -128,7 +135,7 @@ impl LinkMatrix {
             .map(|((i, j), c)| (pack(i, j), c))
             .collect();
         pairs.sort_unstable_by_key(|&(key, _)| key);
-        Self::assemble(table.num_points(), &pairs)
+        Self::assemble_runs(table.num_points(), std::slice::from_ref(&pairs))
     }
 
     /// Approximate heap footprint in bytes (for the auto heuristic and
@@ -139,76 +146,122 @@ impl LinkMatrix {
             + self.counts.len() * 4
     }
 
-    /// Fig. 4 via the sharded pair-stream kernel. `threads == 1` runs the
-    /// same kernel on one shard; output is identical for every `threads`.
+    /// Pairs whose smaller endpoint is `j`, over the whole graph.
     ///
-    /// Each worker counting-sorts its shard's pair stream instead of
-    /// comparison-sorting it: a histogram over the smaller endpoint `j`
-    /// (O(Σmᵢ), exploiting that point `i`'s ascending neighbor list
-    /// contributes `mᵢ−1−a` pairs with smaller endpoint `nbrs[a]`), a
-    /// linear scatter of the larger endpoints into per-`j` segments, then
-    /// a dense per-segment count. O(pairs) total, vs O(pairs·log pairs)
-    /// for a sort — the difference that makes this kernel beat the
-    /// hashmap reference instead of losing to it.
+    /// Point `i`'s ascending neighbor list contributes `mᵢ−1−a` pairs
+    /// with smaller endpoint `nbrs[a]`, so one O(Σmᵢ) sweep prices every
+    /// CSR row before any pair is materialised. This histogram is both
+    /// the shard balancer (mass = emitted pairs) and each worker's
+    /// segment layout.
+    fn smaller_endpoint_histogram(graph: &NeighborGraph) -> Vec<usize> {
+        let n = graph.len();
+        let mut hist = vec![0usize; n];
+        for i in 0..n {
+            let nbrs = graph.neighbors(i);
+            let m = nbrs.len();
+            for (a, &j) in nbrs.iter().enumerate() {
+                hist[j as usize] += m - 1 - a;
+            }
+        }
+        hist
+    }
+
+    /// Fig. 4 via the range-sharded pair-stream kernel. `threads == 1`
+    /// runs the same kernel on one shard; output is identical for every
+    /// `threads`.
+    ///
+    /// Work is sharded by *smaller endpoint*: shard boundaries balance
+    /// emitted-pair mass (not row count — a shard of a few hub rows can
+    /// weigh as much as thousands of sparse rows), and each worker owns
+    /// a contiguous CSR row range whose sorted `(key, count)` run it
+    /// writes outright. Runs occupy disjoint ascending key ranges, so
+    /// assembly is a concatenated scan with no merge step.
     ///
     /// # Panics
     /// Panics if `threads == 0`.
     pub fn compute_sparse(graph: &NeighborGraph, threads: usize) -> Self {
         assert!(threads > 0, "need at least one thread");
-        let n = graph.len();
-        // Per-point pair emission cost mᵢ·(mᵢ−1)/2 drives the shard
-        // boundaries so workers finish together even when a few hub
-        // points dominate (the mushroom data set's species cliques).
-        let cost = |i: usize| {
-            let m = graph.degree(i) as u64;
-            m * m.saturating_sub(1) / 2
-        };
-        let shards = balanced_ranges(n, threads, cost);
+        let hist = Self::smaller_endpoint_histogram(graph);
+        let shards = balanced_ranges(graph.len(), threads, |j| hist[j] as u64);
+        Self::compute_sparse_on(graph, &hist, &shards)
+    }
 
-        let mut per_shard: Vec<Vec<(u64, u32)>> = Vec::with_capacity(shards.len());
-        per_shard.resize_with(shards.len(), Vec::new);
+    /// Runs the sparse kernel over an explicit shard split — the test
+    /// seam for adversarial shard-boundary invariance. `shards` must
+    /// partition `0..graph.len()` into contiguous, non-overlapping,
+    /// ascending ranges (empty ranges are allowed).
+    #[doc(hidden)]
+    pub fn compute_sparse_ranges(graph: &NeighborGraph, shards: &[Range<usize>]) -> Self {
+        let hist = Self::smaller_endpoint_histogram(graph);
+        Self::compute_sparse_on(graph, &hist, shards)
+    }
+
+    /// The sharded counting-sort body shared by
+    /// [`Self::compute_sparse`] and [`Self::compute_sparse_ranges`].
+    ///
+    /// Each worker counting-sorts exactly the pairs whose smaller
+    /// endpoint falls in its row range: a per-`j` segment layout read
+    /// off the global histogram, a linear scatter of larger endpoints
+    /// (neighbor lists are ascending ⇒ `(j, l)` is already the
+    /// normalised pair), then a dense per-segment count into the
+    /// shard's sorted run. O(pairs) total, vs O(pairs·log pairs) for a
+    /// sort — the difference that makes this kernel beat the hashmap
+    /// reference instead of losing to it.
+    fn compute_sparse_on(
+        graph: &NeighborGraph,
+        hist: &[usize],
+        shards: &[Range<usize>],
+    ) -> Self {
+        let n = graph.len();
+        debug_assert_eq!(shards.iter().map(|r| r.len()).sum::<usize>(), n);
+        debug_assert!(shards.windows(2).all(|w| w[0].end == w[1].start));
+
+        let mut runs: Vec<Vec<(u64, u32)>> = Vec::with_capacity(shards.len());
+        runs.resize_with(shards.len(), Vec::new);
         rayon::scope(|scope| {
-            for (range, out) in shards.iter().zip(per_shard.iter_mut()) {
-                let range = range.clone();
+            for (range, out) in shards.iter().zip(runs.iter_mut()) {
+                let (lo, hi) = (range.start, range.end);
+                if lo == hi {
+                    continue;
+                }
                 scope.spawn(move |_| {
-                    // Histogram: pairs whose smaller endpoint is j.
-                    let mut offsets = vec![0usize; n + 1];
-                    for i in range.clone() {
-                        let nbrs = graph.neighbors(i);
-                        let m = nbrs.len();
-                        for (a, &j) in nbrs.iter().enumerate() {
-                            offsets[j as usize + 1] += m - 1 - a;
-                        }
+                    // Segment offsets for this shard's rows, straight
+                    // from the global histogram.
+                    let mut seg = vec![0usize; hi - lo + 1];
+                    for j in lo..hi {
+                        seg[j - lo + 1] = seg[j - lo] + hist[j];
                     }
-                    for j in 0..n {
-                        offsets[j + 1] += offsets[j];
-                    }
-                    // Scatter the larger endpoints into per-j segments.
-                    // Neighbor lists are ascending ⇒ (j, l) is already the
-                    // normalised (min, max) pair.
-                    let mut data = vec![0u32; offsets[n]];
-                    let mut cursor: Vec<usize> = offsets[..n].to_vec();
-                    for i in range {
+                    let mut data = vec![0u32; seg[hi - lo]];
+                    let mut cursor: Vec<usize> = seg[..hi - lo].to_vec();
+                    // tidy:kernel-hot-loop — scatter larger endpoints into per-row segments
+                    for i in 0..n {
                         let nbrs = graph.neighbors(i);
-                        for (a, &j) in nbrs.iter().enumerate() {
-                            let mut c = cursor[j as usize];
+                        let a0 = nbrs.partition_point(|&x| (x as usize) < lo);
+                        let a1 = a0 + nbrs[a0..].partition_point(|&x| (x as usize) < hi);
+                        for a in a0..a1 {
+                            let j = nbrs[a] as usize;
+                            let mut c = cursor[j - lo];
                             for &l in &nbrs[a + 1..] {
                                 data[c] = l;
                                 c += 1;
                             }
-                            cursor[j as usize] = c;
+                            cursor[j - lo] = c;
                         }
                     }
-                    // Dense count per segment → sorted (key, count) runs.
+                    // tidy:end-kernel-hot-loop
+                    // Dense count per segment → this shard's sorted run
+                    // over its disjoint slice of the key space. Scratch
+                    // is allocated once per worker, outside the loop.
                     let mut scratch = vec![0u32; n];
                     let mut partners: Vec<u32> = Vec::new();
                     let mut pairs: Vec<(u64, u32)> = Vec::new();
-                    for j in 0..n {
-                        let seg = &data[offsets[j]..offsets[j + 1]];
-                        if seg.is_empty() {
+                    // tidy:kernel-hot-loop — per-segment dense count
+                    for j in lo..hi {
+                        let segment = &data[seg[j - lo]..seg[j - lo + 1]];
+                        if segment.is_empty() {
                             continue;
                         }
-                        for &l in seg {
+                        for &l in segment {
                             if scratch[l as usize] == 0 {
                                 partners.push(l);
                             }
@@ -221,13 +274,17 @@ impl LinkMatrix {
                         }
                         partners.clear();
                     }
+                    // tidy:end-kernel-hot-loop
                     *out = pairs;
                 });
             }
         });
 
-        let pairs = merge_counts(per_shard);
-        Self::assemble(n, &pairs)
+        let emitted: usize = hist.iter().sum();
+        crate::perf::count_pairs_emitted(emitted as u64);
+        let matrix = Self::assemble_runs(n, &runs);
+        crate::perf::count_bytes_touched((emitted * 4 + matrix.memory_bytes()) as u64);
+        matrix
     }
 
     /// §4.4's boolean matrix square over bit-packed rows, blocked across
@@ -280,7 +337,8 @@ impl LinkMatrix {
                 row.iter().map(move |&(j, c)| (pack(i as u32, j), c))
             })
             .collect();
-        Self::assemble(n, &pairs)
+        crate::perf::count_bytes_touched((n * n / 8) as u64);
+        Self::assemble_runs(n, std::slice::from_ref(&pairs))
     }
 
     /// Chooses between the sparse and dense kernels by estimated cost.
@@ -344,11 +402,17 @@ impl LinkMatrix {
         }
     }
 
-    /// Builds the symmetric CSR from upper-triangle pairs sorted
-    /// ascending by packed `(i, j)` key.
-    fn assemble(n: usize, pairs: &[(u64, u32)]) -> Self {
+    /// Builds the symmetric CSR from upper-triangle `(packed key, count)`
+    /// runs whose concatenation is ascending and duplicate-free — the
+    /// shape the range-sharded kernel produces (each run owns a disjoint
+    /// slice of the key space), and trivially also a single sorted run.
+    fn assemble_runs(n: usize, runs: &[Vec<(u64, u32)>]) -> Self {
+        debug_assert!({
+            let keys: Vec<u64> = runs.iter().flatten().map(|&(k, _)| k).collect();
+            keys.windows(2).all(|w| w[0] < w[1])
+        });
         let mut degree = vec![0usize; n];
-        for &(key, _) in pairs {
+        for &(key, _) in runs.iter().flatten() {
             let (i, j) = unpack(key);
             degree[i as usize] += 1;
             degree[j as usize] += 1;
@@ -366,7 +430,7 @@ impl LinkMatrix {
         // (h, r), ascending h), then partners j > r (from pairs (r, j),
         // ascending j) — all lower-partner pairs sort before any
         // upper-partner pair of the same row.
-        for &(key, c) in pairs {
+        for &(key, c) in runs.iter().flatten() {
             let (i, j) = unpack(key);
             cols[cursor[i as usize]] = j;
             counts[cursor[i as usize]] = c;
@@ -395,71 +459,6 @@ fn pack(i: u32, j: u32) -> u64 {
 #[inline]
 fn unpack(key: u64) -> (u32, u32) {
     ((key >> 32) as u32, key as u32)
-}
-
-/// Splits `0..n` into at most `threads` contiguous ranges of roughly
-/// equal total `cost`. Never returns an empty range; returns fewer
-/// ranges when `n < threads` or the cost mass is concentrated.
-fn balanced_ranges(n: usize, threads: usize, cost: impl Fn(usize) -> u64) -> Vec<std::ops::Range<usize>> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let total: u64 = (0..n).map(&cost).sum();
-    let target = total / threads as u64 + 1;
-    let mut ranges = Vec::with_capacity(threads);
-    let mut start = 0;
-    let mut acc = 0u64;
-    for i in 0..n {
-        acc += cost(i);
-        let remaining_shards = threads - ranges.len();
-        if acc >= target && remaining_shards > 1 && i + 1 < n {
-            ranges.push(start..i + 1);
-            start = i + 1;
-            acc = 0;
-        }
-        if ranges.len() + 1 == threads {
-            break;
-        }
-    }
-    ranges.push(start..n);
-    ranges
-}
-
-/// K-way merges per-shard sorted `(key, count)` streams, summing the
-/// counts of keys present in several shards. The result depends only on
-/// the union multiset of pairs, not on how shards split it.
-fn merge_counts(mut shards: Vec<Vec<(u64, u32)>>) -> Vec<(u64, u32)> {
-    shards.retain(|s| !s.is_empty());
-    match shards.len() {
-        0 => Vec::new(),
-        // tidy-allow(panic): the match arm guarantees exactly one shard
-        1 => shards.pop().expect("one shard"),
-        _ => {
-            let total: usize = shards.iter().map(Vec::len).sum();
-            let mut out: Vec<(u64, u32)> = Vec::with_capacity(total);
-            let mut heads = vec![0usize; shards.len()];
-            loop {
-                // Linear scan over ≤ threads heads; shard count is small
-                // so this beats a binary heap's bookkeeping.
-                let mut min: Option<(usize, u64)> = None;
-                for (s, shard) in shards.iter().enumerate() {
-                    if let Some(&(key, _)) = shard.get(heads[s]) {
-                        if min.is_none_or(|(_, k)| key < k) {
-                            min = Some((s, key));
-                        }
-                    }
-                }
-                let Some((s, key)) = min else { break };
-                let count = shards[s][heads[s]].1;
-                heads[s] += 1;
-                match out.last_mut() {
-                    Some((k, c)) if *k == key => *c += count,
-                    _ => out.push((key, count)),
-                }
-            }
-            out
-        }
-    }
 }
 
 #[cfg(test)]
@@ -504,6 +503,28 @@ mod tests {
                 LinkMatrix::compute_sparse(&g, threads),
                 one,
                 "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_shard_splits_are_invariant() {
+        let g = pseudo_graph(120, 0.5);
+        let n = g.len();
+        let reference = LinkMatrix::compute_sparse(&g, 1);
+        let splits: Vec<Vec<Range<usize>>> = vec![
+            vec![0..n],
+            vec![0..1, 1..2, 2..n],
+            vec![0..n / 2, n / 2..n],
+            vec![0..0, 0..n, n..n],
+            (0..n).map(|i| i..i + 1).collect(),
+            vec![0..n - 1, n - 1..n],
+        ];
+        for (s, split) in splits.iter().enumerate() {
+            assert_eq!(
+                LinkMatrix::compute_sparse_ranges(&g, split),
+                reference,
+                "split #{s}"
             );
         }
     }
@@ -592,6 +613,10 @@ mod tests {
         let empty = LinkMatrix::new(0);
         assert_eq!(empty.num_points(), 0);
         assert_eq!(empty.iter_upper().count(), 0);
+        assert_eq!(
+            LinkMatrix::compute_sparse_ranges(&NeighborGraph::from_lists(vec![], 0.5), &[]),
+            empty
+        );
 
         let g = NeighborGraph::from_lists(vec![vec![], vec![], vec![]], 0.5);
         let m = LinkMatrix::compute_sparse(&g, 2);
@@ -601,17 +626,16 @@ mod tests {
     }
 
     #[test]
-    fn balanced_ranges_cover_everything() {
-        for (n, threads) in [(10, 3), (1, 8), (100, 1), (7, 7), (5, 16)] {
-            let ranges = balanced_ranges(n, threads, |i| (i as u64 % 5) + 1);
-            assert!(ranges.len() <= threads);
-            assert_eq!(ranges.first().map(|r| r.start), Some(0));
-            assert_eq!(ranges.last().map(|r| r.end), Some(n));
-            for w in ranges.windows(2) {
-                assert_eq!(w[0].end, w[1].start, "gap or overlap");
-            }
-            assert!(ranges.iter().all(|r| !r.is_empty()));
-        }
-        assert!(balanced_ranges(0, 4, |_| 1).is_empty());
+    fn histogram_prices_rows_by_emitted_pairs() {
+        let g = pseudo_graph(60, 0.5);
+        let hist = LinkMatrix::smaller_endpoint_histogram(&g);
+        // Total histogram mass equals the number of neighbor pairs.
+        let expected: usize = (0..g.len())
+            .map(|i| {
+                let m = g.degree(i);
+                m * m.saturating_sub(1) / 2
+            })
+            .sum();
+        assert_eq!(hist.iter().sum::<usize>(), expected);
     }
 }

@@ -8,12 +8,21 @@
 //!
 //! Building the graph is the O(n²) pairwise scan the paper assumes (§4.4:
 //! "the list of neighbors for every point can be computed in O(n²) time").
-//! [`NeighborGraph::build_parallel`] shards rows across rayon scoped
-//! workers; each worker writes its rows in place, so the result is
-//! bit-identical to the sequential scan for every thread count (see
-//! DESIGN.md §"Performance model").
+//! [`NeighborGraph::build_parallel`] shards the *upper triangle* across
+//! rayon scoped workers — each unordered pair is evaluated exactly once,
+//! by the worker owning its smaller endpoint — and the hit edges are
+//! assembled into exact-capacity adjacency lists afterwards. The shard
+//! concatenation reproduces the serial scan's ascending edge order, so
+//! the result is bit-identical to the sequential scan for every thread
+//! count (see DESIGN.md §"Performance model").
 
 use crate::similarity::PairwiseSimilarity;
+use crate::util::balanced_ranges;
+
+/// Below this many pair evaluations the upper-triangle scan completes in
+/// tens of microseconds and thread spawn/join dominates, so
+/// [`NeighborGraph::build_parallel`] falls back to the serial scan.
+const PARALLEL_CUTOFF_PAIRS: u64 = 32 * 1024;
 
 /// The θ-neighbor graph of a point set: `lists[i]` holds the ids of all
 /// points `j ≠ i` with `sim(i, j) ≥ θ`, sorted ascending.
@@ -61,16 +70,22 @@ impl NeighborGraph {
 
     /// Builds the neighbor graph using `threads` rayon workers.
     ///
-    /// Rows are sharded into contiguous blocks, one rayon task per block;
-    /// every worker evaluates the similarity of its rows against all other
-    /// points, so each pair is evaluated twice. This trades ~2× similarity
-    /// evaluations for perfect parallelism and no synchronisation; it wins
-    /// for any non-trivial point count (see `bench/benches/neighbors.rs`).
+    /// The upper triangle is sharded into contiguous row ranges balanced
+    /// by row length (row `i` holds `n−1−i` pairs), one rayon task per
+    /// range; each unordered pair is evaluated **exactly once**, by the
+    /// worker owning its smaller endpoint. Workers append hit edges to a
+    /// single per-worker buffer reused across all their rows; the final
+    /// adjacency lists are then assembled in one degree-count +
+    /// exact-capacity scatter pass with no per-row reallocation. (The
+    /// previous design evaluated every pair twice to avoid
+    /// synchronisation, which could never beat the serial scan by more
+    /// than ~2× and lost to it outright on few cores.)
     ///
-    /// **Determinism:** each worker writes its own rows in place, and a
-    /// row's content (`j` ascending) does not depend on which worker
-    /// produced it or where shard boundaries fall — the result is
-    /// bit-identical to [`NeighborGraph::build`] for every `threads`.
+    /// **Determinism:** the shard buffers concatenate to the serial
+    /// scan's ascending `(i, j)` edge order — for any shard split — so
+    /// every list fills ascending (smaller partners first) and the
+    /// result is bit-identical to [`NeighborGraph::build`] for every
+    /// `threads`.
     ///
     /// # Panics
     /// Panics if `theta ∉ [0, 1]` or `threads == 0`.
@@ -86,26 +101,51 @@ impl NeighborGraph {
         assert!(threads > 0, "need at least one thread");
         let n = sim.len();
         assert!(u32::try_from(n).is_ok(), "too many points");
-        if threads == 1 || n < 256 {
+        let pairs = n as u64 * (n as u64).saturating_sub(1) / 2;
+        if threads == 1 || pairs < PARALLEL_CUTOFF_PAIRS {
             return Self::build(sim, theta);
         }
-        let chunk = n.div_ceil(threads);
-        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let shards = balanced_ranges(n, threads, |i| (n - 1 - i) as u64);
+        let mut edges: Vec<Vec<(u32, u32)>> = Vec::with_capacity(shards.len());
+        edges.resize_with(shards.len(), Vec::new);
         rayon::scope(|scope| {
-            for (t, shard) in lists.chunks_mut(chunk).enumerate() {
-                let lo = t * chunk;
+            for (range, out) in shards.iter().zip(edges.iter_mut()) {
+                let range = range.clone();
                 scope.spawn(move |_| {
-                    for (offset, row) in shard.iter_mut().enumerate() {
-                        let i = lo + offset;
-                        for j in 0..n {
-                            if j != i && sim.sim(i, j) >= theta {
-                                row.push(j as u32);
+                    // One hit buffer per worker, reused across its rows.
+                    let mut hits: Vec<(u32, u32)> = Vec::new();
+                    // tidy:kernel-hot-loop — upper-triangle similarity scan
+                    for i in range {
+                        for j in (i + 1)..n {
+                            if sim.sim(i, j) >= theta {
+                                hits.push((i as u32, j as u32));
                             }
                         }
                     }
+                    // tidy:end-kernel-hot-loop
+                    *out = hits;
                 });
             }
         });
+        crate::perf::count_sim_evals(pairs);
+        // Exact-capacity assembly. Scanning edges in ascending (i, j)
+        // order fills each list ascending: row r first receives its
+        // smaller partners h (from edges (h, r), ascending h), then its
+        // larger partners j (from edges (r, j), ascending j).
+        let mut degree = vec![0usize; n];
+        for &(i, j) in edges.iter().flatten() {
+            degree[i as usize] += 1;
+            degree[j as usize] += 1;
+        }
+        let mut lists: Vec<Vec<u32>> =
+            degree.iter().map(|&d| Vec::with_capacity(d)).collect();
+        for &(i, j) in edges.iter().flatten() {
+            lists[i as usize].push(j);
+            lists[j as usize].push(i);
+        }
+        debug_assert!(lists
+            .iter()
+            .all(|l| l.windows(2).all(|w| w[0] < w[1])));
         NeighborGraph { lists, theta }
     }
 
@@ -314,6 +354,32 @@ mod tests {
             let par = NeighborGraph::build_parallel(&m, 0.7, threads);
             assert_eq!(par, serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn parallel_evaluates_each_pair_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct Counting(SimilarityMatrix, AtomicU64);
+        impl PairwiseSimilarity for Counting {
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn sim(&self, i: usize, j: usize) -> f64 {
+                self.1.fetch_add(1, Ordering::Relaxed);
+                self.0.sim(i, j)
+            }
+        }
+        let n = 300;
+        let m = SimilarityMatrix::from_fn(n, |i, j| {
+            ((i * j).wrapping_mul(2654435761) % 1000) as f64 / 1000.0
+        });
+        let counting = Counting(m, AtomicU64::new(0));
+        let _ = NeighborGraph::build_parallel(&counting, 0.5, 4);
+        assert_eq!(
+            counting.1.load(Ordering::Relaxed),
+            (n as u64) * (n as u64 - 1) / 2,
+            "each unordered pair must be evaluated exactly once"
+        );
     }
 
     #[test]

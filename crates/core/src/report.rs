@@ -10,6 +10,7 @@
 //! `rock_data::resilient::label_stream_resilient`.
 
 use crate::governor::{DegradationNote, Phase, TripReason};
+use crate::perf::PerfCounters;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -59,6 +60,22 @@ pub struct PhaseTiming {
     pub duration: Duration,
 }
 
+/// Work counters attributed to one pipeline phase.
+///
+/// Unlike [`PhaseTiming`] these are *work* measurements, not time:
+/// pairs emitted, bytes touched, similarity evaluations (see
+/// [`crate::perf`]). They are deterministic for a given input — the
+/// same run produces the same counters at every thread count — so they
+/// are safe to persist and compare across hosts, where wall-clock
+/// numbers are not.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhasePerf {
+    /// Phase name (`"sample"`, `"cluster"`, `"label"`, …).
+    pub name: String,
+    /// Counter deltas attributed to this phase.
+    pub counters: PerfCounters,
+}
+
 /// Structured account of a run: what was read, what was tolerated, and
 /// where the time went.
 ///
@@ -89,6 +106,10 @@ pub struct RunReport {
     pub resumed_from_offset: Option<u64>,
     /// Per-phase wall-clock timings, in execution order.
     pub phases: Vec<PhaseTiming>,
+    /// Per-phase work counters, in execution order. Only phases that
+    /// did counted work appear; zero deltas are skipped by
+    /// [`RunReport::record_phase_perf`].
+    pub phase_perf: Vec<PhasePerf>,
     /// Provenance of a graceful degradation, if one fired: which
     /// [`crate::governor::DegradationPolicy`] was applied, in which
     /// phase, and why (see [`crate::rock::RockBuilder::degradation`]).
@@ -112,6 +133,30 @@ impl RunReport {
             name: name.to_string(),
             duration,
         });
+    }
+
+    /// Appends a phase's work-counter delta, unless it is all zeros.
+    ///
+    /// Callers snapshot [`crate::perf::snapshot`] before the phase and
+    /// pass `after.since(&before)`; a phase that touched no counted
+    /// kernel leaves no entry, keeping reports for non-ROCK models
+    /// (and their persisted artifacts) byte-identical to before.
+    pub fn record_phase_perf(&mut self, name: &str, counters: PerfCounters) {
+        if counters.is_zero() {
+            return;
+        }
+        self.phase_perf.push(PhasePerf {
+            name: name.to_string(),
+            counters,
+        });
+    }
+
+    /// The recorded work counters of phase `name`, if present.
+    pub fn phase_counters(&self, name: &str) -> Option<PerfCounters> {
+        self.phase_perf
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.counters)
     }
 
     /// The recorded duration of phase `name`, if present.
@@ -181,6 +226,9 @@ impl fmt::Display for RunReport {
             }
             writeln!(f)?;
         }
+        for p in &self.phase_perf {
+            writeln!(f, "  perf: {} [{}]", p.name, p.counters)?;
+        }
         if let Some(note) = &self.degraded {
             writeln!(f, "  degraded: {note}")?;
         }
@@ -217,6 +265,25 @@ mod tests {
         assert_eq!(r.phase_duration("cluster"), Some(Duration::from_millis(5)));
         assert_eq!(r.phase_duration("label"), None);
         assert_eq!(r.total_duration(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn phase_perf_skips_zero_deltas_and_displays_nonzero() {
+        let mut r = RunReport::new();
+        r.record_phase_perf("sample", PerfCounters::default());
+        assert!(r.phase_perf.is_empty(), "zero delta must leave no entry");
+
+        let counters = PerfCounters {
+            pairs_emitted: 12,
+            bytes_touched: 4096,
+            ..PerfCounters::default()
+        };
+        r.record_phase_perf("cluster", counters);
+        assert_eq!(r.phase_counters("cluster"), Some(counters));
+        assert_eq!(r.phase_counters("sample"), None);
+        let s = r.to_string();
+        assert!(s.contains("perf: cluster"), "missing perf line in:\n{s}");
+        assert!(s.contains("pairs=12"), "missing counter in:\n{s}");
     }
 
     #[test]

@@ -567,8 +567,9 @@ impl Rock {
 
     /// The full Fig.-2 pipeline with the robustness guarantees of the
     /// checked entry points, plus a structured [`RunReport`] (per-phase
-    /// wall-clock timings, degradation/interruption outcome, outlier
-    /// count) alongside the results.
+    /// wall-clock timings and [`crate::perf`] work counters,
+    /// degradation/interruption outcome, outlier count) alongside the
+    /// results.
     ///
     /// The run is *governed*: the builder's deadline, memory budget and
     /// cancellation token are checked at every phase boundary, every
@@ -745,6 +746,14 @@ mod tests {
         let phases: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(phases, vec!["sample", "cluster", "label"]);
         assert!(!report.degraded());
+        // The cluster phase ran the link kernel, so its perf delta is
+        // attributed in the report. (Lower-bound only: the counters are
+        // process-global and concurrent tests may add to the delta.)
+        let cluster = report
+            .phase_counters("cluster")
+            .expect("cluster phase records work counters");
+        assert!(cluster.pairs_emitted > 0, "no link pairs counted: {cluster}");
+        assert!(cluster.bytes_touched > 0, "no bytes counted: {cluster}");
     }
 
     #[test]

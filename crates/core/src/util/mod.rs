@@ -5,10 +5,12 @@ pub mod bitset;
 pub mod crc32;
 pub mod frame;
 pub mod fxhash;
+pub mod ranges;
 pub mod splitmix;
 
 pub use bitset::BitSet;
 pub use crc32::crc32;
 pub use frame::{append_frame, read_frame, Cursor};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use ranges::balanced_ranges;
 pub use splitmix::{seeded_hit, splitmix64};

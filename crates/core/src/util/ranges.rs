@@ -1,0 +1,77 @@
+//! Cost-balanced contiguous range splitting for sharded kernels.
+
+use std::ops::Range;
+
+/// Splits `0..n` into at most `threads` contiguous ranges of roughly
+/// equal total `cost`. Never returns an empty range; returns fewer
+/// ranges when `n < threads` or the cost mass is concentrated.
+///
+/// Every sharded kernel (sparse links, dense links, parallel neighbor
+/// build) balances its shards with this function, each supplying its own
+/// per-index cost: emitted-pair count for the sparse link kernel,
+/// upper-triangle row length for the dense square and the neighbor
+/// build. The split only affects which worker computes what — kernel
+/// outputs are pinned bit-identical across arbitrary splits by
+/// `tests/kernel_invariance.rs`.
+pub fn balanced_ranges(
+    n: usize,
+    threads: usize,
+    cost: impl Fn(usize) -> u64,
+) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: u64 = (0..n).map(&cost).sum();
+    let target = total / threads as u64 + 1;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0;
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc += cost(i);
+        let remaining_shards = threads - ranges.len();
+        if acc >= target && remaining_shards > 1 && i + 1 < n {
+            ranges.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+        if ranges.len() + 1 == threads {
+            break;
+        }
+    }
+    ranges.push(start..n);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_ranges_cover_everything() {
+        for (n, threads) in [(10, 3), (1, 8), (100, 1), (7, 7), (5, 16)] {
+            let ranges = balanced_ranges(n, threads, |i| (i as u64 % 5) + 1);
+            assert!(ranges.len() <= threads);
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            assert_eq!(ranges.last().map(|r| r.end), Some(n));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap or overlap");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+        assert!(balanced_ranges(0, 4, |_| 1).is_empty());
+    }
+
+    #[test]
+    fn heavy_head_gets_its_own_shard() {
+        // One index carries nearly all the mass: it should not drag the
+        // whole prefix into a single shard.
+        let ranges = balanced_ranges(8, 4, |i| if i == 0 { 1000 } else { 1 });
+        assert_eq!(ranges.first(), Some(&(0..1)));
+        assert_eq!(ranges.last().map(|r| r.end), Some(8));
+    }
+
+    #[test]
+    fn zero_mass_collapses_to_one_range() {
+        assert_eq!(balanced_ranges(5, 3, |_| 0), vec![0..5]);
+    }
+}

@@ -141,16 +141,34 @@ impl PackedBaskets {
     }
 
     /// `|Tᵢ ∩ Tⱼ|` via popcount (bitmap) or sorted merge (fallback).
+    ///
+    /// The bitmap path unrolls to 4-word chunks with four independent
+    /// `u64::count_ones` accumulators: integer addition is associative,
+    /// so the result is the exact count regardless of grouping, while
+    /// the independent chains let the popcounts pipeline instead of
+    /// serialising on one running sum.
     #[inline]
     pub fn intersection_size(&self, i: usize, j: usize) -> usize {
         if !self.bits.is_empty() {
             let w = self.words_per_row;
             let a = &self.bits[i * w..(i + 1) * w];
             let b = &self.bits[j * w..(j + 1) * w];
-            a.iter()
-                .zip(b)
-                .map(|(x, y)| (x & y).count_ones() as usize)
-                .sum()
+            let mut chunks_a = a.chunks_exact(4);
+            let mut chunks_b = b.chunks_exact(4);
+            let (mut c0, mut c1, mut c2, mut c3) = (0u32, 0u32, 0u32, 0u32);
+            // tidy:kernel-hot-loop — popcount intersection
+            for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+                c0 += (ca[0] & cb[0]).count_ones();
+                c1 += (ca[1] & cb[1]).count_ones();
+                c2 += (ca[2] & cb[2]).count_ones();
+                c3 += (ca[3] & cb[3]).count_ones();
+            }
+            let mut rest = 0u32;
+            for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+                rest += (x & y).count_ones();
+            }
+            // tidy:end-kernel-hot-loop
+            (c0 + c1 + c2 + c3 + rest) as usize
         } else {
             let (mut a, mut b) = (self.items_of(i), self.items_of(j));
             let mut count = 0;
@@ -251,6 +269,29 @@ mod tests {
             NeighborGraph::build_parallel(&packed, 0.3, 4),
             from_transactions
         );
+    }
+
+    #[test]
+    fn unrolled_popcount_covers_chunks_and_remainder() {
+        // 300 items → words_per_row = 5: one full 4-word chunk plus a
+        // remainder word, exercising both halves of the unrolled loop.
+        let ts: Vec<Transaction> = (0..40)
+            .map(|i: u32| {
+                let items: Vec<u32> = (0..300u32)
+                    .filter(|&x| (x.wrapping_mul(2654435761) ^ i) % 7 < 2)
+                    .collect();
+                Transaction::new(items)
+            })
+            .collect();
+        let packed = PackedBaskets::new(&ts);
+        assert!(packed.uses_bitmap());
+        assert!(packed.num_items() > 4 * 64, "need >4 words per row");
+        let reference = PointsWith::new(&ts, Jaccard);
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                assert_eq!(packed.sim(i, j), reference.sim(i, j), "pair ({i},{j})");
+            }
+        }
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub const ALLOWABLE_RULES: &[&str] = &[
     "unsafe-block",
     "forbid-unsafe",
     "debris",
+    "kernel-alloc",
 ];
 
 /// The crates whose library code must be panic-free / total-ordered.
@@ -552,6 +553,91 @@ pub fn check_debris(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Allocation patterns forbidden inside marked kernel hot loops. Each
+/// entry is `(pattern, what)`.
+const KERNEL_ALLOC_PATTERNS: &[(&str, &str)] = &[
+    ("Vec::new(", "`Vec::new` allocates on first push"),
+    ("vec![", "`vec![...]` allocates"),
+    ("::with_capacity(", "`with_capacity` allocates"),
+    ("HashMap::new(", "`HashMap::new` allocates on first insert"),
+    ("HashMap::default(", "hash-map construction allocates on first insert"),
+    ("HashSet::new(", "`HashSet::new` allocates on first insert"),
+    ("BTreeMap::new(", "`BTreeMap::new` allocates per node"),
+    ("Box::new(", "`Box::new` allocates"),
+    (".to_vec()", "`.to_vec()` allocates a fresh buffer"),
+    (".collect(", "`.collect()` allocates its container"),
+    ("format!(", "`format!` allocates a String"),
+    ("String::new(", "`String::new` allocates on first push"),
+    (".to_string()", "`.to_string()` allocates"),
+];
+
+/// **kernel-alloc** — per-iteration allocation is how a kernel quietly
+/// loses an order of magnitude: a `Vec::new` inside the scatter loop
+/// turns O(pairs) arithmetic into O(pairs) malloc round-trips. The hot
+/// loops of the checked libraries are delimited with marker comments
+///
+/// ```text
+/// // tidy:kernel-hot-loop — <what this loop does>
+///     ...the loop body: no allocation allowed...
+/// // tidy:end-kernel-hot-loop
+/// ```
+///
+/// and inside a region every allocating construction
+/// ([`KERNEL_ALLOC_PATTERNS`]) is a violation unless it carries a
+/// `tidy-allow(kernel-alloc)` annotation stating why the allocation is
+/// amortised (e.g. runs once per shard, not once per element). Scratch
+/// buffers belong *above* the marker; the bench harness's counting
+/// allocator measures the same invariant dynamically. An opened region
+/// that is never closed is itself a violation, so a deleted end marker
+/// cannot silently disable the rule for the rest of the file.
+pub fn check_kernel_alloc(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.kind != FileKind::Lib || !CHECKED_LIBS.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    let mut open_at: Option<usize> = None;
+    for (i, line) in file.lines.iter().enumerate() {
+        let comment = line.comment.trim_start();
+        if comment.starts_with("tidy:end-kernel-hot-loop") {
+            open_at = None;
+            continue;
+        }
+        if comment.starts_with("tidy:kernel-hot-loop") {
+            open_at = Some(i);
+            continue;
+        }
+        if open_at.is_none() || file.in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if let Some(&(pat, what)) = KERNEL_ALLOC_PATTERNS
+            .iter()
+            .find(|(p, _)| line.code.contains(p))
+        {
+            if !allowed(file, i, "kernel-alloc") {
+                out.push(diag(
+                    file,
+                    i,
+                    "kernel-alloc",
+                    format!(
+                        "{what} inside a kernel hot loop (`{pat}…`): hoist the buffer \
+                         above the tidy:kernel-hot-loop marker or add \
+                         `// tidy-allow(kernel-alloc): <why this is amortised>`"
+                    ),
+                ));
+            }
+        }
+    }
+    if let Some(at) = open_at {
+        out.push(diag(
+            file,
+            at,
+            "kernel-alloc",
+            "tidy:kernel-hot-loop region is never closed: add \
+             `// tidy:end-kernel-hot-loop` after the loop body"
+                .to_string(),
+        ));
+    }
+}
+
 /// **shim-doc** — each vendored shim must document, in its crate-level
 /// doc comment, that it is an offline stand-in and which API subset it
 /// carries; otherwise a future reader mistakes it for the real crate.
@@ -590,6 +676,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     check_float_ordering(file, &mut out);
     check_nondeterministic_iter(file, &mut out);
     check_engine_contract(file, &mut out);
+    check_kernel_alloc(file, &mut out);
     check_unsafe(file, &mut out);
     check_forbid_unsafe(file, &mut out);
     check_debris(file, &mut out);

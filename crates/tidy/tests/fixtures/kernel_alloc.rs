@@ -1,0 +1,13 @@
+//! Fixture: seeds exactly one `kernel-alloc` violation (a per-iteration
+//! Vec construction inside a marked kernel hot-loop region).
+
+pub fn scatter(rows: &[Vec<u32>]) -> usize {
+    let mut total = 0;
+    // tidy:kernel-hot-loop — per-row scatter
+    for row in rows {
+        let copy = row.to_vec();
+        total += copy.len();
+    }
+    // tidy:end-kernel-hot-loop
+    total
+}

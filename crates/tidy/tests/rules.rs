@@ -111,6 +111,58 @@ fn fixture_bad_annotation() {
 }
 
 #[test]
+fn fixture_kernel_alloc() {
+    assert_single(&scan_as_core_lib("kernel_alloc.rs"), "kernel-alloc", 8);
+}
+
+#[test]
+fn kernel_alloc_ignores_code_outside_regions_and_honours_allow() {
+    // Allocation outside any marked region is not the rule's business.
+    let outside = "pub fn f(rows: &[Vec<u32>]) -> Vec<u32> {\n    \
+                   rows.concat().to_vec()\n}\n";
+    let file = load_source(
+        "crates/core/src/fixture.rs",
+        FileKind::Lib,
+        "core".to_string(),
+        outside,
+    );
+    assert!(check_file(&file).is_empty());
+
+    // Inside a region, a reasoned tidy-allow exempts the site.
+    let allowed = "pub fn f(rows: &[Vec<u32>]) -> usize {\n    \
+                   let mut total = 0;\n    \
+                   // tidy:kernel-hot-loop — per-shard walk\n    \
+                   for row in rows {\n        \
+                   // tidy-allow(kernel-alloc): one buffer per shard, not per element\n        \
+                   let copy = row.to_vec();\n        \
+                   total += copy.len();\n    \
+                   }\n    \
+                   // tidy:end-kernel-hot-loop\n    \
+                   total\n}\n";
+    let file = load_source(
+        "crates/core/src/fixture.rs",
+        FileKind::Lib,
+        "core".to_string(),
+        allowed,
+    );
+    assert!(check_file(&file).is_empty());
+}
+
+#[test]
+fn kernel_alloc_unclosed_region_is_a_violation() {
+    let src = "pub fn f() {\n    \
+               // tidy:kernel-hot-loop — forgot the end marker\n    \
+               let _x = 1;\n}\n";
+    let file = load_source(
+        "crates/core/src/fixture.rs",
+        FileKind::Lib,
+        "core".to_string(),
+        src,
+    );
+    assert_single(&check_file(&file), "kernel-alloc", 2);
+}
+
+#[test]
 fn forbid_unsafe_fires_on_bare_lib_root() {
     // Any lib.rs without the attribute violates; reuse a fixture body.
     let file = load_source(

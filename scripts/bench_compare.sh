@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Diffs two BENCH_*.json snapshots with per-id mean/p99 deltas.
+#
+# Usage:
+#   scripts/bench_compare.sh <before.json> <after.json> [--threshold <pct>] [--strict]
+#
+# Thin wrapper over the bench_compare binary (crates/bench/src/bin).
+# Default threshold is 10%; regressions beyond it are flagged in the
+# output but only fail the process with --strict. CI runs this without
+# --strict as a non-blocking report step — wall-clock deltas measured on
+# shared runners are advisory. Records marked oversubscribed (threads >
+# snapshot host's CPUs) are excluded from regression counting.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run --release -q -p bench --bin bench_compare -- "$@"

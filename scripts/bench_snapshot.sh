@@ -13,9 +13,13 @@
 # host metadata into a single checked-in snapshot. Read it via DESIGN.md,
 # "Performance model": compare <group>/seq against <group>/par<N> means
 # on a host with >= N cores; host_cpus below records how many cores the
-# snapshot machine actually had. The serve_assign/single_query record's
-# p99_ns is the tail per-query assign latency through a reloaded
-# artifact (DESIGN.md §11).
+# snapshot machine actually had, and every parallel record carries its
+# own "threads" count plus "oversubscribed":true when threads exceeded
+# host_cpus — those records measure scheduler behaviour, not kernel
+# scaling, and scripts/bench_compare.sh excludes them from regression
+# counting. Set BENCH_SKIP_OVERSUBSCRIBED=1 to drop them entirely. The
+# serve_assign/single_query record's p99_ns is the tail per-query assign
+# latency through a reloaded artifact (DESIGN.md §11).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,4 +56,8 @@ records="$(paste -sd, - <"$tmp")"
     printf '}\n'
 } >"$out"
 
-echo "bench_snapshot: wrote $(grep -c '"id"' "$out") records to $out"
+cpus="$(nproc 2>/dev/null || echo 1)"
+echo "bench_snapshot: wrote $(grep -c '"id"' "$out") records to $out (host_cpus=$cpus)"
+if grep -q '"oversubscribed":true' "$out"; then
+    echo "bench_snapshot: WARNING: $(grep -c '"oversubscribed":true' "$out") records ran more threads than the $cpus host cpu(s) — their timings measure oversubscription, not scaling" >&2
+fi

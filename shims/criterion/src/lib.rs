@@ -16,6 +16,16 @@
 //! (matching `cargo bench -- <filter>`); `--bench`/`--test` and other
 //! flags cargo forwards are ignored. `BENCH_SAMPLE_SIZE` overrides the
 //! configured sample count (CI smoke runs set it to 1).
+//!
+//! ## Thread-count honesty
+//!
+//! A benchmark may declare how many worker threads it spawns via
+//! [`BenchmarkId::threads`]. When the declared count exceeds the host's
+//! available parallelism the harness marks the record **oversubscribed**
+//! — on stdout and as `"oversubscribed":true` in the JSON record — so a
+//! 2-thread "speedup" measured on a 1-CPU box is never mistaken for a
+//! real scaling datum. Set `BENCH_SKIP_OVERSUBSCRIBED=1` to skip such
+//! benchmarks entirely instead of marking them.
 
 #![forbid(unsafe_code)]
 
@@ -27,6 +37,7 @@ use std::time::{Duration, Instant};
 /// Identifier for one benchmark within a group.
 pub struct BenchmarkId {
     id: String,
+    threads: Option<usize>,
 }
 
 impl BenchmarkId {
@@ -34,6 +45,7 @@ impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
         BenchmarkId {
             id: format!("{}/{}", function_name.into(), parameter),
+            threads: None,
         }
     }
 
@@ -41,19 +53,33 @@ impl BenchmarkId {
     pub fn from_parameter(parameter: impl Display) -> Self {
         BenchmarkId {
             id: parameter.to_string(),
+            threads: None,
         }
+    }
+
+    /// Declares the number of worker threads this benchmark spawns
+    /// (shim extension; upstream criterion has no equivalent). The
+    /// harness compares it against the host's available parallelism to
+    /// mark or skip oversubscribed runs.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { id: s.to_string() }
+        BenchmarkId {
+            id: s.to_string(),
+            threads: None,
+        }
     }
 }
 
 impl From<String> for BenchmarkId {
     fn from(id: String) -> Self {
-        BenchmarkId { id }
+        BenchmarkId { id, threads: None }
     }
 }
 
@@ -85,6 +111,21 @@ struct Record {
     max_ns: f64,
     p99_ns: f64,
     samples: usize,
+    threads: Option<usize>,
+    oversubscribed: bool,
+}
+
+/// Worker threads the host can actually run in parallel.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Whether `BENCH_SKIP_OVERSUBSCRIBED` asks the harness to drop (rather
+/// than mark) benchmarks whose thread count exceeds the host's CPUs.
+fn skip_oversubscribed() -> bool {
+    std::env::var("BENCH_SKIP_OVERSUBSCRIBED")
+        .map(|v| !v.trim().is_empty() && v.trim() != "0")
+        .unwrap_or(false)
 }
 
 /// Nearest-rank p99 over the sample durations (equals the max for
@@ -144,8 +185,17 @@ impl Criterion {
         self.filter.as_deref().is_none_or(|f| id.contains(f))
     }
 
-    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+    fn run_one(&mut self, id: String, threads: Option<usize>, f: impl FnOnce(&mut Bencher)) {
         if !self.matches(&id) {
+            return;
+        }
+        let oversubscribed = threads.is_some_and(|t| t > host_cpus());
+        if oversubscribed && skip_oversubscribed() {
+            println!(
+                "bench {id:<60} SKIPPED (oversubscribed: {} threads > {} host cpus)",
+                threads.unwrap_or(0),
+                host_cpus()
+            );
             return;
         }
         let mut bencher = Bencher {
@@ -168,27 +218,39 @@ impl Criterion {
             max_ns: ns.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             p99_ns: percentile_99(&ns),
             samples: ns.len(),
+            threads,
+            oversubscribed,
         };
         println!(
-            "bench {:<60} mean {:>12}  min {:>12}  max {:>12}  p99 {:>12}  ({} samples)",
+            "bench {:<60} mean {:>12}  min {:>12}  max {:>12}  p99 {:>12}  ({} samples){}",
             record.id,
             human_time(record.mean_ns),
             human_time(record.min_ns),
             human_time(record.max_ns),
             human_time(record.p99_ns),
-            record.samples
+            record.samples,
+            if record.oversubscribed {
+                "  [OVERSUBSCRIBED]"
+            } else {
+                ""
+            }
         );
         if let Some(path) = &self.json_path {
             if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+                let threads_json = match record.threads {
+                    Some(t) => format!(",\"threads\":{t},\"oversubscribed\":{}", record.oversubscribed),
+                    None => String::new(),
+                };
                 let _ = writeln!(
                     file,
-                    "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"p99_ns\":{:.1},\"samples\":{}}}",
+                    "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"p99_ns\":{:.1},\"samples\":{}{}}}",
                     record.id.replace('"', "'"),
                     record.mean_ns,
                     record.min_ns,
                     record.max_ns,
                     record.p99_ns,
-                    record.samples
+                    record.samples,
+                    threads_json
                 );
             }
         }
@@ -196,7 +258,7 @@ impl Criterion {
 
     /// Runs a standalone benchmark.
     pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
-        self.run_one(id.to_string(), f);
+        self.run_one(id.to_string(), None, f);
         self
     }
 
@@ -248,11 +310,12 @@ impl BenchmarkGroup<'_> {
         id: impl Into<BenchmarkId>,
         f: impl FnOnce(&mut Bencher),
     ) -> &mut Self {
-        let full = format!("{}/{}", self.name, id.into().id);
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
         let samples = self.effective_samples();
         let saved = self.criterion.sample_size;
         self.criterion.sample_size = samples;
-        self.criterion.run_one(full, f);
+        self.criterion.run_one(full, id.threads, f);
         self.criterion.sample_size = saved;
         self
     }
@@ -323,6 +386,32 @@ mod tests {
         // With 200 samples 0..200, rank ceil(200*0.99)=198 → value 197.
         let ns: Vec<f64> = (0..200).map(f64::from).collect();
         assert_eq!(percentile_99(&ns), 197.0);
+    }
+
+    #[test]
+    fn threads_metadata_lands_in_json() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion-shim-test-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion {
+            sample_size: 1,
+            filter: None,
+            json_path: Some(path.display().to_string()),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function(BenchmarkId::new("par", 2).threads(2), |b| b.iter(|| ()));
+        group.bench_function(BenchmarkId::new("seq", 0), |b| b.iter(|| ()));
+        group.finish();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"threads\":2"), "got: {}", lines[0]);
+        assert!(lines[0].contains("\"oversubscribed\":"), "got: {}", lines[0]);
+        // Benchmarks that declare no thread count carry no thread fields.
+        assert!(!lines[1].contains("threads"), "got: {}", lines[1]);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Invariance properties for the range-sharded kernels introduced by the
+//! kernel speed round, beyond the thread-count sweeps in
+//! `tests/parallel_determinism.rs`:
+//!
+//! * **Shard-boundary invariance** — the sharded link kernel's output
+//!   must not depend on *where* the row ranges are cut, only on the
+//!   graph. `LinkMatrix::compute_sparse_ranges` (a test seam) accepts
+//!   arbitrary — including adversarial and degenerate — splits, and
+//!   every split must reproduce the single-shard result byte for byte.
+//! * **Exact thread grid** — the paper-relevant thread counts
+//!   {1, 2, 3, 8} pinned explicitly (the proptests draw thread counts
+//!   randomly, which in principle could miss a specific count).
+//! * **Labeling merge under adversarial similarities** — the
+//!   thread-local outcome merge in `label_all_parallel` must agree with
+//!   the sequential fold even when the similarity measure is engineered
+//!   to sit exactly on the θ decision boundary, to drive every point to
+//!   the outlier path, or to saturate at 1.0 — the regimes where a
+//!   merge-order bug would surface as a miscounted outlier or cluster
+//!   total.
+//!
+//! CI runs this file in release mode (`kernel-equivalence` job) so the
+//! optimizer cannot hide a divergence that debug builds mask.
+
+use proptest::collection;
+use proptest::prelude::*;
+use rock::labeling::Labeler;
+use rock::links_matrix::LinkMatrix;
+use rock::neighbors::NeighborGraph;
+use rock::points::Transaction;
+use rock::similarity::{Jaccard, PointsWith, Similarity};
+use rock_data::packed::PackedBaskets;
+use std::ops::Range;
+
+/// The pinned thread grid from the acceptance criteria.
+const THREAD_GRID: [usize; 4] = [1, 2, 3, 8];
+
+/// A random basket set over a small item universe so θ-neighborhoods
+/// are non-trivial (same shape as `tests/parallel_determinism.rs`).
+fn baskets(max_n: usize) -> impl Strategy<Value = Vec<Transaction>> {
+    collection::vec(collection::vec(0u32..60, 1..6), 8..max_n)
+        .prop_map(|items| items.into_iter().map(Transaction::new).collect())
+}
+
+/// Materialises fractional cut points into a full contiguous partition
+/// of `0..n`, optionally salted with empty ranges — the adversarial
+/// splits a balancer would never produce but the kernel must tolerate.
+fn ranges_from_cuts(n: usize, cuts: &[f64], salt_empties: bool) -> Vec<Range<usize>> {
+    let mut bounds: Vec<usize> = cuts
+        .iter()
+        .map(|f| ((f * n as f64) as usize).min(n))
+        .collect();
+    bounds.push(0);
+    bounds.push(n);
+    bounds.sort_unstable();
+    let mut shards = Vec::new();
+    if salt_empties {
+        shards.push(0..0);
+    }
+    for w in bounds.windows(2) {
+        shards.push(w[0]..w[1]); // empty when consecutive cuts collide
+        if salt_empties {
+            shards.push(w[1]..w[1]);
+        }
+    }
+    shards
+}
+
+/// A similarity engineered to hit the labeling decision boundaries:
+/// depending on the item sums it returns exactly θ (a neighbor by the
+/// paper's ≥ θ rule), just under θ (not a neighbor), 0, or 1. The value
+/// is a pure function of the two points, so sequential and parallel
+/// labelers see identical faults in any evaluation order.
+struct BoundarySim {
+    theta: f64,
+}
+
+impl Similarity<Transaction> for BoundarySim {
+    fn similarity(&self, a: &Transaction, b: &Transaction) -> f64 {
+        let key = a
+            .items()
+            .iter()
+            .chain(b.items())
+            .fold(0u64, |acc, &x| acc.wrapping_mul(31).wrapping_add(x as u64));
+        match key % 4 {
+            0 => self.theta,
+            1 => self.theta - 1e-9,
+            2 => 0.0,
+            _ => 1.0,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Any contiguous partition of the rows — balanced, lopsided,
+    // riddled with empty shards — yields the single-shard link matrix.
+    #[test]
+    fn link_kernel_is_shard_boundary_invariant(
+        ts in baskets(120),
+        theta in 0.1f64..0.9,
+        cuts in collection::vec(0.0f64..1.0, 0..6),
+        salt_empties in any::<bool>(),
+    ) {
+        let graph = NeighborGraph::build(&PointsWith::new(&ts, Jaccard), theta);
+        let reference = LinkMatrix::compute_sparse(&graph, 1);
+        let shards = ranges_from_cuts(graph.len(), &cuts, salt_empties);
+        prop_assert_eq!(
+            &LinkMatrix::compute_sparse_ranges(&graph, &shards),
+            &reference
+        );
+    }
+
+    // The labeling merge agrees with the sequential fold under a
+    // boundary-adversarial similarity, at every pinned thread count,
+    // both below and above the parallel cost cutoff.
+    #[test]
+    fn labeling_merge_matches_sequential_under_adversarial_sims(
+        ts in baskets(60),
+        repeat in 1usize..30,
+        theta in 0.1f64..0.9,
+    ) {
+        let mid = ts.len() / 2;
+        let clusters = vec![
+            (0..mid as u32).collect::<Vec<_>>(),
+            (mid as u32..ts.len() as u32).collect::<Vec<_>>(),
+        ];
+        let labeler = Labeler::full(&ts, &clusters, theta, 1.0 / 3.0);
+        let sim = BoundarySim { theta };
+        let data: Vec<Transaction> = ts
+            .iter()
+            .cycle()
+            .take(ts.len() * repeat)
+            .cloned()
+            .collect();
+        let serial = labeler.label_all(&data, &sim);
+        for threads in THREAD_GRID {
+            prop_assert_eq!(
+                &labeler.label_all_parallel(&data, &sim, threads),
+                &serial,
+                "threads = {}", threads
+            );
+        }
+    }
+}
+
+/// The full pinned thread grid, checked exhaustively on one fixed input
+/// per kernel: every count must reproduce the single-thread result.
+#[test]
+fn pinned_thread_grid_is_bit_identical() {
+    // 180 baskets drawn from three overlapping item bands, so the graph
+    // has real cluster structure and non-uniform row costs.
+    let ts: Vec<Transaction> = (0..180u32)
+        .map(|i| {
+            let base = (i % 3) * 15;
+            Transaction::new(vec![base + i % 7, base + (i / 3) % 9, base + (i / 5) % 11])
+        })
+        .collect();
+    let theta = 0.3;
+
+    let points = PointsWith::new(&ts, Jaccard);
+    let packed = PackedBaskets::new(&ts);
+    let graph = NeighborGraph::build(&points, theta);
+    let links = LinkMatrix::compute_sparse(&graph, 1);
+    let labeler = Labeler::full(
+        &ts,
+        &[(0..90u32).collect::<Vec<_>>(), (90..180u32).collect()],
+        theta,
+        1.0 / 3.0,
+    );
+    let labels = labeler.label_all(&ts, &Jaccard);
+
+    for threads in THREAD_GRID {
+        assert_eq!(
+            NeighborGraph::build_parallel(&points, theta, threads),
+            graph,
+            "neighbors diverged at {threads} threads"
+        );
+        assert_eq!(
+            NeighborGraph::build_parallel(&packed, theta, threads),
+            graph,
+            "packed neighbors diverged at {threads} threads"
+        );
+        assert_eq!(
+            LinkMatrix::compute_sparse(&graph, threads),
+            links,
+            "sparse links diverged at {threads} threads"
+        );
+        assert_eq!(
+            LinkMatrix::compute_dense(&graph, threads),
+            links,
+            "dense links diverged at {threads} threads"
+        );
+        assert_eq!(
+            labeler.label_all_parallel(&ts, &Jaccard, threads),
+            labels,
+            "labeling diverged at {threads} threads"
+        );
+    }
+}
+
+/// Degenerate splits on a degenerate graph: no rows, one row, and a
+/// graph with isolated points only.
+#[test]
+fn degenerate_graphs_accept_degenerate_splits() {
+    let empty = NeighborGraph::build(&PointsWith::new(&Vec::<Transaction>::new(), Jaccard), 0.5);
+    assert_eq!(
+        LinkMatrix::compute_sparse_ranges(&empty, &[]),
+        LinkMatrix::compute_sparse(&empty, 1)
+    );
+
+    let singleton = vec![Transaction::from([1, 2, 3])];
+    let one = NeighborGraph::build(&PointsWith::new(&singleton, Jaccard), 0.5);
+    let single: Vec<Range<usize>> = std::iter::once(0..1).collect();
+    for shards in [single, vec![0..0, 0..1, 1..1]] {
+        assert_eq!(
+            LinkMatrix::compute_sparse_ranges(&one, &shards),
+            LinkMatrix::compute_sparse(&one, 1),
+            "shards = {shards:?}"
+        );
+    }
+}
