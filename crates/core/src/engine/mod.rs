@@ -39,6 +39,12 @@
 //! continuations are bit-for-bit identical (enforced by the
 //! `pipeline_equivalence` proptests).
 //!
+//! Above the single-run pipeline sits the fault-isolated
+//! shard-and-merge layer: [`shard`] partitions the input and defines the
+//! coarse representative-level similarity, and [`supervisor`] runs each
+//! shard's pipeline under its own child governor with retry, WAL resume
+//! and poisoned-shard quarantine, then merges the survivors.
+//!
 //! This module is panic-free by construction — no `unwrap`/`expect`/
 //! `panic!`/`unreachable!` — and rock-tidy's `engine-contract` rule keeps
 //! it that way.
@@ -49,10 +55,16 @@ pub mod ctx;
 pub mod model;
 /// The [`Pipeline`] runner: phase transitions, checkpoints, resume.
 pub mod pipeline;
+/// Sharding primitives: partitioning, knobs, fault seam, coarse similarity.
+pub mod shard;
 /// The [`Stage`] trait and the five Fig.-2 stages.
 pub mod stage;
+/// The shard supervisor: retry, resume, quarantine and merge.
+pub mod supervisor;
 
 pub use ctx::RunCtx;
 pub use model::{ClusterModel, ModelFit};
 pub use pipeline::Pipeline;
+pub use shard::{shard_ranges, NoFaults, RepSetSimilarity, ShardConfig, ShardFaultPlan, ShardRun};
 pub use stage::{LabelStage, LinksStage, MergeStage, NeighborsStage, ResumeStage, SampleStage, Stage};
+pub use supervisor::{ShardSupervisor, ShardedRun};

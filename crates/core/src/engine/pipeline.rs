@@ -397,14 +397,21 @@ impl<'w> Pipeline<'w> {
             theta: self.config.theta,
             threads: self.config.threads,
         })?;
+        // The rebuilt graph occupies the same memory as the original
+        // run's: charge it against the budget exactly like fit_wal, so a
+        // resume cannot silently escape the memory governor.
+        let graph_bytes = graph.memory_bytes() as u64;
+        self.ctx.governor.charge(graph_bytes);
         let algorithm = self.algorithm();
-        ResumeStage {
+        let result = ResumeStage {
             wal_bytes,
             graph: Some(&graph),
             algorithm,
             threads: self.config.threads,
         }
-        .run(&mut self.ctx)
+        .run(&mut self.ctx);
+        self.ctx.governor.release(graph_bytes);
+        result
     }
 
     /// Resumes from a snapshot-bearing WAL without the original data:

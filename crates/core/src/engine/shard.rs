@@ -1,0 +1,184 @@
+//! Sharding primitives for the fault-isolated shard-and-merge engine.
+//!
+//! The paper sidesteps scale by sampling once (Fig. 2); shard-and-merge
+//! goes past it: the input is partitioned into deterministic contiguous
+//! shards ([`shard_ranges`]), each shard is clustered by the staged
+//! [`crate::engine::Pipeline`] under its own child governor, and the
+//! shard-level clusters are merged by a second, coarse ROCK pass over
+//! their representative sets ([`RepSetSimilarity`]) — He et al.'s
+//! link-clustering view (PAPERS.md) justifies treating
+//! representative-level links as a faithful clustering substrate, and
+//! Genie motivates an outlier-resistant agglomerative merge.
+//!
+//! This module holds the *mechanism*: partitioning, the per-run knobs
+//! ([`ShardConfig`]), the deterministic fault-injection seam
+//! ([`ShardFaultPlan`]) and the coarse-pass similarity. The *policy* —
+//! retry, resume-from-WAL, quarantine, merge — lives in
+//! [`crate::engine::supervisor`].
+
+use crate::governor::RunGovernor;
+use crate::similarity::{PairwiseSimilarity, Similarity};
+use crate::util::retry::RetryPolicy;
+use std::ops::Range;
+use std::time::Duration;
+
+/// Deterministically partitions `0..n` into at most `shards` contiguous,
+/// non-empty, size-balanced ranges (fewer when `n < shards`; none when
+/// `n == 0`). A pure function of `(n, shards)`, so every retry, resume
+/// and exclusion oracle sees the same partition.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    crate::util::balanced_ranges(n, shards.max(1), |_| 1)
+}
+
+/// Knobs of a supervised shard-and-merge run (see
+/// [`crate::engine::supervisor::ShardSupervisor`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardConfig {
+    /// How many shards to partition the input into (≥ 1; the effective
+    /// count is lower for inputs smaller than this).
+    pub shards: usize,
+    /// Per-shard retry ladder: a shard gets `1 + retry.max_retries`
+    /// attempts before quarantine, with `retry`'s (optionally
+    /// seed-jittered) backoff between attempts. The same ladder guards
+    /// the coarse merge pass.
+    pub retry: RetryPolicy,
+    /// Wall-clock budget per shard *attempt* (`None` = none): a hung
+    /// shard is killed at its deadline and retried or resumed from its
+    /// WAL instead of hanging the whole run.
+    pub shard_deadline: Option<Duration>,
+    /// Charged-memory slice per shard attempt (`None` = none).
+    pub shard_memory_budget: Option<u64>,
+    /// θ for the coarse merge pass over representative-set link
+    /// densities (`None` = reuse the run's θ). Representative-level
+    /// similarities concentrate below raw point similarities, so a
+    /// looser threshold is often appropriate here.
+    pub merge_theta: Option<f64>,
+    /// Fraction of each shard cluster kept as its representative set
+    /// `Lᵢ` for the coarse pass, in `(0, 1]`; `1.0` keeps every member.
+    /// Sub-unit fractions draw a deterministic seeded sample per
+    /// `(shard, cluster)`, independent of retry history.
+    pub representative_fraction: f64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_delay: Duration::ZERO,
+                max_delay: Duration::ZERO,
+                jitter_seed: None,
+            },
+            shard_deadline: None,
+            shard_memory_budget: None,
+            merge_theta: None,
+            representative_fraction: 1.0,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// A default config over `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        ShardConfig {
+            shards,
+            ..ShardConfig::default()
+        }
+    }
+}
+
+/// Per-(shard, attempt) fault hooks the supervisor applies before each
+/// attempt — the seam deterministic chaos schedules plug into (see
+/// `rock_data::faults::ShardFaultSchedule`). Both hooks default to
+/// transparent pass-through; the supervisor itself always runs through
+/// them, so a schedule can hit any shard at any retry round, and the
+/// coarse merge pass under the sentinel shard index `shard count`.
+pub trait ShardFaultPlan {
+    /// The governor attempt `attempt` (0-based) of shard `shard` runs
+    /// under. `base` is the supervisor-built child governor (shared
+    /// cancellation token plus the configured per-shard budgets); a
+    /// schedule injects a crash, hang or memory trip by rebuilding it.
+    fn governor(&self, shard: usize, attempt: u32, base: RunGovernor) -> RunGovernor {
+        let _ = (shard, attempt);
+        base
+    }
+
+    /// Transforms the WAL bytes carried out of failed attempt `attempt`
+    /// of shard `shard` into the next attempt's resume input — the
+    /// torn-shard-WAL injection point.
+    fn wal_bytes(&self, shard: usize, attempt: u32, bytes: Vec<u8>) -> Vec<u8> {
+        let _ = (shard, attempt);
+        bytes
+    }
+}
+
+/// The transparent plan: no injected faults.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl ShardFaultPlan for NoFaults {}
+
+/// One surviving shard's result within a
+/// [`crate::engine::supervisor::ShardedRun`].
+#[derive(Clone, Debug)]
+pub struct ShardRun {
+    /// Shard index (its position in [`shard_ranges`]).
+    pub shard: usize,
+    /// The global input range this shard covered.
+    pub range: Range<usize>,
+    /// Attempts it took to complete (1 = succeeded first try).
+    pub attempts: u32,
+    /// The shard-local clustering; point ids are relative to
+    /// `range.start`.
+    pub run: crate::algorithm::RockRun,
+}
+
+/// Pairwise similarity between shard-cluster representative sets — the
+/// substrate of the coarse merge pass.
+///
+/// `sim(a, b)` is the *link density* between the two sets: the fraction
+/// of cross pairs (one representative from each set) whose inner
+/// similarity clears `theta`. It is symmetric, lies in `[0, 1]`, and
+/// degenerates to the inner measure's neighbor indicator for singleton
+/// sets; an empty set is similar to nothing.
+pub struct RepSetSimilarity<'a, P, S> {
+    sets: &'a [Vec<P>],
+    measure: &'a S,
+    theta: f64,
+}
+
+impl<'a, P, S: Similarity<P>> RepSetSimilarity<'a, P, S> {
+    /// A representative-level similarity over `sets`, with inner
+    /// neighbor threshold `theta`.
+    pub fn new(sets: &'a [Vec<P>], measure: &'a S, theta: f64) -> Self {
+        RepSetSimilarity {
+            sets,
+            measure,
+            theta,
+        }
+    }
+}
+
+impl<P, S: Similarity<P>> PairwiseSimilarity for RepSetSimilarity<'_, P, S> {
+    fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    fn sim(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (&self.sets[i], &self.sets[j]);
+        let total = a.len() * b.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut hits = 0usize;
+        for p in a {
+            for q in b {
+                if self.measure.similarity(p, q) >= self.theta {
+                    hits += 1;
+                }
+            }
+        }
+        hits as f64 / total as f64
+    }
+}

@@ -32,6 +32,9 @@ pub enum RockError {
     InvalidWeedMultiple(f64),
     /// Thread count must be ≥ 1.
     InvalidThreads(usize),
+    /// A sharded run's shard count must be ≥ 1 (see
+    /// [`crate::engine::supervisor::ShardSupervisor`]).
+    InvalidShardCount(usize),
     /// A [`crate::governor::DegradationPolicy::Subsample`] fraction must
     /// lie strictly in `(0, 1)`.
     InvalidSubsampleFraction(f64),
@@ -132,6 +135,7 @@ impl fmt::Display for RockError {
                 write!(f, "weed stop multiple must be >= 1, got {m}")
             }
             RockError::InvalidThreads(t) => write!(f, "thread count must be >= 1, got {t}"),
+            RockError::InvalidShardCount(s) => write!(f, "shard count must be >= 1, got {s}"),
             RockError::InvalidSubsampleFraction(v) => {
                 write!(f, "subsample degradation fraction must be in (0, 1), got {v}")
             }
@@ -199,6 +203,7 @@ mod tests {
             ),
             (RockError::InvalidWeedMultiple(0.5), "0.5"),
             (RockError::InvalidThreads(0), "0"),
+            (RockError::InvalidShardCount(0), "shard count"),
             (RockError::InvalidSubsampleFraction(1.0), "(0, 1)"),
             (
                 RockError::NonFiniteSimilarity { value: f64::NAN },

@@ -227,6 +227,27 @@ impl RunGovernor {
         self.inner.cancel.clone()
     }
 
+    /// A child governor for one unit of supervised work (e.g. one shard
+    /// of a shard-and-merge run): it shares this governor's cancellation
+    /// token — cancelling the parent stops every child at its next
+    /// checkpoint — but starts with a fresh clock, an empty memory meter
+    /// and no budgets of its own, so a child's deadline or memory slice
+    /// never eats into the parent's. Give the child its own budgets with
+    /// the usual `with_*` builders.
+    pub fn child(&self) -> RunGovernor {
+        RunGovernor {
+            inner: Arc::new(GovernorInner {
+                cancel: self.inner.cancel.clone(),
+                time_budget: None,
+                started: OnceLock::new(),
+                memory_budget: None,
+                memory_charged: AtomicU64::new(0),
+                kill_at: None,
+            }),
+            check_every: self.check_every,
+        }
+    }
+
     /// Anchors the wall-clock budget at "now". Called implicitly by the
     /// first checkpoint; call explicitly to start the clock earlier.
     pub fn arm(&self) {
@@ -470,6 +491,32 @@ mod tests {
         g.check_at(Phase::Labeling, 5).unwrap();
         assert!(g.check_at(Phase::Merge, 5).is_err());
         assert!(g.check_at(Phase::Merge, 6).is_err());
+    }
+
+    #[test]
+    fn child_shares_cancellation_but_not_budgets() {
+        let parent = RunGovernor::unlimited()
+            .with_time_budget(Duration::ZERO)
+            .with_memory_budget(10)
+            .with_check_every(7);
+        parent.arm();
+        parent.charge(100);
+        // The child starts unconstrained despite the parent's tripped
+        // budgets, and inherits the checkpoint granularity.
+        let child = parent.child();
+        child.check(Phase::Merge).unwrap();
+        assert_eq!(child.charged(), 0);
+        assert!(!child.would_exceed(u64::MAX));
+        assert!(child.check_at(Phase::Merge, 3).is_ok());
+        // But cancellation is shared both ways (same token).
+        parent.cancel_token().cancel();
+        assert!(matches!(
+            child.check(Phase::Merge),
+            Err(RockError::Interrupted {
+                reason: TripReason::Cancelled,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -131,7 +131,10 @@ pub use cluster::{Clustering, MergeRecord};
 pub use components::{neighbor_components, DisjointSet};
 pub use dendrogram::Dendrogram;
 pub use engine::model::RockModel;
-pub use engine::{ClusterModel, ModelFit, Pipeline, RunCtx};
+pub use engine::{
+    shard_ranges, ClusterModel, ModelFit, NoFaults, Pipeline, RepSetSimilarity, RunCtx,
+    ShardConfig, ShardFaultPlan, ShardRun, ShardSupervisor, ShardedRun,
+};
 pub use error::RockError;
 pub use goodness::{BasketF, ConstantF, FTheta, Goodness, GoodnessKind};
 pub use governor::{
@@ -147,7 +150,7 @@ pub use links_matrix::{LinkKernel, LinkMatrix};
 pub use neighbors::NeighborGraph;
 pub use perf::PerfCounters;
 pub use points::{CategoricalRecord, CategoricalSchema, ItemCatalog, Transaction};
-pub use report::{PhasePerf, PhaseTiming, QuarantinedRecord, RunReport};
+pub use report::{PhasePerf, PhaseTiming, QuarantinedRecord, RunReport, ShardDegradationNote};
 pub use rock::{Rock, RockBuilder, RockConfig, RockResult};
 pub use serve::{
     load_artifact_with_retry, AssignService, Centroid, RetryPolicy, ServeBatch, ServeConfig,

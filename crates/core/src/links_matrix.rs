@@ -337,6 +337,9 @@ impl LinkMatrix {
                 row.iter().map(move |&(j, c)| (pack(i as u32, j), c))
             })
             .collect();
+        // Count emitted pairs like the sparse kernel does, so reports
+        // stay comparable whichever kernel the auto heuristic picks.
+        crate::perf::count_pairs_emitted(pairs.len() as u64);
         crate::perf::count_bytes_touched((n * n / 8) as u64);
         Self::assemble_runs(n, std::slice::from_ref(&pairs))
     }

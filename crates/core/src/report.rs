@@ -76,6 +76,41 @@ pub struct PhasePerf {
     pub counters: PerfCounters,
 }
 
+/// Provenance of one quarantined shard in a shard-and-merge run (see
+/// `crate::engine::supervisor::ShardSupervisor`): after the supervisor's
+/// retry ladder is exhausted, the shard's points are excluded from the
+/// final clustering and this note records exactly what was lost and why —
+/// mirroring the Subsample degradation provenance of single runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardDegradationNote {
+    /// Index of the quarantined shard. By convention the supervisor uses
+    /// `shard == shard count` (one past the last shard) for a degraded
+    /// coarse merge pass, which excludes no points — the shard-level
+    /// clusters are kept unmerged instead.
+    pub shard: usize,
+    /// Every excluded point, as global input ids. Empty for a degraded
+    /// merge pass.
+    pub points: Vec<u32>,
+    /// Attempts spent before giving up.
+    pub attempts: u32,
+    /// The final failure, rendered.
+    pub reason: String,
+}
+
+impl fmt::Display for ShardDegradationNote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} quarantined after {} attempt{}: {} ({} points excluded)",
+            self.shard,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.reason,
+            self.points.len()
+        )
+    }
+}
+
 /// Structured account of a run: what was read, what was tolerated, and
 /// where the time went.
 ///
@@ -119,6 +154,14 @@ pub struct RunReport {
     /// that travel with partial results (e.g. a resilient ingest error);
     /// completed runs leave it `None`.
     pub interrupted: Option<(Phase, TripReason)>,
+    /// How many shards a shard-and-merge run partitioned the input into
+    /// (`None` for unsharded runs). Per-phase timings and work counters
+    /// of a sharded report are sums across these shards.
+    pub shard_count: Option<usize>,
+    /// Quarantine provenance of a shard-and-merge run, one note per
+    /// shard the supervisor gave up on; empty when every shard
+    /// completed.
+    pub shard_notes: Vec<ShardDegradationNote>,
 }
 
 impl RunReport {
@@ -194,6 +237,19 @@ impl RunReport {
             || self.io_retries > 0
             || self.degraded.is_some()
             || self.interrupted.is_some()
+            || !self.shard_notes.is_empty()
+    }
+
+    /// Global ids of every point excluded by shard quarantine, sorted
+    /// ascending (empty for unsharded or fully surviving runs).
+    pub fn excluded_points(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .shard_notes
+            .iter()
+            .flat_map(|n| n.points.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
     }
 }
 
@@ -229,7 +285,18 @@ impl fmt::Display for RunReport {
         for p in &self.phase_perf {
             writeln!(f, "  perf: {} [{}]", p.name, p.counters)?;
         }
+        if let Some(shards) = self.shard_count {
+            writeln!(
+                f,
+                "  shards: {} total, {} quarantined",
+                shards,
+                self.shard_notes.len()
+            )?;
+        }
         if let Some(note) = &self.degraded {
+            writeln!(f, "  degraded: {note}")?;
+        }
+        for note in &self.shard_notes {
             writeln!(f, "  degraded: {note}")?;
         }
         if let Some((phase, reason)) = &self.interrupted {
@@ -292,6 +359,39 @@ mod tests {
         r.records_read = 100;
         r.outliers = 5;
         assert!(!r.degraded());
+    }
+
+    #[test]
+    fn shard_notes_count_as_degradation_and_display() {
+        let mut r = RunReport::new();
+        r.shard_count = Some(4);
+        assert!(!r.degraded(), "a fully surviving sharded run is clean");
+        r.shard_notes.push(ShardDegradationNote {
+            shard: 2,
+            points: vec![20, 21, 22],
+            attempts: 3,
+            reason: "run interrupted in merge phase: cancelled".into(),
+        });
+        assert!(r.degraded());
+        assert_eq!(r.excluded_points(), vec![20, 21, 22]);
+        let s = r.to_string();
+        assert!(s.contains("shards: 4 total, 1 quarantined"), "{s}");
+        assert!(s.contains("shard 2 quarantined after 3 attempts"), "{s}");
+        assert!(s.contains("3 points excluded"), "{s}");
+    }
+
+    #[test]
+    fn excluded_points_merge_sorted_across_notes() {
+        let mut r = RunReport::new();
+        for (shard, points) in [(1usize, vec![7u32, 9]), (0, vec![1, 3])] {
+            r.shard_notes.push(ShardDegradationNote {
+                shard,
+                points,
+                attempts: 1,
+                reason: "x".into(),
+            });
+        }
+        assert_eq!(r.excluded_points(), vec![1, 3, 7, 9]);
     }
 
     #[test]

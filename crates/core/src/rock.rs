@@ -547,6 +547,48 @@ impl Rock {
         }
     }
 
+    /// A fault-isolated shard supervisor over this driver's configuration
+    /// and governor (see
+    /// [`ShardSupervisor`](crate::engine::supervisor::ShardSupervisor)):
+    /// the input is partitioned into deterministic shards, each shard
+    /// runs the journaled pipeline under its own child governor with
+    /// retry/resume/quarantine, and surviving shard clusters are merged
+    /// by a coarse ROCK pass over their representative sets.
+    ///
+    /// # Errors
+    /// As [`crate::engine::supervisor::ShardSupervisor::new`] — an
+    /// invalid shard count, representative fraction or merge θ.
+    pub fn shard_supervisor(
+        &self,
+        shard: crate::engine::ShardConfig,
+    ) -> Result<crate::engine::ShardSupervisor, RockError> {
+        crate::engine::ShardSupervisor::new(self.config, shard, self.governor.clone())
+    }
+
+    /// Runs the supervised shard-and-merge pipeline over `points`: the
+    /// one-call form of [`Rock::shard_supervisor`] +
+    /// [`run`](crate::engine::supervisor::ShardSupervisor::run). With
+    /// `shard.shards == 1` the clustering is bit-identical to
+    /// [`Rock::cluster_wal`]; quarantined shards degrade the result with
+    /// provenance in the report instead of failing the run.
+    ///
+    /// # Errors
+    /// Invalid shard configuration, or [`RockError::Interrupted`] when
+    /// this driver's own (parent) governor is cancelled or out of
+    /// budget — per-shard faults quarantine instead of erroring.
+    pub fn cluster_sharded<P, S>(
+        &self,
+        points: &[P],
+        measure: &S,
+        shard: crate::engine::ShardConfig,
+    ) -> Result<crate::engine::ShardedRun, RockError>
+    where
+        P: Clone + Sync,
+        S: Similarity<P> + Sync,
+    {
+        self.shard_supervisor(shard)?.run(points, measure)
+    }
+
     /// Resumes from a snapshot-bearing WAL **without** the original data:
     /// the merge state is restored from the latest snapshot and links are
     /// not recomputed. Fails with [`RockError::WalMismatch`] if the log

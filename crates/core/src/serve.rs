@@ -59,36 +59,7 @@ impl std::fmt::Display for ServeDegradation {
     }
 }
 
-/// Bounded retry-with-backoff around an [`ArtifactSource`] fetch.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Retries after the first attempt (0 = try once).
-    pub max_retries: u32,
-    /// Backoff before retry `n` is `base_delay · 2ⁿ`…
-    pub base_delay: Duration,
-    /// …capped at this.
-    pub max_delay: Duration,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_retries: 3,
-            base_delay: Duration::from_millis(10),
-            max_delay: Duration::from_millis(500),
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// The capped exponential backoff before retry number `attempt`.
-    fn backoff(&self, attempt: u64) -> Duration {
-        let shift = attempt.min(20) as u32;
-        self.base_delay
-            .saturating_mul(1u32.checked_shl(shift).unwrap_or(u32::MAX))
-            .min(self.max_delay)
-    }
-}
+pub use crate::util::retry::RetryPolicy;
 
 /// Serving knobs for an [`AssignService`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -214,16 +185,6 @@ impl Centroid for Vec<f64> {
     }
 }
 
-/// Transient I/O kinds worth retrying; everything else fails fast.
-fn is_transient(kind: std::io::ErrorKind) -> bool {
-    matches!(
-        kind,
-        std::io::ErrorKind::WouldBlock
-            | std::io::ErrorKind::TimedOut
-            | std::io::ErrorKind::Interrupted
-    )
-}
-
 /// Fetches and parses an artifact through `source`, retrying transient
 /// I/O errors with capped exponential backoff. Returns the artifact and
 /// the number of retries it took.
@@ -241,8 +202,11 @@ pub fn load_artifact_with_retry(
     loop {
         match source.fetch() {
             Ok(bytes) => return ModelArtifact::from_bytes(&bytes).map(|a| (a, retries)),
-            Err(e) if is_transient(e.kind()) && retries < u64::from(retry.max_retries) => {
-                std::thread::sleep(retry.backoff(retries));
+            Err(e)
+                if RetryPolicy::is_transient_kind(e.kind())
+                    && retries < u64::from(retry.max_retries) =>
+            {
+                std::thread::sleep(retry.backoff(retries as u32));
                 retries += 1;
             }
             Err(e) => {
@@ -609,6 +573,7 @@ mod tests {
             max_retries: 3,
             base_delay: Duration::from_micros(10),
             max_delay: Duration::from_micros(50),
+            jitter_seed: None,
         }
     }
 
@@ -739,6 +704,7 @@ mod tests {
             max_retries: 10,
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(25),
+            jitter_seed: None,
         };
         assert_eq!(retry.backoff(0), Duration::from_millis(10));
         assert_eq!(retry.backoff(1), Duration::from_millis(20));

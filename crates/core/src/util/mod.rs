@@ -1,11 +1,12 @@
-//! Internal utilities: fast hashing, bitsets, checksums, CRC framing and
-//! stateless mixing.
+//! Internal utilities: fast hashing, bitsets, checksums, CRC framing,
+//! stateless mixing and retry backoff.
 
 pub mod bitset;
 pub mod crc32;
 pub mod frame;
 pub mod fxhash;
 pub mod ranges;
+pub mod retry;
 pub mod splitmix;
 
 pub use bitset::BitSet;
@@ -13,4 +14,5 @@ pub use crc32::crc32;
 pub use frame::{append_frame, read_frame, Cursor};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ranges::balanced_ranges;
+pub use retry::RetryPolicy;
 pub use splitmix::{seeded_hit, splitmix64};

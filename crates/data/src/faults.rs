@@ -333,6 +333,154 @@ pub fn deadline_trip() -> RunGovernor {
     RunGovernor::unlimited().with_time_budget(Duration::ZERO)
 }
 
+/// A deterministic chaos schedule for the shard supervisor — the
+/// workspace's [`ShardFaultPlan`](rock_core::ShardFaultPlan)
+/// implementation.
+///
+/// Each entry targets one `(shard, attempt)` cell of the retry matrix
+/// (attempts are 0-based; the coarse merge pass is addressed by the
+/// sentinel shard index `shard count`):
+///
+/// * **crash** — the attempt's governor kills the run after exactly `k`
+///   merge decisions, like a process death mid-merge;
+/// * **hang** — the attempt's wall-clock budget is already expired, so
+///   its first checkpoint trips, like a shard stuck past its deadline;
+/// * **memory trip** — a 1-byte memory budget trips on the first charge;
+/// * **torn WAL** — the shard WAL carried out of the attempt is
+///   truncated to `keep` bytes before the next attempt resumes from it.
+///
+/// The schedule is plain data: the same schedule replayed against the
+/// same input produces bit-identical supervisor behavior, which is what
+/// lets the chaos-matrix proptests compare a faulted run against the
+/// exclusion oracle.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardFaultSchedule {
+    /// Crash injections: `(shard, attempt, kill after k merges)`.
+    pub crashes: Vec<(usize, u32, u64)>,
+    /// Hang injections: `(shard, attempt)`.
+    pub hangs: Vec<(usize, u32)>,
+    /// Memory-trip injections: `(shard, attempt)`.
+    pub memory_trips: Vec<(usize, u32)>,
+    /// Torn-WAL injections: `(shard, attempt, bytes kept)`.
+    pub torn_wals: Vec<(usize, u32, usize)>,
+}
+
+impl ShardFaultSchedule {
+    /// An empty schedule (injects nothing).
+    pub fn new() -> Self {
+        ShardFaultSchedule::default()
+    }
+
+    /// Kills attempt `attempt` of shard `shard` after `k` merge
+    /// decisions.
+    pub fn crash_at_merge(mut self, shard: usize, attempt: u32, k: u64) -> Self {
+        self.crashes.push((shard, attempt, k));
+        self
+    }
+
+    /// Expires attempt `attempt` of shard `shard` at its first
+    /// checkpoint (a pre-elapsed deadline).
+    pub fn hang(mut self, shard: usize, attempt: u32) -> Self {
+        self.hangs.push((shard, attempt));
+        self
+    }
+
+    /// Trips attempt `attempt` of shard `shard` on its first memory
+    /// charge.
+    pub fn trip_memory(mut self, shard: usize, attempt: u32) -> Self {
+        self.memory_trips.push((shard, attempt));
+        self
+    }
+
+    /// Tears the WAL carried out of attempt `attempt` of shard `shard`
+    /// down to its first `keep` bytes.
+    pub fn tear_wal(mut self, shard: usize, attempt: u32, keep: usize) -> Self {
+        self.torn_wals.push((shard, attempt, keep));
+        self
+    }
+
+    /// Shard indices with at least one injection (sorted, deduplicated)
+    /// — handy for building the exclusion oracle of a schedule designed
+    /// to exhaust every targeted shard's ladder.
+    pub fn targeted_shards(&self) -> Vec<usize> {
+        let mut shards: Vec<usize> = self
+            .crashes
+            .iter()
+            .map(|&(s, _, _)| s)
+            .chain(self.hangs.iter().map(|&(s, _)| s))
+            .chain(self.memory_trips.iter().map(|&(s, _)| s))
+            .chain(self.torn_wals.iter().map(|&(s, _, _)| s))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+}
+
+impl rock_core::ShardFaultPlan for ShardFaultSchedule {
+    fn governor(&self, shard: usize, attempt: u32, base: RunGovernor) -> RunGovernor {
+        // Injection priority when a cell carries several faults:
+        // hang, then memory trip, then crash — mirrors which budget the
+        // governor's own trip check consults first.
+        if self.hangs.contains(&(shard, attempt)) {
+            return base.with_time_budget(Duration::ZERO);
+        }
+        if self.memory_trips.contains(&(shard, attempt)) {
+            return base.with_memory_budget(1);
+        }
+        if let Some(&(_, _, k)) = self
+            .crashes
+            .iter()
+            .find(|&&(s, a, _)| s == shard && a == attempt)
+        {
+            return base.with_kill_at(Phase::Merge, k);
+        }
+        base
+    }
+
+    fn wal_bytes(&self, shard: usize, attempt: u32, mut bytes: Vec<u8>) -> Vec<u8> {
+        if let Some(&(_, _, keep)) = self
+            .torn_wals
+            .iter()
+            .find(|&&(s, a, _)| s == shard && a == attempt)
+        {
+            bytes.truncate(keep.min(bytes.len()));
+        }
+        bytes
+    }
+}
+
+/// A similarity measure poisoned by a marker item: any pair touching a
+/// transaction that contains `marker` yields NaN; every other pair is
+/// plain Jaccard. Deterministic, so a poisoned shard fails identically
+/// on every retry — the input the quarantine ladder's
+/// corruption-never-retried rule exists for.
+#[derive(Clone, Copy, Debug)]
+pub struct PoisonedSimilarity {
+    /// The item id whose presence poisons a pair.
+    pub marker: u32,
+}
+
+impl rock_core::Similarity<rock_core::Transaction> for PoisonedSimilarity {
+    fn similarity(&self, a: &rock_core::Transaction, b: &rock_core::Transaction) -> f64 {
+        if a.items().contains(&self.marker) || b.items().contains(&self.marker) {
+            return f64::NAN;
+        }
+        rock_core::Jaccard.similarity(a, b)
+    }
+}
+
+/// Appends `marker` to every transaction in `range`, making that slice
+/// poisonous under [`PoisonedSimilarity`]. Out-of-bounds tails of the
+/// range are ignored.
+pub fn poison_range(data: &mut [rock_core::Transaction], range: std::ops::Range<usize>, marker: u32) {
+    for t in data.iter_mut().take(range.end).skip(range.start) {
+        let mut items = t.items().to_vec();
+        items.push(marker);
+        *t = rock_core::Transaction::new(items);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -49,8 +49,8 @@ pub mod votes;
 
 pub use basketio::{read_baskets, read_baskets_numeric, stream_baskets, write_baskets};
 pub use faults::{
-    corrupt_baskets, deadline_trip, kill_at, kill_at_merge, memory_budget_trip, FaultSpec,
-    FaultyReader, GARBAGE_TOKEN,
+    corrupt_baskets, deadline_trip, kill_at, kill_at_merge, memory_budget_trip, poison_range,
+    FaultSpec, FaultyReader, PoisonedSimilarity, ShardFaultSchedule, GARBAGE_TOKEN,
 };
 pub use packed::PackedBaskets;
 pub use resilient::{

@@ -43,64 +43,14 @@ use std::fmt;
 use std::io::{self, BufRead};
 use std::time::{Duration, Instant};
 
-/// Bounded exponential backoff for transient I/O errors.
-///
-/// The retry budget applies per record: each record read gets up to
-/// `max_retries` retries before the error is surfaced as hard.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Maximum retries per record before a transient error becomes hard.
-    pub max_retries: u32,
-    /// Delay before the first retry; doubles each retry.
-    pub base_delay: Duration,
-    /// Ceiling on the per-retry delay.
-    pub max_delay: Duration,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_retries: 4,
-            base_delay: Duration::from_millis(10),
-            max_delay: Duration::from_secs(1),
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// A policy that retries up to `max_retries` times with no sleeping —
-    /// what tests and in-memory readers want.
-    pub fn no_backoff(max_retries: u32) -> Self {
-        RetryPolicy {
-            max_retries,
-            base_delay: Duration::ZERO,
-            max_delay: Duration::ZERO,
-        }
-    }
-
-    /// The delay before retry number `attempt` (0-based): `base · 2ᵃ`,
-    /// capped at [`RetryPolicy::max_delay`].
-    pub fn backoff(&self, attempt: u32) -> Duration {
-        let factor = 1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX);
-        self.base_delay.saturating_mul(factor).min(self.max_delay)
-    }
-
-    /// Whether an I/O error is worth retrying.
-    ///
-    /// `Interrupted` is included for completeness even though
-    /// `BufRead::read_until` already retries it internally.
-    pub fn is_transient(e: &io::Error) -> bool {
-        matches!(
-            e.kind(),
-            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-        )
-    }
-}
+pub use rock_core::util::retry::RetryPolicy;
 
 /// Configuration for the resilient drivers.
 #[derive(Clone, Debug)]
 pub struct ResilientConfig {
-    /// Transient-error retry policy.
+    /// Transient-error retry policy. The budget applies per record: each
+    /// record read gets up to `max_retries` retries before the error is
+    /// surfaced as hard.
     pub retry: RetryPolicy,
     /// Hard cap on quarantined records (cumulative across resumptions);
     /// exceeding it aborts with [`IngestErrorKind::QuarantineOverflow`].
@@ -116,7 +66,14 @@ pub struct ResilientConfig {
 impl Default for ResilientConfig {
     fn default() -> Self {
         ResilientConfig {
-            retry: RetryPolicy::default(),
+            // Ingest reads disks and sockets, so it retries a little
+            // longer than the unified RetryPolicy default.
+            retry: RetryPolicy {
+                max_retries: 4,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_secs(1),
+                jitter_seed: None,
+            },
             max_quarantine: 64,
             quarantine_detail: 16,
             checkpoint_every: 1024,
@@ -1742,6 +1699,7 @@ mod tests {
             max_retries: 8,
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(35),
+            jitter_seed: None,
         };
         assert_eq!(p.backoff(0), Duration::from_millis(10));
         assert_eq!(p.backoff(1), Duration::from_millis(20));

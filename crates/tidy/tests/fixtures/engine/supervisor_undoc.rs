@@ -1,0 +1,5 @@
+//! Seeded violation: an undocumented public API on a supervisor file.
+
+pub fn quarantine_shard(shard: usize) -> usize {
+    shard
+}

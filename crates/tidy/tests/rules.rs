@@ -319,6 +319,22 @@ fn engine_contract_has_no_allow_escape() {
 }
 
 #[test]
+fn engine_contract_auto_covers_new_engine_files() {
+    // The rule keys on the directory, not a file list: a file added to
+    // the engine later — here the shard supervisor — is covered without
+    // touching rock-tidy, and an undocumented public API fires at its
+    // declaration line.
+    let text = fixture("engine/supervisor_undoc.rs");
+    let file = load_source(
+        "crates/core/src/engine/supervisor.rs",
+        FileKind::Lib,
+        "core".to_string(),
+        &text,
+    );
+    assert_single(&check_file(&file), "engine-contract", 3);
+}
+
+#[test]
 fn engine_contract_only_applies_under_engine_dir() {
     let src = "pub struct Undocumented;\n";
     let file = load_source(
