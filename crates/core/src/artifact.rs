@@ -417,6 +417,7 @@ impl ModelArtifact {
     /// [`RockError::ArtifactMismatch`] for sections that decode but
     /// contradict each other.
     pub fn from_bytes(bytes: &[u8]) -> Result<ModelArtifact, RockError> {
+        // tidy-allow(panic-reach): the length check short-circuits before the magic slice
         if bytes.len() < ARTIFACT_MAGIC.len() || &bytes[..ARTIFACT_MAGIC.len()] != ARTIFACT_MAGIC {
             return Err(RockError::ArtifactCorrupt {
                 offset: 0,
@@ -494,12 +495,16 @@ impl ModelArtifact {
             offset,
             detail: format!("{what} record does not decode"),
         };
+        // tidy-allow(panic-reach): payloads has exactly SECTION_ORDER.len() == 4 entries — the loop above pushed one per section or returned early
         let clustering = parse_clusters(&payloads[0].0)
             .ok_or_else(|| corrupt(&payloads[0], "clusters"))?;
+        // tidy-allow(panic-reach): payloads has exactly SECTION_ORDER.len() == 4 entries — the loop above pushed one per section or returned early
         let representatives = parse_representatives(&payloads[1].0)
             .ok_or_else(|| corrupt(&payloads[1], "representatives"))?;
+        // tidy-allow(panic-reach): payloads has exactly SECTION_ORDER.len() == 4 entries — the loop above pushed one per section or returned early
         let dendro_parts = parse_dendrogram(&payloads[2].0)
             .ok_or_else(|| corrupt(&payloads[2], "dendrogram"))?;
+        // tidy-allow(panic-reach): payloads has exactly SECTION_ORDER.len() == 4 entries — the loop above pushed one per section or returned early
         let report =
             parse_report(&payloads[3].0).ok_or_else(|| corrupt(&payloads[3], "report"))?;
 

@@ -222,6 +222,7 @@ impl<'w> Pipeline<'w> {
             data_len: data.len(),
             sample_size: self.config.sample_size,
         })?;
+        // tidy-allow(panic-reach): SampleStage yields indices drawn from 0..data_len == data.len()
         let mut sample: Vec<P> = sample_indices.iter().map(|&i| data[i].clone()).collect();
         t.record(&mut self.ctx.report, "sample");
         self.ctx
@@ -261,6 +262,7 @@ impl<'w> Pipeline<'w> {
                     let keep = ((orig as f64 * fraction).ceil() as usize)
                         .clamp(self.config.k.min(orig), orig);
                     let sub = crate::sampling::sample_indices(orig, keep, &mut self.ctx.rng);
+                    // tidy-allow(panic-reach): sample_indices draws from 0..orig == sample.len() == sample_indices.len()
                     sample_indices = sub.iter().map(|&i| sample_indices[i]).collect();
                     sample = sub.iter().map(|&i| sample[i].clone()).collect();
                     let sub_note = Some(DegradationNote {

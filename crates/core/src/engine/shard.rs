@@ -166,6 +166,7 @@ impl<P, S: Similarity<P>> PairwiseSimilarity for RepSetSimilarity<'_, P, S> {
     }
 
     fn sim(&self, i: usize, j: usize) -> f64 {
+        // tidy-allow(panic-reach): PairwiseSimilarity contract — callers pass i, j < self.len() == sets.len()
         let (a, b) = (&self.sets[i], &self.sets[j]);
         let total = a.len() * b.len();
         if total == 0 {

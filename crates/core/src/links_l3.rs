@@ -32,6 +32,8 @@ pub fn compute_links_l3(graph: &NeighborGraph) -> LinkTable {
     let mut table = LinkTable::new(n);
     let mut w2 = vec![0u32; n];
     let mut w3 = vec![0u64; n];
+    let mut emitted = 0u64;
+    // tidy:kernel-hot-loop — length-3 path counting over all sources
     for i in 0..n {
         w2.iter_mut().for_each(|x| *x = 0);
         w3.iter_mut().for_each(|x| *x = 0);
@@ -55,9 +57,13 @@ pub fn compute_links_l3(graph: &NeighborGraph) -> LinkTable {
             let paths = walks.saturating_sub(degenerate);
             if paths > 0 {
                 table.add(i, j, u32::try_from(paths).unwrap_or(u32::MAX));
+                emitted += 1;
             }
         }
     }
+    // tidy:end-kernel-hot-loop
+    crate::perf::count_pairs_emitted(emitted);
+    crate::perf::count_scratch_reused(2 * n as u64);
     table
 }
 
@@ -89,6 +95,7 @@ pub fn compute_links_l3_parallel(graph: &NeighborGraph, threads: usize) -> LinkT
             scope.spawn(move |_| {
                 let mut w2 = vec![0u32; n];
                 let mut w3 = vec![0u64; n];
+                // tidy:kernel-hot-loop — length-3 path counting, one source shard
                 for i in lo..hi {
                     w2.iter_mut().for_each(|x| *x = 0);
                     w3.iter_mut().for_each(|x| *x = 0);
@@ -119,6 +126,9 @@ pub fn compute_links_l3_parallel(graph: &NeighborGraph, threads: usize) -> LinkT
                         }
                     }
                 }
+                // tidy:end-kernel-hot-loop
+                crate::perf::count_pairs_emitted(out.len() as u64);
+                crate::perf::count_scratch_reused(2 * n as u64);
             });
         }
     });

@@ -27,6 +27,14 @@
 //! * **Quarantine**: a query whose similarity evaluation degenerates
 //!   (NaN/±∞ from a user measure) is recorded and left unassigned
 //!   instead of poisoning the batch.
+//! * **Lifetime stats**: the service keeps cumulative
+//!   [`ServeStats`] counters and a bounded log of recent
+//!   [`ServeDegradationNote`]s across every batch it has served
+//!   ([`AssignService::lifetime_stats`]), updated *after* each batch
+//!   completes so no lock is ever held across a user similarity call.
+//!   The two interior locks follow one service-wide acquisition order —
+//!   stats before the degradation log — checked statically by
+//!   `rock-tidy`'s lock-order rule.
 //!
 //! Queries borrow the service immutably, so one service instance
 //! safely serves concurrent reader threads.
@@ -37,6 +45,8 @@ use crate::governor::{Phase, RunGovernor, TripReason};
 use crate::labeling::Labeler;
 use crate::report::QuarantinedRecord;
 use crate::similarity::Similarity;
+use std::collections::VecDeque;
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// What to do when the batch deadline trips mid-batch.
@@ -140,6 +150,45 @@ pub struct ServeBatch {
     pub report: ServeReport,
 }
 
+/// Cumulative counters over every batch one [`AssignService`] instance
+/// has served (see [`AssignService::lifetime_stats`]). All counts are
+/// exact: they are folded in under a lock after each batch completes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Batches served to completion (aborted batches are not counted).
+    pub batches: u64,
+    /// Queries across all completed batches.
+    pub queries: u64,
+    /// Queries assigned to a cluster.
+    pub assigned: u64,
+    /// Queries labeled as outliers.
+    pub unassigned: u64,
+    /// Queries quarantined for non-finite similarity.
+    pub quarantined: u64,
+    /// Batches that finished degraded (deadline tripped mid-batch).
+    pub degraded_batches: u64,
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} batches ({} degraded): {} queries = {} assigned + {} unassigned + {} quarantined",
+            self.batches,
+            self.degraded_batches,
+            self.queries,
+            self.assigned,
+            self.unassigned,
+            self.quarantined
+        )
+    }
+}
+
+/// How many [`ServeDegradationNote`]s the service retains: the log keeps
+/// the most recent `DEGRADATION_LOG_CAP` notes and drops the oldest
+/// (the exact count survives in [`ServeStats::degraded_batches`]).
+pub const DEGRADATION_LOG_CAP: usize = 16;
+
 /// A point type whose representative set can collapse to one summary
 /// point — the degraded scoring mode of [`ServeDegradation::Centroid`].
 pub trait Centroid: Sized {
@@ -179,6 +228,7 @@ impl Centroid for Vec<f64> {
         let len = reps.iter().map(Vec::len).min().unwrap_or(0);
         Some(
             (0..len)
+                // tidy-allow(panic-reach): i < len == the minimum rep length, so every r[i] is in bounds
                 .map(|i| reps.iter().map(|r| r[i]).sum::<f64>() / reps.len() as f64)
                 .collect(),
         )
@@ -222,13 +272,75 @@ pub fn load_artifact_with_retry(
 ///
 /// All query methods take `&self`; the service is `Sync` (for `Sync`
 /// point and measure types) and one instance serves concurrent reader
-/// threads.
-#[derive(Clone, Debug)]
+/// threads. Lifetime counters live behind interior locks with one
+/// service-wide acquisition order: `stats` strictly before
+/// `degradations`, never the reverse — every path that needs both takes
+/// them in that order, so the two locks cannot deadlock.
+#[derive(Debug)]
 pub struct AssignService<P, S> {
     full: Labeler<P>,
     centroid: Labeler<P>,
     measure: S,
     config: ServeConfig,
+    stats: Mutex<ServeStats>,
+    degradations: Mutex<VecDeque<ServeDegradationNote>>,
+}
+
+impl<P: Clone, S: Clone> Clone for AssignService<P, S> {
+    /// The clone starts from a snapshot of the source's lifetime stats;
+    /// the two services count independently afterwards.
+    fn clone(&self) -> Self {
+        let (stats, notes) = self.lifetime_stats();
+        AssignService {
+            full: self.full.clone(),
+            centroid: self.centroid.clone(),
+            measure: self.measure.clone(),
+            config: self.config.clone(),
+            stats: Mutex::new(stats),
+            degradations: Mutex::new(notes.into()),
+        }
+    }
+}
+
+impl<P, S> AssignService<P, S> {
+    /// A consistent snapshot of the lifetime counters and the retained
+    /// degradation log (most recent last, at most
+    /// [`DEGRADATION_LOG_CAP`] notes).
+    ///
+    /// Both locks are taken in the service-wide order — stats, then the
+    /// degradation log — so the counters and the log describe the same
+    /// prefix of served batches even under concurrent writers.
+    pub fn lifetime_stats(&self) -> (ServeStats, Vec<ServeDegradationNote>) {
+        // Both locked regions are call-free (ServeStats is Copy;
+        // `.cloned()` never names a workspace `clone`), so the static
+        // lock-order analysis sees no lock held across an outbound call.
+        let stats = self.stats.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // tidy-allow(lock-order): service-wide order is stats → degradations; record_batch nests identically
+        let log = self.degradations.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        (*stats, log.iter().cloned().collect())
+    }
+
+    /// Folds one completed batch into the lifetime counters. Called
+    /// after the batch loop finishes — never while a query (and thus a
+    /// user similarity measure) is in flight.
+    fn record_batch(&self, report: &ServeReport) {
+        let note = report.degraded.clone();
+        let mut stats = self.stats.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        stats.batches += 1;
+        stats.queries += report.queries;
+        stats.assigned += report.assigned;
+        stats.unassigned += report.unassigned;
+        stats.quarantined += report.records_quarantined;
+        if let Some(note) = note {
+            stats.degraded_batches += 1;
+            // tidy-allow(lock-order): service-wide order is stats → degradations; lifetime_stats nests identically
+            let mut log = self.degradations.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if log.len() == DEGRADATION_LOG_CAP {
+                log.pop_front();
+            }
+            log.push_back(note);
+        }
+    }
 }
 
 impl<P, S> AssignService<P, S>
@@ -254,6 +366,8 @@ where
             centroid,
             measure,
             config,
+            stats: Mutex::new(ServeStats::default()),
+            degradations: Mutex::new(VecDeque::new()),
         })
     }
 
@@ -373,6 +487,7 @@ where
                 Err(other) => return Err(other),
             }
         }
+        self.record_batch(&report);
         Ok(ServeBatch {
             assignments,
             report,
@@ -547,6 +662,103 @@ mod tests {
         let batch = service.assign_batch(&qs).unwrap();
         assert_eq!(batch.report.records_quarantined, 5);
         assert_eq!(batch.report.quarantined.len(), 2);
+    }
+
+    #[test]
+    fn lifetime_stats_accumulate_across_batches() {
+        let service: AssignService<Transaction, NanOn> =
+            AssignService::new(&sample_artifact(), NanOn(99), ServeConfig::default()).unwrap();
+        assert_eq!(service.lifetime_stats(), (ServeStats::default(), vec![]));
+        service.assign_batch(&queries()).unwrap();
+        let mut qs = queries();
+        qs.push(Transaction::from([99, 1]));
+        service.assign_batch(&qs).unwrap();
+        let (stats, notes) = service.lifetime_stats();
+        assert_eq!(
+            stats,
+            ServeStats {
+                batches: 2,
+                queries: 7,
+                assigned: 4,
+                unassigned: 2,
+                quarantined: 1,
+                degraded_batches: 0,
+            }
+        );
+        assert!(notes.is_empty());
+        assert_eq!(stats.to_string(), "2 batches (0 degraded): 7 queries = 4 assigned + 2 unassigned + 1 quarantined");
+    }
+
+    #[test]
+    fn aborted_batches_do_not_count() {
+        let config = ServeConfig {
+            degradation: ServeDegradation::Fail,
+            ..ServeConfig::default()
+        };
+        let service: AssignService<Transaction, Jaccard> =
+            AssignService::new(&sample_artifact(), Jaccard, config).unwrap();
+        let governor = RunGovernor::unlimited()
+            .with_check_every(1)
+            .with_time_budget(Duration::ZERO);
+        governor.arm();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(service.assign_batch_governed(&queries(), &governor).is_err());
+        assert_eq!(service.lifetime_stats().0, ServeStats::default());
+    }
+
+    #[test]
+    fn degradation_log_is_capped_most_recent_kept() {
+        let service: AssignService<Transaction, Jaccard> =
+            AssignService::new(&sample_artifact(), Jaccard, ServeConfig::default()).unwrap();
+        for round in 0..(DEGRADATION_LOG_CAP as u64 + 3) {
+            let governor = RunGovernor::unlimited()
+                .with_check_every(1)
+                .with_time_budget(Duration::ZERO);
+            governor.arm();
+            std::thread::sleep(Duration::from_millis(1));
+            let qs = queries()[..1 + (round as usize % 2)].to_vec();
+            service.assign_batch_governed(&qs, &governor).unwrap();
+        }
+        let (stats, notes) = service.lifetime_stats();
+        assert_eq!(stats.degraded_batches, DEGRADATION_LOG_CAP as u64 + 3);
+        assert_eq!(stats.batches, DEGRADATION_LOG_CAP as u64 + 3);
+        assert_eq!(notes.len(), DEGRADATION_LOG_CAP);
+        for note in &notes {
+            assert_eq!(note.reason, TripReason::DeadlineExceeded);
+        }
+    }
+
+    #[test]
+    fn clone_snapshots_then_counts_independently() {
+        let service: AssignService<Transaction, Jaccard> =
+            AssignService::new(&sample_artifact(), Jaccard, ServeConfig::default()).unwrap();
+        service.assign_batch(&queries()).unwrap();
+        let fork = service.clone();
+        assert_eq!(fork.lifetime_stats(), service.lifetime_stats());
+        fork.assign_batch(&queries()).unwrap();
+        assert_eq!(fork.lifetime_stats().0.batches, 2);
+        assert_eq!(service.lifetime_stats().0.batches, 1);
+    }
+
+    #[test]
+    fn concurrent_batches_keep_exact_totals() {
+        let service: AssignService<Transaction, Jaccard> =
+            AssignService::new(&sample_artifact(), Jaccard, ServeConfig::default()).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let service = &service;
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        service.assign_batch(&queries()).unwrap();
+                    }
+                });
+            }
+        });
+        let (stats, _) = service.lifetime_stats();
+        assert_eq!(stats.batches, 100);
+        assert_eq!(stats.queries, 300);
+        assert_eq!(stats.assigned, 200);
+        assert_eq!(stats.unassigned, 100);
     }
 
     /// An [`ArtifactSource`] that fails transiently `fail` times before

@@ -32,23 +32,21 @@ pub fn append_frame(buf: &mut Vec<u8>, kind: u8, payload: &[u8]) {
 /// `(type, payload, offset past the frame)` or `None` if the frame is
 /// incomplete or fails its checksum.
 pub fn read_frame(bytes: &[u8], at: usize) -> Option<(u8, &[u8], usize)> {
-    if at + 5 > bytes.len() {
-        return None;
-    }
-    let kind = bytes[at];
-    // tidy-allow(panic): the slice spans exactly 4 bytes by construction of the indices
-    let len = u32::from_le_bytes(bytes[at + 1..at + 5].try_into().expect("4 bytes")) as usize;
-    let payload_end = (at + 5).checked_add(len)?;
+    // Every access below is `get`-checked: this function parses bytes
+    // straight off disk, so no index may assume anything about them —
+    // and `checked_add` keeps a hostile `at`/`len` from overflowing.
+    let kind = *bytes.get(at)?;
+    let header_end = at.checked_add(5)?;
+    let len_bytes: [u8; 4] = bytes.get(at + 1..header_end)?.try_into().ok()?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    let payload_end = header_end.checked_add(len)?;
     let frame_end = payload_end.checked_add(4)?;
-    if frame_end > bytes.len() {
+    let crc_bytes: [u8; 4] = bytes.get(payload_end..frame_end)?.try_into().ok()?;
+    let stored = u32::from_le_bytes(crc_bytes);
+    if crc32(bytes.get(at..payload_end)?) != stored {
         return None;
     }
-    // tidy-allow(panic): the slice spans exactly 4 bytes by construction of the indices
-    let stored = u32::from_le_bytes(bytes[payload_end..frame_end].try_into().expect("4 bytes"));
-    if crc32(&bytes[at..payload_end]) != stored {
-        return None;
-    }
-    Some((kind, &bytes[at + 5..payload_end], frame_end))
+    Some((kind, bytes.get(header_end..payload_end)?, frame_end))
 }
 
 /// A forward-only, bounds-checked byte reader for record payloads.
@@ -70,29 +68,26 @@ impl<'a> Cursor<'a> {
     /// Takes the next `n` bytes, if present.
     pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.at.checked_add(n)?;
-        if end > self.bytes.len() {
-            return None;
-        }
-        let s = &self.bytes[self.at..end];
+        let s = self.bytes.get(self.at..end)?;
         self.at = end;
         Some(s)
     }
 
     /// Reads one byte.
     pub fn u8(&mut self) -> Option<u8> {
-        self.take(1).map(|s| s[0])
+        self.take(1).and_then(|s| s.first().copied())
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Option<u32> {
-        // tidy-allow(panic): take(4) returns an exactly-4-byte slice; the conversion is infallible
-        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+        let bytes: [u8; 4] = self.take(4)?.try_into().ok()?;
+        Some(u32::from_le_bytes(bytes))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Option<u64> {
-        // tidy-allow(panic): take(8) returns an exactly-8-byte slice; the conversion is infallible
-        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+        let bytes: [u8; 8] = self.take(8)?.try_into().ok()?;
+        Some(u64::from_le_bytes(bytes))
     }
 
     /// Reads an `f64` persisted as exact bits (see [`put_f64`]).

@@ -356,6 +356,7 @@ fn parse_snapshot(payload: &[u8]) -> Option<WalSnapshot> {
 /// a valid Begin is treated as a torn tail: the valid prefix is kept and
 /// [`WalReplay::truncated`] is set.
 pub fn parse_wal(bytes: &[u8]) -> Result<WalReplay, RockError> {
+    // tidy-allow(panic-reach): the length check short-circuits before the magic slice
     if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
         return Err(RockError::WalCorrupt {
             offset: 0,

@@ -1,0 +1,123 @@
+//! A token lexer over the [`crate::scan`] output.
+//!
+//! The scanner already did the hard lexical work — comments stripped
+//! into their own channel, string/char-literal contents blanked — so
+//! this pass only has to split the remaining *code* text into
+//! identifiers and punctuation, tagged with their line. That is exactly
+//! enough structure for the item extractor ([`crate::items`]) to
+//! recognise `fn` definitions, call sites, paths and brace nesting
+//! without a grammar: a pattern like `.unwrap()` appearing inside a
+//! string or comment never reaches this layer at all.
+
+use crate::scan::SourceLine;
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier, keyword or numeric literal (`fn`, `unwrap`, `42`).
+    Ident(String),
+    /// A single punctuation character (`{`, `(`, `.`, `:`, `!`, …).
+    Punct(char),
+}
+
+/// A token plus the 0-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 0-based source line index.
+    pub line: usize,
+    /// What the token is.
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            TokKind::Punct(_) => None,
+        }
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Lexes the code channel of scanned `lines` into a flat token stream.
+///
+/// Identifiers follow Rust rules (`[A-Za-z_][A-Za-z0-9_]*`); numeric
+/// literals are emitted as `Ident` tokens too (the consumers only ever
+/// compare against known names, so the conflation is harmless).
+/// Everything else that is not whitespace becomes a one-character
+/// `Punct` token — multi-character operators (`::`, `->`, `..`) appear
+/// as adjacent puncts, which the item extractor reassembles where it
+/// cares.
+pub fn lex(lines: &[SourceLine]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (lineno, line) in lines.iter().enumerate() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    line: lineno,
+                    kind: TokKind::Ident(chars[start..i].iter().collect()),
+                });
+            } else {
+                toks.push(Tok {
+                    line: lineno,
+                    kind: TokKind::Punct(c),
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(&scan(src))
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn splits_idents_and_puncts() {
+        let toks = lex(&scan("fn f(x: u32) { x.unwrap() }\n"));
+        let names: Vec<_> = toks.iter().filter_map(Tok::ident).collect();
+        assert_eq!(names, vec!["fn", "f", "x", "u32", "x", "unwrap"]);
+        assert!(toks.iter().any(|t| t.is_punct('{')));
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+    }
+
+    #[test]
+    fn tokens_carry_line_numbers() {
+        let toks = lex(&scan("a\nb\n\nc\n"));
+        let lines: Vec<_> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn comments_and_strings_yield_no_tokens() {
+        assert_eq!(
+            idents("// only .unwrap() in a comment\nlet s = \"panic!(boom)\";\n"),
+            vec!["let", "s"]
+        );
+    }
+}

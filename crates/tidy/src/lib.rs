@@ -29,6 +29,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod deep;
+pub mod graph;
+pub mod items;
+pub mod lex;
 pub mod rules;
 pub mod scan;
 
@@ -118,14 +122,12 @@ fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Runs the full pass over the workspace at `root`.
+/// Loads every checkable file of the workspace at `root` into memory.
 ///
 /// # Errors
-/// Propagates I/O errors from walking or reading the tree; rule
-/// violations are *not* errors — they are the returned diagnostics.
-pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut out = Vec::new();
-    check_changelog(root, &mut out);
+/// Propagates I/O errors from walking or reading the tree.
+pub fn load_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
     for path in collect_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -138,21 +140,84 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
             continue;
         };
         let text = fs::read_to_string(&path)?;
-        let file = load_source(&rel, kind, crate_name, &text);
-        out.extend(check_file(&file));
+        files.push(load_source(&rel, kind, crate_name, &text));
     }
+    Ok(files)
+}
+
+/// Runs every check — per-file rules and the call-graph-wide deep
+/// families — over already-loaded workspace sources. Split from
+/// [`run_workspace`] so tests can check patched in-memory sources (e.g.
+/// "does swapping two lock acquisitions fail the gate").
+pub fn check_sources(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        out.extend(check_file(file));
+    }
+    out.extend(deep::check_deep(files));
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// Runs the full pass over the workspace at `root`.
+///
+/// # Errors
+/// Propagates I/O errors from walking or reading the tree; rule
+/// violations are *not* errors — they are the returned diagnostics.
+pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let files = load_workspace(root)?;
+    let mut out = check_sources(&files);
+    check_changelog(root, &mut out);
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(out)
 }
 
-/// **changelog** — every PR appends one line to CHANGES.md; an empty or
-/// missing file means the session log protocol broke.
+/// **changelog** — every PR appends one line to CHANGES.md, and every
+/// entry line keeps the `PR <n>: <summary>` shape (no list bullets, no
+/// drifting formats): the file is the cross-session protocol log and
+/// tools parse it by that shape.
 fn check_changelog(root: &Path, out: &mut Vec<Diagnostic>) {
     let path = root.join("CHANGES.md");
-    let ok = fs::read_to_string(&path)
-        .map(|t| t.lines().any(|l| l.trim_start().starts_with("PR ")))
-        .unwrap_or(false);
-    if !ok {
+    let Ok(text) = fs::read_to_string(&path) else {
+        out.push(Diagnostic {
+            file: "CHANGES.md".to_string(),
+            line: 0,
+            rule: "changelog",
+            message: "CHANGES.md must exist and carry at least one `PR …` entry".to_string(),
+        });
+        return;
+    };
+    let mut entries = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        // Headings and blank lines are fine; everything else must be an
+        // entry of the canonical shape.
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let well_formed = t
+            .strip_prefix("PR ")
+            .and_then(|r| {
+                let digits = r.chars().take_while(char::is_ascii_digit).count();
+                (digits > 0).then(|| &r[digits..])
+            })
+            .is_some_and(|r| r.starts_with(": "));
+        if well_formed {
+            entries += 1;
+        } else {
+            out.push(Diagnostic {
+                file: "CHANGES.md".to_string(),
+                line: i + 1,
+                rule: "changelog",
+                message: format!(
+                    "CHANGES.md line does not match the `PR <n>: <summary>` entry \
+                     shape (got `{}…`)",
+                    t.chars().take(40).collect::<String>()
+                ),
+            });
+        }
+    }
+    if entries == 0 {
         out.push(Diagnostic {
             file: "CHANGES.md".to_string(),
             line: 0,

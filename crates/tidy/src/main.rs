@@ -52,6 +52,12 @@ fn parse_args() -> Result<Options, String> {
             }
             "--rule" => {
                 let v = args.next().ok_or("--rule needs a rule name")?;
+                if !known_rule(&v) {
+                    return Err(format!(
+                        "unknown rule `{v}` — known rules: {}",
+                        known_rules().join(", ")
+                    ));
+                }
                 opts.rules.push(v);
             }
             "--help" | "-h" => {
@@ -65,6 +71,25 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// Rules emitted without being `tidy-allow`-able (they have no escape
+/// hatch), still valid as `--rule` filters.
+const EMIT_ONLY_RULES: &[&str] = &["annotation", "engine-contract", "shim-doc", "changelog"];
+
+/// Every rule name a diagnostic can carry.
+fn known_rules() -> Vec<&'static str> {
+    let mut all: Vec<&'static str> = rock_tidy::rules::ALLOWABLE_RULES.to_vec();
+    all.extend_from_slice(EMIT_ONLY_RULES);
+    all.sort_unstable();
+    all
+}
+
+/// True when `name` is a rule any checker can emit. A typo here must be
+/// a hard error: silently filtering with a nonexistent name would make
+/// `--rule panics` report a clean pass over a broken workspace.
+fn known_rule(name: &str) -> bool {
+    known_rules().contains(&name)
 }
 
 /// Scans the explicitly named files as rock-core library code (the

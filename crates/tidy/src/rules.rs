@@ -68,6 +68,11 @@ pub const ALLOWABLE_RULES: &[&str] = &[
     "forbid-unsafe",
     "debris",
     "kernel-alloc",
+    "panic-reach",
+    "lock-order",
+    "counter-coverage",
+    "error-coverage",
+    "shims-confined",
 ];
 
 /// The crates whose library code must be panic-free / total-ordered.
@@ -78,7 +83,7 @@ const WALL_CLOCK_FILES: &[&str] = &["crates/core/src/report.rs", "crates/core/sr
 
 /// True if line `idx` (0-based) carries a valid `tidy-allow(rule): reason`
 /// on itself or one of the two preceding lines.
-fn allowed(file: &SourceFile, idx: usize, rule: &str) -> bool {
+pub(crate) fn allowed(file: &SourceFile, idx: usize, rule: &str) -> bool {
     let lo = idx.saturating_sub(2);
     (lo..=idx).any(|i| {
         file.lines
@@ -638,6 +643,81 @@ pub fn check_kernel_alloc(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Crate-path roots a library file may import from: the language/std
+/// roots, the workspace's own crates, and the vendored offline shims.
+const CONFINED_ROOTS: &[&str] = &[
+    // Language and path roots.
+    "std", "core", "alloc", "crate", "self", "super",
+    // Workspace crates (lib names as written in `use` paths).
+    "rock", "rock_core", "rock_data", "rock_baselines", "rock_eval", "rock_tidy",
+    // Vendored shims (shims/<name> in-tree).
+    "rayon", "rand", "proptest", "criterion",
+];
+
+/// **shims-confined** — the workspace builds fully offline: library and
+/// shim code may only import std, workspace crates and the vendored
+/// shims (`rayon`/`rand`/`proptest`/`criterion`). A `use serde::…`
+/// compiles locally only if someone added a registry dependency, which
+/// breaks the no-network build invariant — flag it at the import, before
+/// the manifest diff is even read.
+pub fn check_shims_confined(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !matches!(file.kind, FileKind::Lib | FileKind::Shim) {
+        return;
+    }
+    // Modules the file itself declares: edition-2018 uniform paths let a
+    // crate root write `use rules::check_file;` for its own `mod rules;`.
+    let local_mods: Vec<String> = file
+        .lines
+        .iter()
+        .filter_map(|l| {
+            let t = l.code.trim_start();
+            let rest = t
+                .strip_prefix("pub mod ")
+                .or_else(|| t.strip_prefix("mod "))?;
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            (!name.is_empty()).then_some(name)
+        })
+        .collect();
+    for (i, line) in file.lines.iter().enumerate() {
+        let t = line.code.trim_start();
+        let rest = t
+            .strip_prefix("pub use ")
+            .or_else(|| t.strip_prefix("pub(crate) use "))
+            .or_else(|| t.strip_prefix("use "))
+            .or_else(|| t.strip_prefix("extern crate "));
+        let Some(rest) = rest else { continue };
+        let root: String = rest
+            .trim_start_matches("::")
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if root.is_empty()
+            || CONFINED_ROOTS.contains(&root.as_str())
+            || local_mods.iter().any(|m| m == &root)
+            // An uppercase root is a type in scope (`use Edibility::{…}`
+            // for a local enum), never an external crate.
+            || root.chars().next().is_some_and(char::is_uppercase)
+        {
+            continue;
+        }
+        if !allowed(file, i, "shims-confined") {
+            out.push(diag(
+                file,
+                i,
+                "shims-confined",
+                format!(
+                    "import from `{root}`: library code may only depend on std, \
+                     workspace crates and the vendored shims (offline-build \
+                     invariant); vendor a shim under shims/ or drop the dependency"
+                ),
+            ));
+        }
+    }
+}
+
 /// **shim-doc** — each vendored shim must document, in its crate-level
 /// doc comment, that it is an offline stand-in and which API subset it
 /// carries; otherwise a future reader mistakes it for the real crate.
@@ -681,5 +761,6 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     check_forbid_unsafe(file, &mut out);
     check_debris(file, &mut out);
     check_shim_doc(file, &mut out);
+    check_shims_confined(file, &mut out);
     out
 }

@@ -82,3 +82,34 @@ fn unknown_flag_exits_two() {
     let out = bin().arg("--bogus").output().expect("running rock-tidy");
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn unknown_rule_name_is_a_usage_error() {
+    // A typo'd filter must be a hard error, not a silently clean pass.
+    let out = bin()
+        .arg("--rule")
+        .arg("panics")
+        .output()
+        .expect("running rock-tidy");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown rule `panics`"), "{stderr}");
+    assert!(stderr.contains("panic-reach"), "must list known rules: {stderr}");
+}
+
+#[test]
+fn deep_rule_filter_runs_on_the_workspace() {
+    // `--rule panic-reach` is a known filter and the shipped workspace
+    // passes it — the README's static-analysis quickstart invocation.
+    let out = bin()
+        .args(["--ci", "--rule", "panic-reach", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("running rock-tidy");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

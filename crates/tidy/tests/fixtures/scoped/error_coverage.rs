@@ -1,0 +1,8 @@
+//! Seeded violation: an error variant nothing constructs and no test
+//! names — scan as `crates/core/src/error.rs`.
+
+/// The error enum as the error-coverage rule sees it.
+pub enum RockError {
+    /// Planted: never constructed in library code, never tested.
+    Orphaned,
+}

@@ -1,0 +1,4 @@
+//! A crate root missing `#![forbid(unsafe_code)]` — scan this fixture
+//! as `crates/<name>/src/lib.rs` to make the forbid-unsafe rule fire.
+
+pub fn f() {}

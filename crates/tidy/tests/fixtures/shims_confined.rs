@@ -1,0 +1,6 @@
+//! Seeded violation: a library file importing a crate outside the
+//! vendored shim set (the workspace builds offline; see shims/).
+use serde::Serialize;
+
+/// Would silently require registry access to compile.
+pub fn export() {}

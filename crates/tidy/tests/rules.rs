@@ -6,11 +6,19 @@
 //! The flip side (annotated or restructured sites passing) is covered by
 //! the `clean_*` tests below.
 
-use rock_tidy::{check_file, load_source, Diagnostic, FileKind};
+use rock_tidy::{check_file, check_sources, load_source, Diagnostic, FileKind};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// Scans fixture `name` as if it lived at `rel` in crate `crate_name`,
+/// through the full pass — per-file rules *plus* the call-graph deep
+/// families (the fixtures under `scoped/` only fire at a specific path).
+fn scan_scoped(name: &str, rel: &str, crate_name: &str) -> Vec<Diagnostic> {
+    let file = load_source(rel, FileKind::Lib, crate_name.to_string(), &fixture(name));
+    check_sources(&[file])
 }
 
 /// Scans fixture `name` as if it were rock-core library code.
@@ -268,6 +276,121 @@ fn patterns_in_strings_and_comments_do_not_fire() {
         src,
     );
     assert!(check_file(&file).is_empty());
+}
+
+#[test]
+fn fixture_shims_confined() {
+    assert_single(&scan_as_core_lib("shims_confined.rs"), "shims-confined", 3);
+}
+
+#[test]
+fn fixture_panic_reach() {
+    assert_single(
+        &scan_scoped("scoped/panic_reach.rs", "crates/core/src/serve.rs", "core"),
+        "panic-reach",
+        6,
+    );
+}
+
+#[test]
+fn fixture_lock_order() {
+    assert_single(
+        &scan_scoped("scoped/lock_order.rs", "crates/core/src/serve.rs", "core"),
+        "lock-order",
+        15,
+    );
+}
+
+#[test]
+fn fixture_counter_coverage() {
+    assert_single(
+        &scan_scoped("scoped/counter_coverage.rs", "crates/core/src/links.rs", "core"),
+        "counter-coverage",
+        7,
+    );
+}
+
+#[test]
+fn fixture_error_coverage() {
+    assert_single(
+        &scan_scoped("scoped/error_coverage.rs", "crates/core/src/error.rs", "core"),
+        "error-coverage",
+        7,
+    );
+}
+
+#[test]
+fn fixture_forbid_unsafe() {
+    let diags: Vec<_> = scan_scoped(
+        "scoped/forbid_unsafe_lib.rs",
+        "crates/fake/src/lib.rs",
+        "fake",
+    )
+    .into_iter()
+    .filter(|d| d.rule == "forbid-unsafe")
+    .collect();
+    assert_single(&diags, "forbid-unsafe", 1);
+}
+
+/// The meta-check behind the fixture suite: every rule that supports a
+/// `tidy-allow` escape must keep at least one failing fixture under
+/// `tests/fixtures/`, so adding a rule without a fixture — or silently
+/// breaking a rule so its fixture passes — fails this test rather than
+/// going unnoticed.
+#[test]
+fn every_allowable_rule_has_a_failing_fixture() {
+    let registry: &[(&str, &str, &str, &str)] = &[
+        ("panic", "panic_unwrap.rs", "crates/core/src/fixture.rs", "core"),
+        (
+            "nondeterministic-iter",
+            "nondeterministic_iter.rs",
+            "crates/core/src/fixture.rs",
+            "core",
+        ),
+        ("wall-clock", "wall_clock.rs", "crates/core/src/fixture.rs", "core"),
+        ("float-ordering", "float_ordering.rs", "crates/core/src/fixture.rs", "core"),
+        ("file-io", "file_io.rs", "crates/core/src/fixture.rs", "core"),
+        ("unsafe-block", "unsafe_block.rs", "crates/core/src/fixture.rs", "core"),
+        (
+            "forbid-unsafe",
+            "scoped/forbid_unsafe_lib.rs",
+            "crates/fake/src/lib.rs",
+            "fake",
+        ),
+        ("debris", "debris.rs", "crates/core/src/fixture.rs", "core"),
+        ("kernel-alloc", "kernel_alloc.rs", "crates/core/src/fixture.rs", "core"),
+        ("panic-reach", "scoped/panic_reach.rs", "crates/core/src/serve.rs", "core"),
+        ("lock-order", "scoped/lock_order.rs", "crates/core/src/serve.rs", "core"),
+        (
+            "counter-coverage",
+            "scoped/counter_coverage.rs",
+            "crates/core/src/links.rs",
+            "core",
+        ),
+        (
+            "error-coverage",
+            "scoped/error_coverage.rs",
+            "crates/core/src/error.rs",
+            "core",
+        ),
+        ("shims-confined", "shims_confined.rs", "crates/core/src/fixture.rs", "core"),
+    ];
+    for rule in rock_tidy::rules::ALLOWABLE_RULES {
+        let (_, name, rel, krate) = registry
+            .iter()
+            .find(|(r, ..)| r == rule)
+            .unwrap_or_else(|| {
+                panic!(
+                    "rule `{rule}` has no registered failing fixture — seed one under \
+                     tests/fixtures/ and register it in this table"
+                )
+            });
+        let diags = scan_scoped(name, rel, krate);
+        assert!(
+            diags.iter().any(|d| d.rule == *rule),
+            "fixture `{name}` must fail rule `{rule}`; got {diags:#?}"
+        );
+    }
 }
 
 /// Scans `src` as if it lived inside `crates/core/src/engine/`.
