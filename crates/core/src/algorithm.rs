@@ -5,7 +5,10 @@
 //! merge candidates ordered by the goodness measure, plus a *global heap*
 //! `Q` ordering clusters by the goodness of their best candidate. Every
 //! iteration merges the globally best pair and patches the heaps of all
-//! clusters linked to either side — O(n² log n) worst case (§4.5).
+//! clusters linked to either side — O(n² log n) worst case (§4.5). That
+//! mutable heap + link-map state lives in
+//! [`crate::incremental::IncrementalState`], shared bit-for-bit with the
+//! online update path; this module owns the batch driver around it.
 //!
 //! Deviations from Fig. 3, all from the paper's own prose:
 //!
@@ -22,11 +25,11 @@ use crate::cluster::{Clustering, MergeRecord};
 use crate::error::RockError;
 use crate::goodness::{Goodness, GoodnessKind};
 use crate::governor::{Phase, RunGovernor};
-use crate::heap::{AddressableHeap, HeapPool};
+use crate::incremental::IncrementalState;
 use crate::links::LinkTable;
 use crate::links_matrix::LinkMatrix;
 use crate::neighbors::NeighborGraph;
-use crate::util::{FxBuildHasher, FxHashMap};
+use crate::util::FxBuildHasher;
 use crate::wal::{parse_wal, MergeWal, WalBegin, WalSnapshot};
 
 /// §4.6 outlier handling knobs.
@@ -357,7 +360,7 @@ impl RockAlgorithm {
             }
         }
         let initial = members.len();
-        let mut state = State::new(members, self.goodness, self.hasher);
+        let mut state = IncrementalState::new(members, self.goodness, self.hasher);
 
         // Initial cross-link maps and local heaps from the linked pairs.
         for ((i, j), c) in pairs {
@@ -585,7 +588,7 @@ impl RockAlgorithm {
             }
             *slot = Some(m.clone());
         }
-        let mut state = State::new(members, self.goodness, self.hasher);
+        let mut state = IncrementalState::new(members, self.goodness, self.hasher);
         state.live = snap.clusters.len();
         // tidy-allow(nondeterministic-iter): snap.links is a Vec canonically sorted by Engine::snapshot, not a hash map; the name merely shadows the links field
         for &(i, j, c) in &snap.links {
@@ -635,7 +638,7 @@ enum Step {
 /// In-flight run: mutable state plus the trace needed to finish, log and
 /// snapshot it.
 struct Engine {
-    state: State,
+    state: IncrementalState,
     /// Outliers accumulated so far (pruned up front, then weeded).
     outliers: Vec<u32>,
     initial_points: Vec<u32>,
@@ -646,33 +649,17 @@ struct Engine {
 impl Engine {
     /// A full state image for the WAL. Canonical: clusters ascend by
     /// arena id, links ascend by `(i, j)` — identical state produces
-    /// identical snapshot bytes.
+    /// identical snapshot bytes (see
+    /// [`IncrementalState::live_clusters`] and
+    /// [`IncrementalState::canonical_links`]).
     fn snapshot(&self) -> WalSnapshot {
-        let mut clusters = Vec::with_capacity(self.state.live);
-        for (id, m) in self.state.members.iter().enumerate() {
-            if let Some(m) = m {
-                clusters.push((id as u32, m.clone()));
-            }
-        }
-        let mut links = Vec::new();
-        for (i, l) in self.state.links.iter().enumerate() {
-            if self.state.members[i].is_none() {
-                continue;
-            }
-            for (&j, &c) in l {
-                if (j as usize) > i && self.state.members[j as usize].is_some() {
-                    links.push((i as u32, j, c));
-                }
-            }
-        }
-        links.sort_unstable();
         WalSnapshot {
             merges_done: self.merges.len() as u64,
             arena_len: self.state.members.len() as u64,
             weeded: self.weeded,
             outliers: self.outliers.clone(),
-            clusters,
-            links,
+            clusters: self.state.live_clusters(),
+            links: self.state.canonical_links(),
         }
     }
 }
@@ -686,167 +673,11 @@ fn kind_code(kind: GoodnessKind) -> u8 {
 }
 
 /// Sets the `resumable` flag on an [`RockError::Interrupted`].
-fn mark_resumable(mut err: RockError, resumable: bool) -> RockError {
+pub(crate) fn mark_resumable(mut err: RockError, resumable: bool) -> RockError {
     if let RockError::Interrupted { resumable: r, .. } = &mut err {
         *r = resumable;
     }
     err
-}
-
-/// Mutable clustering state: an arena of clusters plus the two-level heap
-/// structure of Fig. 3.
-struct State {
-    /// Arena: `None` once a cluster has been merged away or weeded.
-    members: Vec<Option<Vec<u32>>>,
-    /// `links[i][j]` = cross links between live clusters `i` and `j`.
-    links: Vec<FxHashMap<u32, u64>>,
-    /// Local heaps `q[i]`: candidates ordered by goodness.
-    local: Vec<AddressableHeap<u32>>,
-    /// Global heap `Q`: cluster → goodness of its best candidate
-    /// (−∞ for clusters with no linked partner).
-    global: AddressableHeap<u32>,
-    /// Number of live clusters.
-    live: usize,
-    goodness: Goodness,
-    /// Recycled candidate-heap buffers: every merge retires `q[u]` and
-    /// `q[v]` and builds one `q[w]`, so the pool keeps the agglomeration
-    /// phase at a handful of heap/map allocations total instead of
-    /// O(merges). Pool state never affects results (see
-    /// [`HeapPool`]).
-    heap_pool: HeapPool<u32>,
-}
-
-impl State {
-    fn new(members: Vec<Option<Vec<u32>>>, goodness: Goodness, hasher: FxBuildHasher) -> Self {
-        let n = members.len();
-        State {
-            live: n,
-            links: vec![FxHashMap::with_hasher(hasher); n],
-            local: (0..n).map(|_| AddressableHeap::new()).collect(),
-            global: AddressableHeap::with_capacity(n),
-            members,
-            goodness,
-            heap_pool: HeapPool::new(),
-        }
-    }
-
-    fn size(&self, id: u32) -> usize {
-        self.members[id as usize]
-            .as_ref()
-            // tidy-allow(panic): size() is only called on cluster ids still live in the merge loop, whose slots are occupied
-            .expect("live cluster")
-            .len()
-    }
-
-    /// Re-derives cluster `id`'s entry in the global heap from its local
-    /// heap (Fig. 3 steps 14 and 16).
-    fn refresh_global(&mut self, id: u32) {
-        let best = self.local[id as usize]
-            .peek()
-            .map_or(f64::NEG_INFINITY, |(_, g)| g);
-        self.global.insert(id, best);
-    }
-
-    /// Merges the globally best cluster `u` with its best partner
-    /// (Fig. 3 steps 6–17); returns the merge record.
-    fn merge(&mut self, u: u32) -> MergeRecord {
-        let (v, guv) = self.local[u as usize]
-            .peek()
-            // tidy-allow(panic): drive() only merges ids whose global goodness is finite, which requires a non-empty local heap
-            .expect("merge called on cluster with candidates");
-        let cross = self.links[u as usize][&v];
-        let record = MergeRecord {
-            left: u,
-            right: v,
-            merged: self.members.len() as u32,
-            sizes: (self.size(u), self.size(v)),
-            cross_links: cross,
-            goodness: guv,
-        };
-
-        self.global.remove(&u);
-        self.global.remove(&v);
-
-        // Step 9: w := merge(u, v).
-        // tidy-allow(panic): u and v come from live heap entries; each slot is taken here exactly once
-        let mut merged = self.members[u as usize].take().expect("live");
-        // tidy-allow(panic): u and v come from live heap entries; each slot is taken here exactly once
-        merged.extend(self.members[v as usize].take().expect("live"));
-        let w = self.members.len() as u32;
-        let w_size = merged.len();
-        self.members.push(Some(merged));
-
-        // link[x, w] := link[x, u] + link[x, v] for all linked x.
-        let mut lw = std::mem::take(&mut self.links[u as usize]);
-        // tidy-allow(nondeterministic-iter): counts accumulate with commutative `+=`; visit order cannot affect the sums
-        for (x, c) in std::mem::take(&mut self.links[v as usize]) {
-            *lw.entry(x).or_insert(0) += c;
-        }
-        lw.remove(&u);
-        lw.remove(&v);
-
-        let mut qw = self.heap_pool.acquire();
-        // tidy-allow(nondeterministic-iter): each iteration updates only x-keyed state, and heap orderings break goodness ties by key, so visit order cannot affect any outcome
-        for (&x, &cxw) in &lw {
-            // Steps 11–14: replace u, v by w in x's bookkeeping.
-            let xl = &mut self.links[x as usize];
-            xl.remove(&u);
-            xl.remove(&v);
-            xl.insert(w, cxw);
-            let g = self
-                .goodness
-                .merge_goodness(cxw, self.size(x), w_size);
-            let xq = &mut self.local[x as usize];
-            xq.remove(&u);
-            xq.remove(&v);
-            xq.insert(w, g);
-            self.refresh_global(x);
-            qw.insert(x, g);
-        }
-
-        // Step 17: deallocate q[u], q[v] — their buffers return to the
-        // pool and come back as future merges' candidate heaps.
-        std::mem::take(&mut self.local[u as usize]).recycle_into(&mut self.heap_pool);
-        std::mem::take(&mut self.local[v as usize]).recycle_into(&mut self.heap_pool);
-        self.links.push(lw);
-        self.local.push(qw);
-        self.refresh_global(w);
-        self.live -= 1;
-        record
-    }
-
-    /// §4.6 weeding: kills every live cluster smaller than `min_size`,
-    /// appending its members to `outliers`.
-    fn weed(&mut self, min_size: usize, outliers: &mut Vec<u32>) {
-        let victims: Vec<u32> = self
-            .members
-            .iter()
-            .enumerate()
-            .filter_map(|(id, m)| {
-                m.as_ref()
-                    .filter(|m| m.len() < min_size)
-                    .map(|_| id as u32)
-            })
-            .collect();
-        for o in victims {
-            // tidy-allow(panic): victims were collected from occupied slots and are distinct, so each take() hits Some
-            let m = self.members[o as usize].take().expect("live");
-            outliers.extend(m);
-            // tidy-allow(nondeterministic-iter): the loop performs keyed removals on partners' maps and heaps; per-partner updates are independent of visit order
-            for (x, _) in std::mem::take(&mut self.links[o as usize]) {
-                // A partner may itself have just been weeded.
-                if self.members[x as usize].is_none() {
-                    continue;
-                }
-                self.links[x as usize].remove(&o);
-                self.local[x as usize].remove(&o);
-                self.refresh_global(x);
-            }
-            self.local[o as usize].clear();
-            self.global.remove(&o);
-            self.live -= 1;
-        }
-    }
 }
 
 #[cfg(test)]

@@ -13,15 +13,30 @@
 //! [`crate::report::RunReport`] — so labeling through a reloaded
 //! artifact is **bit-identical** to labeling on the live model.
 //!
-//! ## Binary format (version 1)
+//! ## Binary format
 //!
 //! An artifact is `b"ROCKART1"` followed by CRC-framed sections (the
 //! same frame codec as the merge WAL — [`crate::util::frame`]):
 //!
 //! ```text
 //! frame    := type:u8  len:u32le  payload[len]  crc32:u32le
-//! sections := Header Clusters Representatives Dendrogram Report End
+//! v1       := Header Clusters Representatives Dendrogram Report End
+//! v2       := Header Clusters Representatives Dendrogram Report Update End
 //! ```
+//!
+//! Version 2 (this build's native format) adds the **Update** section —
+//! the evolving-model state of the online update path
+//! ([`crate::incremental`]): cumulative
+//! [`UpdateProvenance`](crate::incremental::UpdateProvenance), the
+//! [`StalenessPolicy`](crate::incremental::StalenessPolicy) in force,
+//! and the pending/dirty-link accumulators — and widens the per-phase
+//! perf entries in the Report section with the update-path counters.
+//! [`ModelArtifact::to_bytes`] writes version 1 whenever the artifact
+//! carries no update state, so batch fits stay byte-identical to what
+//! version-1 builds wrote, and [`ModelArtifact::from_bytes`] loads both
+//! versions. [`ModelArtifact::from_bytes_capped`] models an older
+//! reader: a version-2 image handed to a version-1 cap fails with
+//! [`RockError::ArtifactVersion`], never `ArtifactCorrupt`.
 //!
 //! Unlike the WAL — whose torn tail is legitimately truncated, because
 //! a crash mid-append is an expected state — an artifact is only ever
@@ -47,6 +62,7 @@ use crate::dendrogram::Dendrogram;
 use crate::engine::model::ModelFit;
 use crate::error::RockError;
 use crate::governor::{DegradationNote, DegradationPolicy, Phase, TripReason};
+use crate::incremental::{StalenessPolicy, UpdateProvenance};
 use crate::labeling::Labeler;
 use crate::perf::PerfCounters;
 use crate::report::{PhasePerf, PhaseTiming, QuarantinedRecord, RunReport};
@@ -60,7 +76,7 @@ use std::path::Path;
 pub const ARTIFACT_MAGIC: &[u8; 8] = b"ROCKART1";
 
 /// The newest artifact format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 const SEC_HEADER: u8 = 1;
 const SEC_CLUSTERS: u8 = 2;
@@ -68,8 +84,10 @@ const SEC_REPS: u8 = 3;
 const SEC_DENDRO: u8 = 4;
 const SEC_REPORT: u8 = 5;
 const SEC_END: u8 = 6;
+const SEC_UPDATE: u8 = 7;
 
-/// Section frames between Header and End, in required order.
+/// Section frames between Header and End shared by every version, in
+/// required order (version 2 appends the Update section after these).
 const SECTION_ORDER: [u8; 4] = [SEC_CLUSTERS, SEC_REPS, SEC_DENDRO, SEC_REPORT];
 
 /// A point type that can travel through an artifact's representative
@@ -145,6 +163,25 @@ pub struct ModelArtifact {
     representatives: Option<Representatives>,
     dendrogram: Option<ArtifactDendrogram>,
     report: RunReport,
+    update: Option<UpdateExtension>,
+}
+
+/// The evolving-model state a version-2 artifact carries: everything
+/// the online update path ([`crate::incremental::IncrementalRockState`])
+/// needs to continue absorbing points exactly where the saved model
+/// left off.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateExtension {
+    /// Cumulative update provenance since the batch fit.
+    pub provenance: UpdateProvenance,
+    /// The staleness/re-merge policy the model evolves under.
+    pub policy: StalenessPolicy,
+    /// Points absorbed since the last re-merge.
+    pub pending: u64,
+    /// Per-cluster dirty-link accumulators, parallel to the clustering.
+    pub dirty: Vec<u64>,
+    /// The next point id the update path will mint.
+    pub next_point: u32,
 }
 
 /// The persisted dendrogram parts (kept pre-validated: construction
@@ -180,6 +217,7 @@ impl ModelArtifact {
                 outliers: d.outliers().to_vec(),
             }),
             report: fit.report.clone(),
+            update: None,
         }
     }
 
@@ -269,6 +307,16 @@ impl ModelArtifact {
         self.representatives.is_some()
     }
 
+    /// The evolving-model update state, if this artifact was saved by
+    /// the online update path (version-2 artifacts only).
+    pub fn update_state(&self) -> Option<&UpdateExtension> {
+        self.update.as_ref()
+    }
+
+    pub(crate) fn set_update_state(&mut self, ext: Option<UpdateExtension>) {
+        self.update = ext;
+    }
+
     /// Rebuilds the persisted dendrogram, if the fit had one.
     pub fn dendrogram(&self) -> Option<Dendrogram> {
         self.dendrogram.as_ref().and_then(|d| {
@@ -337,12 +385,41 @@ impl ModelArtifact {
         }
     }
 
-    /// Serializes the artifact (magic + framed sections).
+    /// Serializes the artifact (magic + framed sections) at the lowest
+    /// format version that can represent it: version 1 when there is no
+    /// update state (byte-identical to what version-1 builds wrote),
+    /// version 2 otherwise.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode(if self.update.is_some() { 2 } else { 1 })
+    }
+
+    /// Serializes the artifact at an explicit format `version` — the
+    /// compatibility seam for writing images an older reader accepts.
+    ///
+    /// # Errors
+    /// [`RockError::ArtifactVersion`] when `version` is not one this
+    /// build writes, and [`RockError::ArtifactMismatch`] when the
+    /// artifact carries update state that `version` cannot represent.
+    pub fn to_bytes_versioned(&self, version: u32) -> Result<Vec<u8>, RockError> {
+        if !(1..=FORMAT_VERSION).contains(&version) {
+            return Err(RockError::ArtifactVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        if version < 2 && self.update.is_some() {
+            return Err(RockError::ArtifactMismatch {
+                detail: "update state cannot be represented in a version-1 artifact".into(),
+            });
+        }
+        Ok(self.encode(version))
+    }
+
+    fn encode(&self, version: u32) -> Vec<u8> {
         let mut buf = ARTIFACT_MAGIC.to_vec();
 
         let mut p = Vec::new();
-        put_u32(&mut p, FORMAT_VERSION);
+        put_u32(&mut p, version);
         put_str(&mut p, &self.model);
         put_f64(&mut p, self.theta);
         put_f64(&mut p, self.ftheta);
@@ -398,11 +475,25 @@ impl ModelArtifact {
         append_frame(&mut buf, SEC_DENDRO, &p);
 
         let mut p = Vec::new();
-        encode_report(&mut p, &self.report);
+        encode_report(&mut p, &self.report, version);
         append_frame(&mut buf, SEC_REPORT, &p);
 
+        let mut sections = 1 + SECTION_ORDER.len() as u32;
+        if version >= 2 {
+            let mut p = Vec::new();
+            match &self.update {
+                None => p.push(0),
+                Some(ext) => {
+                    p.push(1);
+                    encode_update_ext(&mut p, ext);
+                }
+            }
+            append_frame(&mut buf, SEC_UPDATE, &p);
+            sections += 1;
+        }
+
         let mut p = Vec::new();
-        put_u32(&mut p, 1 + SECTION_ORDER.len() as u32);
+        put_u32(&mut p, sections);
         append_frame(&mut buf, SEC_END, &p);
         buf
     }
@@ -417,6 +508,20 @@ impl ModelArtifact {
     /// [`RockError::ArtifactMismatch`] for sections that decode but
     /// contradict each other.
     pub fn from_bytes(bytes: &[u8]) -> Result<ModelArtifact, RockError> {
+        ModelArtifact::from_bytes_capped(bytes, FORMAT_VERSION)
+    }
+
+    /// [`ModelArtifact::from_bytes`] as a reader supporting only format
+    /// versions up to `max_version` would behave — the compatibility
+    /// seam the backward/forward tests pin: a newer image fails with
+    /// [`RockError::ArtifactVersion`] (the version is decoded before
+    /// anything else), never `ArtifactCorrupt`.
+    ///
+    /// # Errors
+    /// As [`ModelArtifact::from_bytes`], with
+    /// [`RockError::ArtifactVersion`] for any version outside
+    /// `1..=max_version`.
+    pub fn from_bytes_capped(bytes: &[u8], max_version: u32) -> Result<ModelArtifact, RockError> {
         // tidy-allow(panic-reach): the length check short-circuits before the magic slice
         if bytes.len() < ARTIFACT_MAGIC.len() || &bytes[..ARTIFACT_MAGIC.len()] != ARTIFACT_MAGIC {
             return Err(RockError::ArtifactCorrupt {
@@ -450,10 +555,10 @@ impl ModelArtifact {
             offset: header_offset,
             detail: "header record does not decode".into(),
         })?;
-        if version != FORMAT_VERSION {
+        if !(1..=max_version).contains(&version) {
             return Err(RockError::ArtifactVersion {
                 found: version,
-                supported: FORMAT_VERSION,
+                supported: max_version,
             });
         }
         let header_fields = (|| {
@@ -476,9 +581,21 @@ impl ModelArtifact {
             let offset = at as u64;
             payloads.push((next_frame(kind, &mut at)?, offset));
         }
+        let mut sections = 1 + SECTION_ORDER.len() as u32;
+        let update = if version >= 2 {
+            sections += 1;
+            let offset = at as u64;
+            let payload = next_frame(SEC_UPDATE, &mut at)?;
+            parse_update_ext(&payload).ok_or_else(|| RockError::ArtifactCorrupt {
+                offset,
+                detail: "update record does not decode".into(),
+            })?
+        } else {
+            None
+        };
         let end = next_frame(SEC_END, &mut at)?;
         let mut c = Cursor::new(&end);
-        if c.u32() != Some(1 + SECTION_ORDER.len() as u32) || !c.done() {
+        if c.u32() != Some(sections) || !c.done() {
             return Err(RockError::ArtifactCorrupt {
                 offset: at as u64,
                 detail: "end marker section count mismatch".into(),
@@ -505,8 +622,8 @@ impl ModelArtifact {
         let dendro_parts = parse_dendrogram(&payloads[2].0)
             .ok_or_else(|| corrupt(&payloads[2], "dendrogram"))?;
         // tidy-allow(panic-reach): payloads has exactly SECTION_ORDER.len() == 4 entries — the loop above pushed one per section or returned early
-        let report =
-            parse_report(&payloads[3].0).ok_or_else(|| corrupt(&payloads[3], "report"))?;
+        let report = parse_report(&payloads[3].0, version)
+            .ok_or_else(|| corrupt(&payloads[3], "report"))?;
 
         let artifact = ModelArtifact {
             model,
@@ -518,6 +635,7 @@ impl ModelArtifact {
             representatives,
             dendrogram: dendro_parts,
             report,
+            update,
         };
         artifact.validate()?;
         Ok(artifact)
@@ -566,6 +684,18 @@ impl ModelArtifact {
             .is_none()
             {
                 return mismatch("dendrogram merge trace does not replay".into());
+            }
+        }
+        if let Some(ext) = &self.update {
+            if let Err(detail) = ext.policy.check() {
+                return mismatch(detail);
+            }
+            if ext.dirty.len() != self.clustering.clusters.len() {
+                return mismatch(format!(
+                    "dirty-link count mismatch: {} accumulators for {} clusters",
+                    ext.dirty.len(),
+                    self.clustering.clusters.len()
+                ));
             }
         }
         Ok(())
@@ -821,7 +951,80 @@ fn decode_policy(c: &mut Cursor<'_>) -> Option<DegradationPolicy> {
     })
 }
 
-fn encode_report(buf: &mut Vec<u8>, r: &RunReport) {
+fn encode_update_ext(buf: &mut Vec<u8>, ext: &UpdateExtension) {
+    let pv = &ext.provenance;
+    put_u64(buf, pv.updates_applied);
+    put_u64(buf, pv.points_absorbed);
+    put_u64(buf, pv.points_rejected);
+    put_u64(buf, pv.relabels);
+    put_u64(buf, pv.dirty_links);
+    put_u64(buf, pv.remerges);
+    put_u64(buf, pv.remerge_merges);
+    let p = &ext.policy;
+    put_u64(buf, p.max_pending);
+    put_f64(buf, p.max_dirty_fraction);
+    put_f64(buf, p.min_goodness);
+    put_u64(buf, p.max_merges);
+    put_u64(buf, p.min_clusters as u64);
+    put_f64(buf, p.max_cluster_fraction);
+    put_u64(buf, p.rep_cap as u64);
+    put_u64(buf, ext.pending);
+    put_u32(buf, ext.next_point);
+    put_u32(buf, ext.dirty.len() as u32);
+    for &d in &ext.dirty {
+        put_u64(buf, d);
+    }
+}
+
+/// Decodes the Update section payload: presence byte, then the
+/// extension. Outer `None` = does not decode; inner `None` = no update
+/// state recorded.
+fn parse_update_ext(payload: &[u8]) -> Option<Option<UpdateExtension>> {
+    let mut c = Cursor::new(payload);
+    match c.u8()? {
+        0 => c.done().then_some(None),
+        1 => {
+            let provenance = UpdateProvenance {
+                updates_applied: c.u64()?,
+                points_absorbed: c.u64()?,
+                points_rejected: c.u64()?,
+                relabels: c.u64()?,
+                dirty_links: c.u64()?,
+                remerges: c.u64()?,
+                remerge_merges: c.u64()?,
+            };
+            let policy = StalenessPolicy {
+                max_pending: c.u64()?,
+                max_dirty_fraction: c.f64()?,
+                min_goodness: c.f64()?,
+                max_merges: c.u64()?,
+                min_clusters: c.u64()? as usize,
+                max_cluster_fraction: c.f64()?,
+                rep_cap: c.u64()? as usize,
+            };
+            let pending = c.u64()?;
+            let next_point = c.u32()?;
+            let n = c.u32()? as usize;
+            if n > payload.len() / 8 {
+                return None; // each dirty accumulator is 8 bytes
+            }
+            let mut dirty = Vec::with_capacity(n);
+            for _ in 0..n {
+                dirty.push(c.u64()?);
+            }
+            c.done().then_some(Some(UpdateExtension {
+                provenance,
+                policy,
+                pending,
+                dirty,
+                next_point,
+            }))
+        }
+        _ => None,
+    }
+}
+
+fn encode_report(buf: &mut Vec<u8>, r: &RunReport, version: u32) {
     put_u64(buf, r.records_read);
     put_u64(buf, r.records_skipped);
     put_u64(buf, r.records_quarantined);
@@ -850,6 +1053,13 @@ fn encode_report(buf: &mut Vec<u8>, r: &RunReport) {
         put_u64(buf, p.counters.scratch_reused);
         put_u64(buf, p.counters.allocs);
         put_u64(buf, p.counters.alloc_bytes);
+        // Version 1 predates the update-path counters; they are always
+        // zero on the batch fits a v1 image can represent.
+        if version >= 2 {
+            put_u64(buf, p.counters.relabels);
+            put_u64(buf, p.counters.dirty_links);
+            put_u64(buf, p.counters.remerges);
+        }
     }
     match &r.degraded {
         None => buf.push(0),
@@ -871,7 +1081,7 @@ fn encode_report(buf: &mut Vec<u8>, r: &RunReport) {
     }
 }
 
-fn parse_report(payload: &[u8]) -> Option<RunReport> {
+fn parse_report(payload: &[u8], version: u32) -> Option<RunReport> {
     let mut c = Cursor::new(payload);
     let mut r = RunReport::new();
     r.records_read = c.u64()?;
@@ -909,22 +1119,27 @@ fn parse_report(payload: &[u8]) -> Option<RunReport> {
         });
     }
     let npp = c.u32()? as usize;
-    if npp > payload.len() / 52 {
-        return None; // each perf entry costs at least 52 bytes
+    let per_entry = if version >= 2 { 76 } else { 52 };
+    if npp > payload.len() / per_entry {
+        return None; // entry = 4-byte name length + 6 (v1) or 9 (v2) u64s
     }
     for _ in 0..npp {
         let name = c.str()?;
-        r.phase_perf.push(PhasePerf {
-            name,
-            counters: PerfCounters {
-                pairs_emitted: c.u64()?,
-                bytes_touched: c.u64()?,
-                sim_evals: c.u64()?,
-                scratch_reused: c.u64()?,
-                allocs: c.u64()?,
-                alloc_bytes: c.u64()?,
-            },
-        });
+        let mut counters = PerfCounters {
+            pairs_emitted: c.u64()?,
+            bytes_touched: c.u64()?,
+            sim_evals: c.u64()?,
+            scratch_reused: c.u64()?,
+            allocs: c.u64()?,
+            alloc_bytes: c.u64()?,
+            ..PerfCounters::default()
+        };
+        if version >= 2 {
+            counters.relabels = c.u64()?;
+            counters.dirty_links = c.u64()?;
+            counters.remerges = c.u64()?;
+        }
+        r.phase_perf.push(PhasePerf { name, counters });
     }
     r.degraded = match c.u8()? {
         0 => None,
@@ -968,8 +1183,7 @@ mod tests {
                 bytes_touched: 1 << 20,
                 sim_evals: 99,
                 scratch_reused: 7,
-                allocs: 0,
-                alloc_bytes: 0,
+                ..PerfCounters::default()
             },
         );
         r.degraded = Some(DegradationNote {
@@ -1118,6 +1332,165 @@ mod tests {
             ModelArtifact::from_bytes(&artifact.to_bytes()),
             Err(RockError::ArtifactCorrupt { .. })
         ));
+    }
+
+    fn sample_update_ext() -> UpdateExtension {
+        UpdateExtension {
+            provenance: UpdateProvenance {
+                updates_applied: 3,
+                points_absorbed: 40,
+                points_rejected: 2,
+                relabels: 42,
+                dirty_links: 120,
+                remerges: 1,
+                remerge_merges: 2,
+            },
+            policy: StalenessPolicy::default(),
+            pending: 5,
+            dirty: vec![7, 0], // sample_fit has two clusters
+            next_point: 46,
+        }
+    }
+
+    fn sample_v2_artifact() -> ModelArtifact {
+        let mut artifact = sample_artifact();
+        artifact.report.record_phase_perf(
+            "update",
+            PerfCounters {
+                relabels: 42,
+                dirty_links: 120,
+                remerges: 1,
+                ..PerfCounters::default()
+            },
+        );
+        artifact.update = Some(sample_update_ext());
+        artifact
+    }
+
+    /// The version field of an encoded image (first 4 bytes of the
+    /// header payload).
+    fn encoded_version(bytes: &[u8]) -> u32 {
+        let (kind, header, _) = read_frame(bytes, ARTIFACT_MAGIC.len()).unwrap();
+        assert_eq!(kind, SEC_HEADER);
+        Cursor::new(header).u32().unwrap()
+    }
+
+    #[test]
+    fn batch_artifacts_still_write_version_1() {
+        let bytes = sample_artifact().to_bytes();
+        assert_eq!(encoded_version(&bytes), 1);
+        assert_eq!(sample_artifact().to_bytes_versioned(1).unwrap(), bytes);
+    }
+
+    #[test]
+    fn v2_round_trips_exactly() {
+        let artifact = sample_v2_artifact();
+        let bytes = artifact.to_bytes();
+        assert_eq!(encoded_version(&bytes), 2);
+        let reloaded = ModelArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(reloaded, artifact);
+        assert_eq!(reloaded.update_state(), Some(&sample_update_ext()));
+        let perf = reloaded.report().phase_counters("update").unwrap();
+        assert_eq!(perf.relabels, 42);
+        assert_eq!(perf.dirty_links, 120);
+        assert_eq!(perf.remerges, 1);
+    }
+
+    #[test]
+    fn explicit_v2_without_update_state_round_trips() {
+        let artifact = sample_artifact();
+        let bytes = artifact.to_bytes_versioned(2).unwrap();
+        assert_eq!(encoded_version(&bytes), 2);
+        let reloaded = ModelArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(reloaded, artifact);
+        assert!(reloaded.update_state().is_none());
+    }
+
+    #[test]
+    fn to_bytes_versioned_rejects_unrepresentable_requests() {
+        assert!(matches!(
+            sample_v2_artifact().to_bytes_versioned(1),
+            Err(RockError::ArtifactMismatch { .. })
+        ));
+        for v in [0, 3] {
+            assert!(matches!(
+                sample_artifact().to_bytes_versioned(v),
+                Err(RockError::ArtifactVersion {
+                    found,
+                    supported: FORMAT_VERSION
+                }) if found == v
+            ));
+        }
+    }
+
+    #[test]
+    fn v2_image_under_a_v1_cap_is_a_version_error_not_corrupt() {
+        let bytes = sample_v2_artifact().to_bytes();
+        assert!(matches!(
+            ModelArtifact::from_bytes_capped(&bytes, 1),
+            Err(RockError::ArtifactVersion {
+                found: 2,
+                supported: 1
+            })
+        ));
+        // A v1 image loads under any cap that includes version 1.
+        let v1 = sample_artifact().to_bytes();
+        assert!(ModelArtifact::from_bytes_capped(&v1, 1).is_ok());
+        assert!(ModelArtifact::from_bytes_capped(&v1, 2).is_ok());
+    }
+
+    #[test]
+    fn dirty_accumulator_count_mismatch_is_typed() {
+        let mut artifact = sample_v2_artifact();
+        artifact.update.as_mut().unwrap().dirty.pop();
+        assert!(matches!(
+            ModelArtifact::from_bytes(&artifact.to_bytes()),
+            Err(RockError::ArtifactMismatch { detail })
+                if detail.contains("dirty-link count mismatch")
+        ));
+    }
+
+    #[test]
+    fn invalid_policy_in_update_section_is_typed() {
+        let mut artifact = sample_v2_artifact();
+        artifact.update.as_mut().unwrap().policy.max_pending = 0;
+        assert!(matches!(
+            ModelArtifact::from_bytes(&artifact.to_bytes()),
+            Err(RockError::ArtifactMismatch { detail })
+                if detail.contains("staleness policy")
+        ));
+    }
+
+    #[test]
+    fn v2_every_single_byte_flip_is_typed_never_silent() {
+        let bytes = sample_v2_artifact().to_bytes();
+        for i in 0..bytes.len() {
+            for bit in [0x01u8, 0x80u8] {
+                let mut bad = bytes.clone();
+                bad[i] ^= bit;
+                match ModelArtifact::from_bytes(&bad) {
+                    Err(
+                        RockError::ArtifactCorrupt { .. }
+                        | RockError::ArtifactVersion { .. }
+                        | RockError::ArtifactMismatch { .. },
+                    ) => {}
+                    Err(other) => panic!("flip at {i}: unexpected error {other}"),
+                    Ok(_) => panic!("flip at {i} bit {bit:#x} loaded successfully"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_every_truncation_is_typed_never_silent() {
+        let bytes = sample_v2_artifact().to_bytes();
+        for cut in 0..bytes.len() {
+            match ModelArtifact::from_bytes(&bytes[..cut]) {
+                Err(RockError::ArtifactCorrupt { .. }) => {}
+                Err(other) => panic!("cut at {cut}: unexpected error {other}"),
+                Ok(_) => panic!("cut at {cut} loaded successfully"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,1443 @@
+//! The reusable incremental clustering core.
+//!
+//! [`IncrementalState`] is the goodness-heap + link-map state of the
+//! Fig.-3 merge loop, extracted from [`crate::algorithm`] so that two
+//! drivers can share it bit-for-bit:
+//!
+//! * the **batch** driver ([`crate::algorithm::RockAlgorithm`]), which
+//!   seeds it from a link matrix and runs the agglomeration to `k`;
+//! * the **update** driver ([`IncrementalRockState`], added further down
+//!   in this module), which labels arriving points against the fitted
+//!   model's representative sets (§4.6), accumulates per-cluster *dirty
+//!   links*, and — when a [`StalenessPolicy`] criterion trips — rebuilds
+//!   an [`IncrementalState`] over the affected clusters and runs a
+//!   *bounded* re-merge ([`IncrementalState::bounded_merge`]).
+//!
+//! The state is serializable in the same sense as the merge WAL: heaps
+//! are never persisted; [`IncrementalState::live_clusters`] and
+//! [`IncrementalState::canonical_links`] image the state canonically and
+//! [`IncrementalState::from_clusters`] rebuilds the heaps from the
+//! invariant that every heap entry is `goodness(link[i][j], |i|, |j|)`.
+//!
+//! The bounded re-merge is the Genie-style constraint (see PAPERS.md)
+//! that keeps online updates from degenerating: a [`MergeBound`] caps
+//! the number of merges, the minimum surviving cluster count, the
+//! minimum acceptable goodness and the maximum merged-cluster size, so
+//! drift can never collapse the model into one giant cluster.
+
+use crate::artifact::{ArtifactPoint, ModelArtifact, UpdateExtension};
+use crate::cluster::{Clustering, MergeRecord};
+use crate::engine::model::ModelFit;
+use crate::error::RockError;
+use crate::goodness::{ConstantF, Goodness, GoodnessKind};
+use crate::governor::{Phase, RunGovernor};
+use crate::heap::{AddressableHeap, HeapPool};
+use crate::labeling::Labeler;
+use crate::perf::PerfCounters;
+use crate::report::RunReport;
+use crate::similarity::Similarity;
+use crate::util::frame::{put_f64, put_u32, put_u32_slice, put_u64, Cursor};
+use crate::util::{crc32, FxBuildHasher, FxHashMap};
+use crate::wal::{parse_update_wal, UpdateBase, UpdateRecord, UpdateWal};
+
+/// Mutable clustering state: an arena of clusters plus the two-level heap
+/// structure of Fig. 3.
+///
+/// Constructed either by the batch driver (from a link matrix, via
+/// `RockAlgorithm`) or from explicit cluster member lists and cross-link
+/// counts ([`IncrementalState::from_clusters`]). Heaps are derived state:
+/// identical `(members, links)` always rebuild identical heaps, which is
+/// what makes WAL snapshots and incremental checkpoints replayable to
+/// bit-identity.
+pub struct IncrementalState {
+    /// Arena: `None` once a cluster has been merged away or weeded.
+    pub(crate) members: Vec<Option<Vec<u32>>>,
+    /// `links[i][j]` = cross links between live clusters `i` and `j`.
+    pub(crate) links: Vec<FxHashMap<u32, u64>>,
+    /// Local heaps `q[i]`: candidates ordered by goodness.
+    pub(crate) local: Vec<AddressableHeap<u32>>,
+    /// Global heap `Q`: cluster → goodness of its best candidate
+    /// (−∞ for clusters with no linked partner).
+    pub(crate) global: AddressableHeap<u32>,
+    /// Number of live clusters.
+    pub(crate) live: usize,
+    pub(crate) goodness: Goodness,
+    /// Recycled candidate-heap buffers: every merge retires `q[u]` and
+    /// `q[v]` and builds one `q[w]`, so the pool keeps the agglomeration
+    /// phase at a handful of heap/map allocations total instead of
+    /// O(merges). Pool state never affects results (see
+    /// [`HeapPool`]).
+    pub(crate) heap_pool: HeapPool<u32>,
+}
+
+/// Caps for one [`IncrementalState::bounded_merge`] pass.
+///
+/// The constrained-agglomeration guard: without it, repeatedly re-merging
+/// an evolving model would drift towards a single giant cluster (the
+/// failure mode Genie's constraint is designed against — see PAPERS.md).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MergeBound {
+    /// Stop as soon as the best available goodness falls below this.
+    pub min_goodness: f64,
+    /// Never merge below this many live clusters.
+    pub min_clusters: usize,
+    /// At most this many merges per pass.
+    pub max_merges: usize,
+    /// Stop rather than commit a merge whose result would exceed this
+    /// many points.
+    pub max_cluster_size: usize,
+}
+
+/// When an evolving model must stop absorbing and re-merge, plus the
+/// caps handed to the bounded re-merge pass when it does.
+///
+/// The staleness criterion trips when either `max_pending` absorbed
+/// points or `max_dirty_fraction` of the clustered point count in dirty
+/// links have accumulated since the last re-merge. The remaining fields
+/// parameterise the [`MergeBound`] of the pass itself.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StalenessPolicy {
+    /// Re-merge after this many absorbed points are pending (≥ 1).
+    pub max_pending: u64,
+    /// Re-merge once total dirty links reach this fraction of the
+    /// clustered point count (finite, > 0).
+    pub max_dirty_fraction: f64,
+    /// Bounded re-merge: minimum acceptable merge goodness (never NaN;
+    /// `f64::NEG_INFINITY` disables the floor).
+    pub min_goodness: f64,
+    /// Bounded re-merge: at most this many merges per pass.
+    pub max_merges: u64,
+    /// Bounded re-merge: never drop below this many clusters (≥ 1).
+    pub min_clusters: usize,
+    /// Bounded re-merge: no merged cluster may exceed this fraction of
+    /// all clustered points (in `(0, 1]`).
+    pub max_cluster_fraction: f64,
+    /// Per-cluster representative pool cap: absorbed points join Lᵢ
+    /// only while it holds fewer than this many representatives (≥ 1).
+    pub rep_cap: usize,
+}
+
+impl Default for StalenessPolicy {
+    fn default() -> Self {
+        StalenessPolicy {
+            max_pending: 64,
+            max_dirty_fraction: 0.5,
+            min_goodness: 0.0,
+            max_merges: 32,
+            min_clusters: 2,
+            max_cluster_fraction: 0.6,
+            rep_cap: 64,
+        }
+    }
+}
+
+impl StalenessPolicy {
+    /// Field-range check; `Err` carries a human-readable detail (callers
+    /// wrap it in the typed error of their layer).
+    pub(crate) fn check(&self) -> Result<(), String> {
+        if self.max_pending == 0 {
+            return Err("staleness policy: max_pending must be ≥ 1".into());
+        }
+        if !(self.max_dirty_fraction.is_finite() && self.max_dirty_fraction > 0.0) {
+            return Err(format!(
+                "staleness policy: max_dirty_fraction {} not finite and positive",
+                self.max_dirty_fraction
+            ));
+        }
+        if self.min_goodness.is_nan() {
+            return Err("staleness policy: min_goodness is NaN".into());
+        }
+        if self.min_clusters == 0 {
+            return Err("staleness policy: min_clusters must be ≥ 1".into());
+        }
+        if !(self.max_cluster_fraction > 0.0 && self.max_cluster_fraction <= 1.0) {
+            return Err(format!(
+                "staleness policy: max_cluster_fraction {} outside (0, 1]",
+                self.max_cluster_fraction
+            ));
+        }
+        if self.rep_cap == 0 {
+            return Err("staleness policy: rep_cap must be ≥ 1".into());
+        }
+        Ok(())
+    }
+
+    /// The [`MergeBound`] a re-merge pass runs under when the model
+    /// holds `clustered_points` points across its clusters.
+    pub(crate) fn merge_bound(&self, clustered_points: usize) -> MergeBound {
+        let cap = (clustered_points as f64 * self.max_cluster_fraction).floor() as usize;
+        MergeBound {
+            min_goodness: self.min_goodness,
+            min_clusters: self.min_clusters,
+            max_merges: self.max_merges.min(usize::MAX as u64) as usize,
+            max_cluster_size: cap.max(1),
+        }
+    }
+}
+
+/// Cumulative provenance of an evolving model: how much the update path
+/// has changed it since the batch fit it started from.
+///
+/// Persisted in version-2 artifacts and mirrored into
+/// [`crate::report::RunReport::phase_perf`] under the `"update"` phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct UpdateProvenance {
+    /// Update batches applied so far.
+    pub updates_applied: u64,
+    /// Arrivals absorbed into a cluster.
+    pub points_absorbed: u64,
+    /// Arrivals rejected as outliers (no representative neighbor).
+    pub points_rejected: u64,
+    /// §4.6 labeling decisions taken by the update path.
+    pub relabels: u64,
+    /// Dirty links accumulated across all updates.
+    pub dirty_links: u64,
+    /// Bounded re-merge passes triggered by the staleness criterion.
+    pub remerges: u64,
+    /// Merges committed across all re-merge passes.
+    pub remerge_merges: u64,
+}
+
+impl IncrementalState {
+    pub(crate) fn new(
+        members: Vec<Option<Vec<u32>>>,
+        goodness: Goodness,
+        hasher: FxBuildHasher,
+    ) -> Self {
+        let n = members.len();
+        IncrementalState {
+            live: n,
+            links: vec![FxHashMap::with_hasher(hasher); n],
+            local: (0..n).map(|_| AddressableHeap::new()).collect(),
+            global: AddressableHeap::with_capacity(n),
+            members,
+            goodness,
+            heap_pool: HeapPool::new(),
+        }
+    }
+
+    /// Rebuilds merge-ready state from explicit cluster member lists and
+    /// cross-link counts, reconstructing the Fig.-3 heaps from the
+    /// invariant that every heap entry is `goodness(link[i][j], |i|, |j|)`
+    /// — the same reconstruction [`crate::algorithm::RockAlgorithm::resume`]
+    /// performs on a WAL snapshot.
+    ///
+    /// `links` entries are `(i, j, count)` with `i < j` indexing
+    /// `clusters`, each unordered pair at most once and `count > 0`.
+    ///
+    /// # Panics
+    /// Panics if a cluster is empty or a link entry is malformed (out of
+    /// range, `i >= j`, repeated pair, or zero count).
+    pub fn from_clusters(
+        clusters: Vec<Vec<u32>>,
+        links: &[(u32, u32, u64)],
+        goodness: Goodness,
+        hasher: FxBuildHasher,
+    ) -> Self {
+        assert!(
+            clusters.iter().all(|c| !c.is_empty()),
+            "clusters must be non-empty"
+        );
+        let n = clusters.len();
+        let members: Vec<Option<Vec<u32>>> = clusters.into_iter().map(Some).collect();
+        let mut state = IncrementalState::new(members, goodness, hasher);
+        // tidy-allow(nondeterministic-iter): `links` is the caller's slice, not a hash map; its order only keys deterministic per-pair inserts
+        for &(i, j, c) in links {
+            assert!(
+                i < j && (j as usize) < n && c > 0,
+                "malformed link ({i}, {j}, {c}) over {n} clusters"
+            );
+            // tidy-allow(panic-reach): i < j < n was asserted just above, and both arena slots are occupied by construction
+            let fresh = state.links[i as usize].insert(j, c).is_none();
+            assert!(fresh, "link pair ({i}, {j}) repeated");
+            let g = state.goodness.merge_goodness(c, state.size(i), state.size(j));
+            // tidy-allow(panic-reach): i < j < n was asserted just above the first insert
+            state.links[j as usize].insert(i, c);
+            // tidy-allow(panic-reach): i < j < n was asserted just above the first insert
+            state.local[i as usize].insert(j, g);
+            // tidy-allow(panic-reach): i < j < n was asserted just above the first insert
+            state.local[j as usize].insert(i, g);
+        }
+        for id in 0..n {
+            state.refresh_global(id as u32);
+        }
+        state
+    }
+
+    /// Number of live clusters.
+    pub fn num_live(&self) -> usize {
+        self.live
+    }
+
+    /// The live clusters as `(arena id, sorted-as-stored members)` pairs,
+    /// ascending by arena id. One half of the canonical state image (the
+    /// other is [`canonical_links`](Self::canonical_links)): identical
+    /// state produces identical images.
+    pub fn live_clusters(&self) -> Vec<(u32, Vec<u32>)> {
+        let mut clusters = Vec::with_capacity(self.live);
+        for (id, m) in self.members.iter().enumerate() {
+            if let Some(m) = m {
+                clusters.push((id as u32, m.clone()));
+            }
+        }
+        clusters
+    }
+
+    /// The live cross-link counts as upper-triangle `(i, j, count)`
+    /// entries (`i < j`), sorted ascending — the canonical link image
+    /// consumed by [`from_clusters`](Self::from_clusters) (after arena
+    /// ids are compacted) and by WAL snapshots.
+    pub fn canonical_links(&self) -> Vec<(u32, u32, u64)> {
+        let mut links = Vec::new();
+        // tidy-allow(nondeterministic-iter): every surviving entry lands in `links`, which is sorted before returning
+        for (i, l) in self.links.iter().enumerate() {
+            // tidy-allow(panic-reach): links and members are parallel arenas; i enumerates links
+            if self.members[i].is_none() {
+                continue;
+            }
+            for (&j, &c) in l {
+                // tidy-allow(panic-reach): j is a cluster id minted into the arena, so it indexes members in range
+                if (j as usize) > i && self.members[j as usize].is_some() {
+                    links.push((i as u32, j, c));
+                }
+            }
+        }
+        links.sort_unstable();
+        links
+    }
+
+    /// Runs merges while the globally best pair stays inside `bound`;
+    /// returns the committed merge records in order.
+    ///
+    /// Unlike the batch loop (which drives towards a target `k`), this
+    /// pass stops at the *first* violated cap — including a best pair
+    /// whose merged size would exceed `max_cluster_size`; skipping past
+    /// it would reorder the agglomeration, so the pass ends instead.
+    pub fn bounded_merge(&mut self, bound: &MergeBound) -> Vec<MergeRecord> {
+        let mut out = Vec::new();
+        while self.live > bound.min_clusters && out.len() < bound.max_merges {
+            let Some((u, best)) = self.global.peek() else {
+                break;
+            };
+            // −∞ (no linked partner anywhere) always fails this test;
+            // goodness is never NaN (similarities are finite-checked
+            // upstream), so the total order agrees with the partial one.
+            if best.total_cmp(&bound.min_goodness).is_lt() {
+                break;
+            }
+            // tidy-allow(panic-reach): u came off the global heap with finite goodness, so its local heap exists and is non-empty
+            let Some((v, _)) = self.local[u as usize].peek() else {
+                break;
+            };
+            if self.size(u) + self.size(v) > bound.max_cluster_size {
+                break;
+            }
+            out.push(self.merge(u));
+        }
+        out
+    }
+
+    pub(crate) fn size(&self, id: u32) -> usize {
+        // tidy-allow(panic-reach): size() is only called on live cluster ids, which index the arena in range with occupied slots
+        self.members[id as usize]
+            .as_ref()
+            // tidy-allow(panic): size() is only called on cluster ids still live in the merge loop, whose slots are occupied
+            .expect("live cluster")
+            .len()
+    }
+
+    /// Re-derives cluster `id`'s entry in the global heap from its local
+    /// heap (Fig. 3 steps 14 and 16).
+    pub(crate) fn refresh_global(&mut self, id: u32) {
+        // tidy-allow(panic-reach): refresh_global is only called with arena ids minted in range
+        let best = self.local[id as usize]
+            .peek()
+            .map_or(f64::NEG_INFINITY, |(_, g)| g);
+        self.global.insert(id, best);
+    }
+
+    /// Merges the globally best cluster `u` with its best partner
+    /// (Fig. 3 steps 6–17); returns the merge record.
+    pub(crate) fn merge(&mut self, u: u32) -> MergeRecord {
+        // tidy-allow(panic-reach): u is a live arena id from the global heap, in range by construction
+        let (v, guv) = self.local[u as usize]
+            .peek()
+            // tidy-allow(panic): drive() only merges ids whose global goodness is finite, which requires a non-empty local heap
+            .expect("merge called on cluster with candidates");
+        // tidy-allow(panic-reach): v came from u's local heap, so links[u] has an entry for v
+        let cross = self.links[u as usize][&v];
+        let record = MergeRecord {
+            left: u,
+            right: v,
+            merged: self.members.len() as u32,
+            sizes: (self.size(u), self.size(v)),
+            cross_links: cross,
+            goodness: guv,
+        };
+
+        self.global.remove(&u);
+        self.global.remove(&v);
+
+        // Step 9: w := merge(u, v).
+        // tidy-allow(panic): u and v come from live heap entries; each slot is taken here exactly once
+        // tidy-allow(panic-reach): u and v are live heap entries indexing occupied arena slots
+        let mut merged = self.members[u as usize].take().expect("live");
+        // tidy-allow(panic): u and v come from live heap entries; each slot is taken here exactly once
+        // tidy-allow(panic-reach): u and v are live heap entries indexing occupied arena slots
+        merged.extend(self.members[v as usize].take().expect("live"));
+        let w = self.members.len() as u32;
+        let w_size = merged.len();
+        self.members.push(Some(merged));
+
+        // link[x, w] := link[x, u] + link[x, v] for all linked x.
+        // tidy-allow(panic-reach): u indexes the links arena, which parallels members
+        let mut lw = std::mem::take(&mut self.links[u as usize]);
+        // tidy-allow(panic-reach): v indexes the links arena, which parallels members
+        // tidy-allow(nondeterministic-iter): counts accumulate with commutative `+=`; visit order cannot affect the sums
+        for (x, c) in std::mem::take(&mut self.links[v as usize]) {
+            *lw.entry(x).or_insert(0) += c;
+        }
+        lw.remove(&u);
+        lw.remove(&v);
+
+        let mut qw = self.heap_pool.acquire();
+        // tidy-allow(nondeterministic-iter): each iteration updates only x-keyed state, and heap orderings break goodness ties by key, so visit order cannot affect any outcome
+        for (&x, &cxw) in &lw {
+            // Steps 11–14: replace u, v by w in x's bookkeeping.
+            // tidy-allow(panic-reach): x is a live partner id recorded in the links arena, in range by construction
+            let xl = &mut self.links[x as usize];
+            xl.remove(&u);
+            xl.remove(&v);
+            xl.insert(w, cxw);
+            let g = self
+                .goodness
+                .merge_goodness(cxw, self.size(x), w_size);
+            // tidy-allow(panic-reach): x is a live partner id recorded in the links arena, in range by construction
+            let xq = &mut self.local[x as usize];
+            xq.remove(&u);
+            xq.remove(&v);
+            xq.insert(w, g);
+            self.refresh_global(x);
+            qw.insert(x, g);
+        }
+
+        // Step 17: deallocate q[u], q[v] — their buffers return to the
+        // pool and come back as future merges' candidate heaps.
+        // tidy-allow(panic-reach): u and v index the local arena, which parallels members
+        std::mem::take(&mut self.local[u as usize]).recycle_into(&mut self.heap_pool);
+        std::mem::take(&mut self.local[v as usize]).recycle_into(&mut self.heap_pool);
+        self.links.push(lw);
+        self.local.push(qw);
+        self.refresh_global(w);
+        self.live -= 1;
+        record
+    }
+
+    /// §4.6 weeding: kills every live cluster smaller than `min_size`,
+    /// appending its members to `outliers`.
+    pub(crate) fn weed(&mut self, min_size: usize, outliers: &mut Vec<u32>) {
+        let victims: Vec<u32> = self
+            .members
+            .iter()
+            .enumerate()
+            .filter_map(|(id, m)| {
+                m.as_ref()
+                    .filter(|m| m.len() < min_size)
+                    .map(|_| id as u32)
+            })
+            .collect();
+        for o in victims {
+            // tidy-allow(panic): victims were collected from occupied slots and are distinct, so each take() hits Some
+            // tidy-allow(panic-reach): victims index the arena in range by construction
+            let m = self.members[o as usize].take().expect("live");
+            outliers.extend(m);
+            // tidy-allow(panic-reach): o indexes the links arena, which parallels members
+            // tidy-allow(nondeterministic-iter): the loop performs keyed removals on partners' maps and heaps; per-partner updates are independent of visit order
+            for (x, _) in std::mem::take(&mut self.links[o as usize]) {
+                // A partner may itself have just been weeded.
+                // tidy-allow(panic-reach): x is a partner id recorded in the links arena, in range by construction
+                if self.members[x as usize].is_none() {
+                    continue;
+                }
+                // tidy-allow(panic-reach): x was bounds-checked by the members access just above; links and local parallel members
+                self.links[x as usize].remove(&o);
+                self.local[x as usize].remove(&o);
+                self.refresh_global(x);
+            }
+            // tidy-allow(panic-reach): o indexes the local arena, which parallels members
+            self.local[o as usize].clear();
+            self.global.remove(&o);
+            self.live -= 1;
+        }
+    }
+}
+
+/// What one [`IncrementalRockState::update`] batch did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateOutcome {
+    /// Per arrival: the cluster it was absorbed into, or `None` for a
+    /// rejected outlier. Indices refer to the canonical clustering *as
+    /// it was when the batch arrived* — a re-merge or size change at
+    /// the end of the batch may reorder clusters afterwards.
+    pub assignments: Vec<Option<usize>>,
+    /// Arrivals absorbed into a cluster.
+    pub absorbed: u64,
+    /// Arrivals rejected as outliers.
+    pub rejected: u64,
+    /// Dirty links this batch added.
+    pub dirty_links: u64,
+    /// Merges committed by the re-merge pass, if the staleness
+    /// criterion tripped (empty otherwise).
+    pub remerged: Vec<MergeRecord>,
+}
+
+/// An evolving fitted model: the state the online update path drives.
+///
+/// Built from a served [`ModelArtifact`]
+/// ([`IncrementalRockState::from_artifact`]), it absorbs arrival batches
+/// with [`IncrementalRockState::update`]: each arrival is labeled
+/// against the per-cluster Lᵢ representative sets (§4.6 semantics,
+/// bit-identical to [`crate::labeling::Labeler::label_point_checked`]),
+/// absorbed points accumulate per-cluster *dirty links*, and when the
+/// [`StalenessPolicy`] criterion trips the affected clusters are
+/// rebuilt into an [`IncrementalState`] and re-merged under the
+/// policy's [`MergeBound`].
+///
+/// ## Durability
+///
+/// Every applied batch is appended to an internal
+/// [`crate::wal::UpdateWal`] as a self-contained record (encoded
+/// arrival points + a post-state digest). Updates are deterministic, so
+/// [`IncrementalRockState::resume`] replays the log from the base
+/// artifact to the **bit-identical** state — each replayed batch's
+/// digest is verified against the logged one. Persist the evolved model
+/// itself with [`IncrementalRockState::to_artifact`] (a version-2
+/// artifact carrying the evolved representative pools and update
+/// provenance).
+///
+/// ## Failure atomicity
+///
+/// The WAL gains a record only *after* a batch fully applies; an error
+/// mid-update (a governor trip during the re-merge, a non-finite
+/// similarity after absorption began) can leave the in-memory state
+/// torn. Discard the state and [`IncrementalRockState::resume`] from
+/// the artifact + WAL bytes: the half-applied batch was never logged,
+/// so the replay lands exactly before it.
+#[derive(Clone, Debug)]
+pub struct IncrementalRockState<P> {
+    model: String,
+    /// Canonical clustering: members sorted ascending, clusters ordered
+    /// by (size desc, smallest member asc) — the [`Clustering::new`]
+    /// fixpoint, so artifact round-trips never shift cluster indices.
+    clusters: Vec<Vec<u32>>,
+    outliers: Vec<u32>,
+    /// Per-cluster representative pools, parallel to `clusters`.
+    reps: Vec<Vec<P>>,
+    /// Per-cluster dirty-link accumulators, parallel to `clusters`.
+    dirty: Vec<u64>,
+    theta: f64,
+    ftheta: f64,
+    labeling_fraction: f64,
+    hash_seed: Option<u64>,
+    next_point: u32,
+    pending: u64,
+    policy: StalenessPolicy,
+    provenance: UpdateProvenance,
+    wal: UpdateWal,
+}
+
+impl<P: ArtifactPoint + Clone> IncrementalRockState<P> {
+    /// Opens an artifact for online updates under `default_policy`
+    /// (an update state already stored in a version-2 artifact wins
+    /// over the default, so an evolved model keeps its policy).
+    ///
+    /// # Errors
+    /// [`RockError::ArtifactMismatch`] when the artifact has no
+    /// representative sets, a pooled point does not decode as `P`, or
+    /// the resolved policy fails its range checks.
+    pub fn from_artifact(
+        artifact: &ModelArtifact,
+        default_policy: StalenessPolicy,
+    ) -> Result<Self, RockError> {
+        let policy = artifact
+            .update_state()
+            .map_or(default_policy, |ext| ext.policy);
+        if let Err(detail) = policy.check() {
+            return Err(RockError::ArtifactMismatch { detail });
+        }
+        let labeler: Labeler<P> = artifact.labeler()?;
+        let reps = labeler.sets().to_vec();
+        let clustering = artifact.clustering();
+        let clusters = clustering.clusters.clone();
+        let outliers = clustering.outliers.clone();
+        let (dirty, pending, provenance, next_point) = match artifact.update_state() {
+            Some(ext) => (
+                ext.dirty.clone(),
+                ext.pending,
+                ext.provenance,
+                ext.next_point,
+            ),
+            None => {
+                let max_id = clusters
+                    .iter()
+                    .flatten()
+                    .chain(outliers.iter())
+                    .copied()
+                    .max();
+                (
+                    vec![0; clusters.len()],
+                    0,
+                    UpdateProvenance::default(),
+                    max_id.map_or(0, |m| m + 1),
+                )
+            }
+        };
+        let mut state = IncrementalRockState {
+            model: artifact.model().to_string(),
+            clusters,
+            outliers,
+            reps,
+            dirty,
+            theta: artifact.theta(),
+            ftheta: artifact.ftheta(),
+            labeling_fraction: artifact.labeling_fraction(),
+            hash_seed: artifact.hash_seed(),
+            next_point,
+            pending,
+            policy,
+            provenance,
+            wal: UpdateWal::new(),
+        };
+        let base = UpdateBase {
+            theta_bits: state.theta.to_bits(),
+            ftheta_bits: state.ftheta.to_bits(),
+            fraction_bits: state.labeling_fraction.to_bits(),
+            hash_seed: state.hash_seed,
+            policy: state.policy,
+            base_digest: state.digest(),
+        };
+        state.wal.append_base(&base);
+        Ok(state)
+    }
+
+    /// Rebuilds an evolving model from its base artifact and the bytes
+    /// of its update WAL, replaying every intact logged batch. A torn
+    /// WAL tail is truncated (the second return value reports it), the
+    /// same discipline as the merge WAL.
+    ///
+    /// # Errors
+    /// [`RockError::WalCorrupt`] for a damaged log head, and
+    /// [`RockError::WalMismatch`] when the log does not belong to this
+    /// artifact (fingerprint/digest mismatch), a logged point does not
+    /// decode, or a replayed batch diverges from its logged digest.
+    /// Replayed updates run ungoverned, so [`RockError::Interrupted`]
+    /// cannot occur; labeling errors surface as in
+    /// [`IncrementalRockState::update`].
+    pub fn resume<S: Similarity<P>>(
+        artifact: &ModelArtifact,
+        wal_bytes: &[u8],
+        measure: &S,
+    ) -> Result<(Self, bool), RockError> {
+        let replay = parse_update_wal(wal_bytes)?;
+        let base = &replay.base;
+        let mut state = IncrementalRockState::from_artifact(artifact, base.policy)?;
+        let fingerprint_ok = base.theta_bits == state.theta.to_bits()
+            && base.ftheta_bits == state.ftheta.to_bits()
+            && base.fraction_bits == state.labeling_fraction.to_bits()
+            && base.hash_seed == state.hash_seed
+            && base.policy == state.policy;
+        if !fingerprint_ok {
+            return Err(RockError::WalMismatch {
+                detail: "update log fingerprint does not match the artifact".into(),
+            });
+        }
+        if base.base_digest != state.digest() {
+            return Err(RockError::WalMismatch {
+                detail: "update log base digest does not match the artifact".into(),
+            });
+        }
+        let governor = RunGovernor::unlimited();
+        for rec in &replay.updates {
+            let points = decode_update_points::<P>(rec)?;
+            state.update(&points, measure, &governor)?;
+            if state.digest() != rec.post_digest {
+                return Err(RockError::WalMismatch {
+                    detail: format!("replayed update #{} diverges from its logged digest", rec.seq),
+                });
+            }
+        }
+        Ok((state, replay.truncated))
+    }
+
+    /// Absorbs one batch of arrivals.
+    ///
+    /// The batch proceeds in phases: (1) every arrival is scored
+    /// against the *pre-batch* representative pools (§4.6: assign to
+    /// the cluster maximising `Nᵢ / (|Lᵢ| + 1)^{f(θ)}`, ties to the
+    /// smaller index, no representative neighbor anywhere → outlier);
+    /// (2) absorbed points join their cluster (and its representative
+    /// pool while it holds fewer than `rep_cap` points), adding their
+    /// representative-neighbor count to the cluster's dirty links;
+    /// (3) if the [`StalenessPolicy`] trips, cross-links are recounted
+    /// over the representative pools of every pair involving a dirty
+    /// cluster and a bounded re-merge runs; (4) the clustering is
+    /// re-canonicalised and the batch is logged to the update WAL.
+    ///
+    /// `governor` is consulted before the batch
+    /// (`check_at(Labeling, updates_applied)`) and before a re-merge
+    /// (`check_at(Merge, remerges)`) — kill/resume tests hook both.
+    ///
+    /// # Errors
+    /// [`RockError::Interrupted`] (marked resumable) on a governor
+    /// trip, [`RockError::NonFiniteSimilarity`] from a degenerate
+    /// measure. See the type docs for failure atomicity: after an error
+    /// past phase 1 the in-memory state is torn — discard it and
+    /// [`IncrementalRockState::resume`].
+    pub fn update<S: Similarity<P>>(
+        &mut self,
+        arrivals: &[P],
+        measure: &S,
+        governor: &RunGovernor,
+    ) -> Result<UpdateOutcome, RockError> {
+        governor
+            .check_at(Phase::Labeling, self.provenance.updates_applied)
+            .map_err(|e| crate::algorithm::mark_resumable(e, true))?;
+
+        // Phase 1: pure scoring against the pre-batch pools. Local
+        // tallies only — the process-global perf counters are bumped
+        // once by the exact amounts, never via snapshot deltas (other
+        // threads' kernels would pollute a delta).
+        let set_points: u64 = self.reps.iter().map(|s| s.len() as u64).sum();
+        let mut scored: Vec<Option<(usize, u64)>> = Vec::with_capacity(arrivals.len());
+        // tidy:kernel-hot-loop — per-arrival §4.6 scoring
+        for point in arrivals {
+            let mut best: Option<(usize, u64, f64)> = None;
+            for (i, set) in self.reps.iter().enumerate() {
+                let mut neighbors = 0u64;
+                for l in set {
+                    let s = measure.similarity(point, l);
+                    if !s.is_finite() {
+                        return Err(RockError::NonFiniteSimilarity { value: s });
+                    }
+                    if s >= self.theta {
+                        neighbors += 1;
+                    }
+                }
+                if neighbors == 0 {
+                    continue;
+                }
+                let norm = ((set.len() + 1) as f64).powf(self.ftheta);
+                let score = neighbors as f64 / norm;
+                let better = match best {
+                    None => true,
+                    Some((_, _, b)) => score > b,
+                };
+                if better {
+                    best = Some((i, neighbors, score));
+                }
+            }
+            scored.push(best.map(|(i, n, _)| (i, n)));
+        }
+        // tidy:end-kernel-hot-loop
+        let mut sims = arrivals.len() as u64 * set_points;
+
+        // Phase 2: absorb.
+        let mut absorbed = 0u64;
+        let mut rejected = 0u64;
+        let mut new_dirty = 0u64;
+        let assignments: Vec<Option<usize>> = scored.iter().map(|s| s.map(|(i, _)| i)).collect();
+        for (point, &slot) in arrivals.iter().zip(&scored) {
+            let id = self.next_point;
+            self.next_point += 1;
+            match slot {
+                Some((c, neighbors)) => {
+                    // tidy-allow(panic-reach): c came from enumerate() over reps, and clusters/reps/dirty are parallel
+                    self.clusters[c].push(id);
+                    // tidy-allow(panic-reach): c came from enumerate() over reps, and clusters/reps/dirty are parallel
+                    if self.reps[c].len() < self.policy.rep_cap {
+                        // tidy-allow(panic-reach): c came from enumerate() over reps, and clusters/reps/dirty are parallel
+                        self.reps[c].push(point.clone());
+                    }
+                    // tidy-allow(panic-reach): c came from enumerate() over reps, and clusters/reps/dirty are parallel
+                    self.dirty[c] += neighbors;
+                    new_dirty += neighbors;
+                    absorbed += 1;
+                    self.pending += 1;
+                }
+                None => {
+                    self.outliers.push(id);
+                    rejected += 1;
+                }
+            }
+        }
+
+        // Phase 3: staleness check and bounded re-merge.
+        let clustered_points: usize = self.clusters.iter().map(Vec::len).sum();
+        let dirty_total: u64 = self.dirty.iter().sum();
+        let stale = self.pending >= self.policy.max_pending
+            || dirty_total as f64 >= self.policy.max_dirty_fraction * clustered_points as f64;
+        let mut remerged = Vec::new();
+        let mut did_remerge = false;
+        if stale && self.clusters.len() > self.policy.min_clusters {
+            governor
+                .check_at(Phase::Merge, self.provenance.remerges)
+                .map_err(|e| crate::algorithm::mark_resumable(e, true))?;
+            let (records, merge_sims) = self.remerge(measure, clustered_points)?;
+            sims += merge_sims;
+            remerged = records;
+            did_remerge = true;
+        }
+
+        // Phase 4: restore the canonical clustering order, account, log.
+        self.canonicalize();
+        self.provenance.updates_applied += 1;
+        self.provenance.points_absorbed += absorbed;
+        self.provenance.points_rejected += rejected;
+        self.provenance.relabels += arrivals.len() as u64;
+        self.provenance.dirty_links += new_dirty;
+        if did_remerge {
+            self.provenance.remerges += 1;
+            self.provenance.remerge_merges += remerged.len() as u64;
+            crate::perf::count_remerges(1);
+        }
+        crate::perf::count_relabels(arrivals.len() as u64);
+        crate::perf::count_dirty_links(new_dirty);
+        crate::perf::count_sim_evals(sims);
+        let record = UpdateRecord {
+            seq: self.provenance.updates_applied - 1,
+            points: arrivals
+                .iter()
+                .map(|p| {
+                    let mut blob = Vec::new();
+                    p.encode(&mut blob);
+                    blob
+                })
+                .collect(),
+            post_digest: self.digest(),
+        };
+        self.wal.append_update(&record);
+
+        Ok(UpdateOutcome {
+            assignments,
+            absorbed,
+            rejected,
+            dirty_links: new_dirty,
+            remerged,
+        })
+    }
+
+    /// Recounts representative cross-links over every pair involving a
+    /// dirty cluster, runs the bounded merge, and folds the committed
+    /// merges back into the parallel `(clusters, reps)` arrays. Dirty
+    /// accumulators and the pending count reset afterwards. Returns the
+    /// merge records and the number of similarity evaluations spent.
+    fn remerge<S: Similarity<P>>(
+        &mut self,
+        measure: &S,
+        clustered_points: usize,
+    ) -> Result<(Vec<MergeRecord>, u64), RockError> {
+        let n = self.clusters.len();
+        let mut sims = 0u64;
+        let mut fresh_links: Vec<(u32, u32, u64)> = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                // tidy-allow(panic-reach): i < j < n index the parallel dirty/reps arrays
+                if self.dirty[i] == 0 && self.dirty[j] == 0 {
+                    continue;
+                }
+                let mut count = 0u64;
+                // tidy-allow(panic-reach): i < j < n index the parallel dirty/reps arrays
+                sims += self.reps[i].len() as u64 * self.reps[j].len() as u64;
+                // tidy-allow(panic-reach): i < j < n index the parallel dirty/reps arrays
+                for a in &self.reps[i] {
+                    // tidy-allow(panic-reach): i < j < n index the parallel dirty/reps arrays
+                    for b in &self.reps[j] {
+                        let s = measure.similarity(a, b);
+                        if !s.is_finite() {
+                            return Err(RockError::NonFiniteSimilarity { value: s });
+                        }
+                        if s >= self.theta {
+                            count += 1;
+                        }
+                    }
+                }
+                if count > 0 {
+                    fresh_links.push((i as u32, j as u32, count));
+                }
+            }
+        }
+        // The artifact does not persist a goodness kind; re-merges always
+        // run the paper's §3.3 normalised criterion, matching the batch
+        // engine's default.
+        let goodness = Goodness::new(self.theta, ConstantF(self.ftheta), GoodnessKind::Normalized);
+        let hasher = self
+            .hash_seed
+            .map_or_else(FxBuildHasher::default, FxBuildHasher::with_seed);
+        let mut st = IncrementalState::from_clusters(
+            std::mem::take(&mut self.clusters),
+            &fresh_links,
+            goodness,
+            hasher,
+        );
+        let records = st.bounded_merge(&self.policy.merge_bound(clustered_points));
+
+        // Fold committed merges into the parallel representative pools:
+        // an arena slot per pre-merge cluster, each record concatenating
+        // its operands' pools (capped) into the slot of the merged id —
+        // the same id-minting order as the merge arena itself.
+        let mut rep_arena: Vec<Option<Vec<P>>> =
+            std::mem::take(&mut self.reps).into_iter().map(Some).collect();
+        for rec in &records {
+            debug_assert_eq!(rec.merged as usize, rep_arena.len());
+            // tidy-allow(panic-reach): merge records reference operand ids already minted into the arena
+            let mut pool = rep_arena[rec.left as usize].take().unwrap_or_default();
+            // tidy-allow(panic-reach): merge records reference operand ids already minted into the arena
+            pool.extend(rep_arena[rec.right as usize].take().unwrap_or_default());
+            pool.truncate(self.policy.rep_cap);
+            rep_arena.push(Some(pool));
+        }
+        for (id, members) in st.live_clusters() {
+            self.clusters.push(members);
+            // tidy-allow(panic-reach): live arena ids index rep_arena, which grew in lockstep with the merge arena
+            self.reps.push(rep_arena[id as usize].take().unwrap_or_default());
+        }
+        self.dirty = vec![0; self.clusters.len()];
+        self.pending = 0;
+        Ok((records, sims))
+    }
+
+    /// Restores the [`Clustering::new`] canonical order in place: members
+    /// ascending within each cluster, clusters by (size desc, smallest
+    /// member asc), the parallel `reps`/`dirty` arrays permuted in
+    /// lockstep, outliers sorted. Clusters are disjoint and non-empty, so
+    /// the order is total and the permutation unique — which is what
+    /// makes the digest canonical.
+    fn canonicalize(&mut self) {
+        for c in &mut self.clusters {
+            c.sort_unstable();
+        }
+        let clusters = &self.clusters;
+        let mut order: Vec<usize> = (0..clusters.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            // tidy-allow(panic-reach): a and b are drawn from 0..len, and clusters are never empty
+            let (ca, cb) = (&clusters[a], &clusters[b]);
+            cb.len().cmp(&ca.len()).then(ca[0].cmp(&cb[0]))
+        });
+        let mut clusters = Vec::with_capacity(order.len());
+        let mut reps = Vec::with_capacity(order.len());
+        let mut dirty = Vec::with_capacity(order.len());
+        for &i in &order {
+            // tidy-allow(panic-reach): order is a permutation of 0..len over the parallel arrays
+            clusters.push(std::mem::take(&mut self.clusters[i]));
+            // tidy-allow(panic-reach): order is a permutation of 0..len over the parallel arrays
+            reps.push(std::mem::take(&mut self.reps[i]));
+            // tidy-allow(panic-reach): order is a permutation of 0..len over the parallel arrays
+            dirty.push(self.dirty[i]);
+        }
+        self.clusters = clusters;
+        self.reps = reps;
+        self.dirty = dirty;
+        self.outliers.sort_unstable();
+    }
+
+    /// Persists the evolved model as a (version-2) artifact: the current
+    /// clustering and representative pools plus the update extension
+    /// (provenance, policy, pending/dirty accumulators). Loading it back
+    /// through [`IncrementalRockState::from_artifact`] reproduces this
+    /// state digest-identically.
+    ///
+    /// # Errors
+    /// Propagates [`crate::labeling::Labeler::from_sets`] and
+    /// [`ModelArtifact::from_labeled`] validation failures.
+    pub fn to_artifact(&self) -> Result<ModelArtifact, RockError> {
+        let labeler = Labeler::from_sets(self.reps.clone(), self.theta, self.ftheta)?;
+        let mut report = RunReport::new();
+        report.record_phase_perf(
+            "update",
+            PerfCounters {
+                relabels: self.provenance.relabels,
+                dirty_links: self.provenance.dirty_links,
+                remerges: self.provenance.remerges,
+                ..PerfCounters::default()
+            },
+        );
+        let fit = ModelFit {
+            clustering: Clustering::new(self.clusters.clone(), self.outliers.clone()),
+            dendrogram: None,
+            report,
+        };
+        let mut artifact = ModelArtifact::from_labeled(
+            &self.model,
+            &fit,
+            &labeler,
+            self.labeling_fraction,
+            self.hash_seed,
+        )?;
+        artifact.set_update_state(Some(UpdateExtension {
+            provenance: self.provenance,
+            policy: self.policy,
+            pending: self.pending,
+            dirty: self.dirty.clone(),
+            next_point: self.next_point,
+        }));
+        Ok(artifact)
+    }
+
+    /// The model name inherited from the base artifact.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Current number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The canonical clusters (point ids, members ascending).
+    pub fn clusters(&self) -> &[Vec<u32>] {
+        &self.clusters
+    }
+
+    /// Point ids rejected as outliers, ascending.
+    pub fn outliers(&self) -> &[u32] {
+        &self.outliers
+    }
+
+    /// Absorbed points pending since the last re-merge.
+    pub fn pending(&self) -> u64 {
+        self.pending
+    }
+
+    /// The staleness policy in force.
+    pub fn policy(&self) -> StalenessPolicy {
+        self.policy
+    }
+
+    /// Cumulative update provenance.
+    pub fn provenance(&self) -> UpdateProvenance {
+        self.provenance
+    }
+
+    /// The update WAL accumulated by this state (base record plus one
+    /// record per applied batch) — persist its bytes to make
+    /// [`IncrementalRockState::resume`] possible.
+    pub fn wal(&self) -> &UpdateWal {
+        &self.wal
+    }
+
+    /// CRC-32 digest of the canonical state image (everything but the
+    /// WAL). Equal digests mean bit-identical evolved models.
+    pub fn digest(&self) -> u32 {
+        crc32(&self.canonical_bytes())
+    }
+
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.theta.to_bits());
+        put_u64(&mut buf, self.ftheta.to_bits());
+        put_u64(&mut buf, self.labeling_fraction.to_bits());
+        match self.hash_seed {
+            Some(s) => {
+                buf.push(1);
+                put_u64(&mut buf, s);
+            }
+            None => buf.push(0),
+        }
+        put_u64(&mut buf, self.policy.max_pending);
+        put_f64(&mut buf, self.policy.max_dirty_fraction);
+        put_f64(&mut buf, self.policy.min_goodness);
+        put_u64(&mut buf, self.policy.max_merges);
+        put_u64(&mut buf, self.policy.min_clusters as u64);
+        put_f64(&mut buf, self.policy.max_cluster_fraction);
+        put_u64(&mut buf, self.policy.rep_cap as u64);
+        put_u32(&mut buf, self.next_point);
+        put_u64(&mut buf, self.pending);
+        let pv = &self.provenance;
+        for v in [
+            pv.updates_applied,
+            pv.points_absorbed,
+            pv.points_rejected,
+            pv.relabels,
+            pv.dirty_links,
+            pv.remerges,
+            pv.remerge_merges,
+        ] {
+            put_u64(&mut buf, v);
+        }
+        put_u32(&mut buf, self.clusters.len() as u32);
+        for c in &self.clusters {
+            put_u32_slice(&mut buf, c);
+        }
+        put_u32_slice(&mut buf, &self.outliers);
+        for &d in &self.dirty {
+            put_u64(&mut buf, d);
+        }
+        put_u32(&mut buf, self.reps.len() as u32);
+        for set in &self.reps {
+            put_u32(&mut buf, set.len() as u32);
+            for p in set {
+                let mut blob = Vec::new();
+                p.encode(&mut blob);
+                put_u32(&mut buf, blob.len() as u32);
+                buf.extend_from_slice(&blob);
+            }
+        }
+        buf
+    }
+}
+
+/// Decodes one logged update batch back into points; a blob that does
+/// not decode exactly means the log belongs to a different point type.
+fn decode_update_points<P: ArtifactPoint>(rec: &UpdateRecord) -> Result<Vec<P>, RockError> {
+    let mut points = Vec::with_capacity(rec.points.len());
+    for blob in &rec.points {
+        let mut cursor = Cursor::new(blob);
+        let decoded = P::decode(&mut cursor).filter(|_| cursor.done());
+        let Some(p) = decoded else {
+            return Err(RockError::WalMismatch {
+                detail: format!("update #{} logs a point that does not decode", rec.seq),
+            });
+        };
+        points.push(p);
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goodness::{ConstantF, GoodnessKind};
+
+    fn goodness() -> Goodness {
+        Goodness::new(0.5, ConstantF(1.0), GoodnessKind::Normalized)
+    }
+
+    fn singleton_state(n: u32, links: &[(u32, u32, u64)]) -> IncrementalState {
+        let clusters: Vec<Vec<u32>> = (0..n).map(|p| vec![p]).collect();
+        IncrementalState::from_clusters(clusters, links, goodness(), FxBuildHasher::default())
+    }
+
+    #[test]
+    fn image_round_trips_through_from_clusters() {
+        let mut a = singleton_state(4, &[(0, 1, 3), (0, 2, 1), (1, 2, 2)]);
+        let rec = a.merge(a.global.peek().unwrap().0);
+        assert_eq!(rec.merged, 4);
+
+        // Re-image, compact arena ids, rebuild, and compare images.
+        let clusters: Vec<Vec<u32>> = a.live_clusters().into_iter().map(|(_, m)| m).collect();
+        let remap: std::collections::BTreeMap<u32, u32> = a
+            .live_clusters()
+            .iter()
+            .enumerate()
+            .map(|(new, (old, _))| (*old, new as u32))
+            .collect();
+        let links: Vec<(u32, u32, u64)> = a
+            .canonical_links()
+            .into_iter()
+            .map(|(i, j, c)| {
+                let (i, j) = (remap[&i], remap[&j]);
+                (i.min(j), i.max(j), c)
+            })
+            .collect();
+        let b = IncrementalState::from_clusters(
+            clusters.clone(),
+            &links,
+            goodness(),
+            FxBuildHasher::with_seed(99),
+        );
+        assert_eq!(
+            b.live_clusters().into_iter().map(|(_, m)| m).collect::<Vec<_>>(),
+            clusters
+        );
+        let mut want = links;
+        want.sort_unstable();
+        assert_eq!(b.canonical_links(), want);
+        // The rebuilt heaps agree on the next merge decision.
+        assert_eq!(b.global.peek().map(|(_, g)| g), a.global.peek().map(|(_, g)| g));
+    }
+
+    #[test]
+    fn bounded_merge_respects_every_cap() {
+        let links = &[(0, 1, 4), (1, 2, 3), (2, 3, 2), (3, 4, 1)];
+
+        // max_merges caps the pass length.
+        let mut s = singleton_state(5, links);
+        let bound = MergeBound {
+            min_goodness: f64::NEG_INFINITY,
+            min_clusters: 1,
+            max_merges: 2,
+            max_cluster_size: usize::MAX,
+        };
+        assert_eq!(s.bounded_merge(&bound).len(), 2);
+
+        // min_clusters floors the surviving count.
+        let mut s = singleton_state(5, links);
+        let merges = s.bounded_merge(&MergeBound {
+            min_clusters: 3,
+            max_merges: usize::MAX,
+            ..bound
+        });
+        assert_eq!(merges.len(), 2);
+        assert_eq!(s.num_live(), 3);
+
+        // min_goodness stops low-quality merges.
+        let mut s = singleton_state(5, links);
+        let all = s.bounded_merge(&MergeBound {
+            min_clusters: 1,
+            max_merges: usize::MAX,
+            ..bound
+        });
+        let cutoff = all[all.len() - 1].goodness + 1e-9;
+        let mut s2 = singleton_state(5, links);
+        let some = s2.bounded_merge(&MergeBound {
+            min_goodness: cutoff,
+            min_clusters: 1,
+            max_merges: usize::MAX,
+            max_cluster_size: usize::MAX,
+        });
+        assert!(some.len() < all.len());
+
+        // max_cluster_size stops the pass before a giant cluster forms.
+        let mut s = singleton_state(5, links);
+        let small = s.bounded_merge(&MergeBound {
+            min_goodness: f64::NEG_INFINITY,
+            min_clusters: 1,
+            max_merges: usize::MAX,
+            max_cluster_size: 2,
+        });
+        assert!(small.iter().all(|m| m.sizes.0 + m.sizes.1 <= 2));
+    }
+
+    #[test]
+    fn unlinked_state_never_merges() {
+        let mut s = singleton_state(3, &[]);
+        let merges = s.bounded_merge(&MergeBound {
+            min_goodness: f64::NEG_INFINITY,
+            min_clusters: 1,
+            max_merges: usize::MAX,
+            max_cluster_size: usize::MAX,
+        });
+        assert!(merges.is_empty());
+        assert_eq!(s.num_live(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed link")]
+    fn malformed_link_panics() {
+        let _ = singleton_state(2, &[(1, 1, 3)]);
+    }
+
+    use crate::points::Transaction;
+    use crate::similarity::Jaccard;
+
+    fn t(items: &[u32]) -> Transaction {
+        Transaction::new(items.to_vec())
+    }
+
+    /// Two well-separated basket clusters: "baby products" (points
+    /// 0..=2) and "imported foods" (points 3..=5), θ = 0.5.
+    fn baskets_artifact() -> ModelArtifact {
+        let sets = vec![
+            vec![t(&[0, 1, 2]), t(&[0, 1, 3]), t(&[0, 2, 3])],
+            vec![t(&[10, 11, 12]), t(&[10, 11, 13]), t(&[10, 12, 13])],
+        ];
+        let labeler = Labeler::from_sets(sets, 0.5, 1.0).unwrap();
+        let fit = ModelFit {
+            clustering: Clustering::new(vec![vec![0, 1, 2], vec![3, 4, 5]], vec![]),
+            dendrogram: None,
+            report: RunReport::new(),
+        };
+        ModelArtifact::from_labeled("rock", &fit, &labeler, 1.0, Some(7)).unwrap()
+    }
+
+    /// A lenient policy that never trips staleness in short tests.
+    fn calm_policy() -> StalenessPolicy {
+        StalenessPolicy {
+            max_pending: 1_000_000,
+            max_dirty_fraction: 1e9,
+            ..StalenessPolicy::default()
+        }
+    }
+
+    #[test]
+    fn update_absorbs_neighbors_and_rejects_strangers() {
+        let artifact = baskets_artifact();
+        let mut state: IncrementalRockState<Transaction> =
+            IncrementalRockState::from_artifact(&artifact, calm_policy()).unwrap();
+        let arrivals = vec![t(&[0, 1, 2]), t(&[99, 100])];
+        let out = state
+            .update(&arrivals, &Jaccard, &RunGovernor::unlimited())
+            .unwrap();
+        assert_eq!(out.assignments, vec![Some(0), None]);
+        assert_eq!((out.absorbed, out.rejected), (1, 1));
+        assert!(out.remerged.is_empty());
+        // Point ids continue from the base fit: 6 absorbed, 7 rejected.
+        assert_eq!(state.clusters(), &[vec![0, 1, 2, 6], vec![3, 4, 5]]);
+        assert_eq!(state.outliers(), &[7]);
+        assert_eq!(state.pending(), 1);
+        // The duplicate of {0,1,2} neighbors all three representatives.
+        assert_eq!(out.dirty_links, 3);
+        let pv = state.provenance();
+        assert_eq!(pv.updates_applied, 1);
+        assert_eq!(pv.relabels, 2);
+        assert_eq!(pv.remerges, 0);
+    }
+
+    #[test]
+    fn staleness_trip_runs_a_bounded_remerge_and_resets_accumulators() {
+        let artifact = baskets_artifact();
+        let policy = StalenessPolicy {
+            max_pending: 1,
+            min_clusters: 1,
+            ..StalenessPolicy::default()
+        };
+        let mut state: IncrementalRockState<Transaction> =
+            IncrementalRockState::from_artifact(&artifact, policy).unwrap();
+        let out = state
+            .update(&[t(&[0, 1, 2])], &Jaccard, &RunGovernor::unlimited())
+            .unwrap();
+        // The two basket clusters share no items, so the pass commits no
+        // merges — but it still counts as a re-merge and resets state.
+        assert!(out.remerged.is_empty());
+        assert_eq!(state.pending(), 0);
+        assert_eq!(state.provenance().remerges, 1);
+        assert_eq!(state.num_clusters(), 2);
+    }
+
+    #[test]
+    fn overlapping_clusters_remerge_when_stale() {
+        // Three clusters where the first two share enough items to link.
+        let sets = vec![
+            vec![t(&[0, 1, 2]), t(&[0, 1, 3])],
+            vec![t(&[0, 2, 3]), t(&[1, 2, 3])],
+            vec![t(&[10, 11, 12]), t(&[10, 11, 13])],
+        ];
+        let labeler = Labeler::from_sets(sets, 0.5, 1.0).unwrap();
+        let fit = ModelFit {
+            clustering: Clustering::new(vec![vec![0, 1], vec![2, 3], vec![4, 5]], vec![]),
+            dendrogram: None,
+            report: RunReport::new(),
+        };
+        let artifact = ModelArtifact::from_labeled("rock", &fit, &labeler, 1.0, None).unwrap();
+        let policy = StalenessPolicy {
+            max_pending: 1,
+            min_clusters: 2,
+            max_cluster_fraction: 1.0,
+            ..StalenessPolicy::default()
+        };
+        let mut state: IncrementalRockState<Transaction> =
+            IncrementalRockState::from_artifact(&artifact, policy).unwrap();
+        let out = state
+            .update(&[t(&[0, 1, 2])], &Jaccard, &RunGovernor::unlimited())
+            .unwrap();
+        assert_eq!(out.remerged.len(), 1);
+        assert_eq!(state.num_clusters(), 2);
+        assert_eq!(state.provenance().remerge_merges, 1);
+        // The merged cluster absorbed both overlapping basket clusters
+        // plus the arrival (point 6) and leads the canonical order.
+        assert_eq!(state.clusters()[0], vec![0, 1, 2, 3, 6]);
+    }
+
+    #[test]
+    fn wal_replay_reaches_the_bit_identical_state() {
+        let artifact = baskets_artifact();
+        let policy = StalenessPolicy {
+            max_pending: 3,
+            min_clusters: 1,
+            ..StalenessPolicy::default()
+        };
+        let mut state: IncrementalRockState<Transaction> =
+            IncrementalRockState::from_artifact(&artifact, policy).unwrap();
+        state
+            .update(&[t(&[0, 1, 2]), t(&[10, 11, 12])], &Jaccard, &RunGovernor::unlimited())
+            .unwrap();
+        state
+            .update(&[t(&[0, 1, 3]), t(&[77])], &Jaccard, &RunGovernor::unlimited())
+            .unwrap();
+        let wal_bytes = state.wal().as_bytes().to_vec();
+
+        let (replayed, truncated) =
+            IncrementalRockState::<Transaction>::resume(&artifact, &wal_bytes, &Jaccard).unwrap();
+        assert!(!truncated);
+        assert_eq!(replayed.digest(), state.digest());
+        assert_eq!(replayed.canonical_bytes(), state.canonical_bytes());
+        // Deterministic encoding regenerates the log byte-for-byte.
+        assert_eq!(replayed.wal().as_bytes(), &wal_bytes[..]);
+
+        // A torn tail replays the intact prefix and reports truncation.
+        let torn = &wal_bytes[..wal_bytes.len() - 3];
+        let (prefix, truncated) =
+            IncrementalRockState::<Transaction>::resume(&artifact, torn, &Jaccard).unwrap();
+        assert!(truncated);
+        assert_eq!(prefix.provenance().updates_applied, 1);
+    }
+
+    #[test]
+    fn foreign_wal_is_a_typed_mismatch() {
+        let artifact = baskets_artifact();
+        let mut state: IncrementalRockState<Transaction> =
+            IncrementalRockState::from_artifact(&artifact, calm_policy()).unwrap();
+        state
+            .update(&[t(&[0, 1, 2])], &Jaccard, &RunGovernor::unlimited())
+            .unwrap();
+        let wal_bytes = state.wal().as_bytes().to_vec();
+
+        // Same shape, different θ: the fingerprint must reject it.
+        let sets = vec![
+            vec![t(&[0, 1, 2]), t(&[0, 1, 3]), t(&[0, 2, 3])],
+            vec![t(&[10, 11, 12]), t(&[10, 11, 13]), t(&[10, 12, 13])],
+        ];
+        let labeler = Labeler::from_sets(sets, 0.75, 1.0).unwrap();
+        let fit = ModelFit {
+            clustering: Clustering::new(vec![vec![0, 1, 2], vec![3, 4, 5]], vec![]),
+            dendrogram: None,
+            report: RunReport::new(),
+        };
+        let other = ModelArtifact::from_labeled("rock", &fit, &labeler, 1.0, Some(7)).unwrap();
+        let err = IncrementalRockState::<Transaction>::resume(&other, &wal_bytes, &Jaccard)
+            .unwrap_err();
+        assert!(matches!(err, RockError::WalMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn evolved_artifact_round_trips_digest_identically() {
+        let artifact = baskets_artifact();
+        let mut state: IncrementalRockState<Transaction> =
+            IncrementalRockState::from_artifact(&artifact, calm_policy()).unwrap();
+        state
+            .update(&[t(&[0, 1, 2]), t(&[42])], &Jaccard, &RunGovernor::unlimited())
+            .unwrap();
+
+        let evolved = state.to_artifact().unwrap();
+        assert!(evolved.update_state().is_some());
+        let bytes = evolved.to_bytes();
+        let loaded = ModelArtifact::from_bytes(&bytes).unwrap();
+        let reopened: IncrementalRockState<Transaction> =
+            IncrementalRockState::from_artifact(&loaded, calm_policy()).unwrap();
+        assert_eq!(reopened.digest(), state.digest());
+        // The stored policy wins over the caller's default.
+        assert_eq!(reopened.policy(), state.policy());
+        assert_eq!(reopened.provenance(), state.provenance());
+    }
+
+    #[test]
+    fn interrupted_update_is_resumable_and_unlogged() {
+        let artifact = baskets_artifact();
+        let mut state: IncrementalRockState<Transaction> =
+            IncrementalRockState::from_artifact(&artifact, calm_policy()).unwrap();
+        let governor = RunGovernor::unlimited().with_kill_at(Phase::Labeling, 0);
+        let err = state
+            .update(&[t(&[0, 1, 2])], &Jaccard, &governor)
+            .unwrap_err();
+        assert!(
+            matches!(err, RockError::Interrupted { resumable: true, .. }),
+            "{err}"
+        );
+        // Nothing was applied or logged: replay lands on the base state.
+        let (replayed, _) =
+            IncrementalRockState::<Transaction>::resume(&artifact, state.wal().as_bytes(), &Jaccard)
+                .unwrap();
+        assert_eq!(replayed.provenance().updates_applied, 0);
+        assert_eq!(replayed.digest(), state.digest());
+    }
+}

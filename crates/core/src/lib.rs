@@ -57,6 +57,7 @@
 //! | [`criterion_fn`] | §3.3 | the criterion function E_l |
 //! | [`heap`] | §4.3 | addressable max-heaps for the merge loop |
 //! | [`algorithm`] | §4.3, §4.6 | the Fig.-3 agglomeration with outlier handling |
+//! | [`incremental`] | §4.3, §4.6 | reusable merge-loop state + online update path (bounded re-merge) |
 //! | [`sampling`] | §4.6 | Vitter reservoir sampling (Algorithms R and X) |
 //! | [`labeling`] | §4.6 | assigning disk-resident points to sample clusters |
 //! | [`rock`] | Fig. 2 | builder-configured end-to-end driver |
@@ -107,6 +108,7 @@ pub mod error;
 pub mod goodness;
 pub mod governor;
 pub mod heap;
+pub mod incremental;
 pub mod labeling;
 pub mod links;
 pub mod links_l3;
@@ -126,17 +128,21 @@ pub mod wal;
 pub(crate) mod testdata;
 
 pub use algorithm::{OutlierPolicy, RockAlgorithm, RockRun, WeedPolicy};
-pub use artifact::{ArtifactPoint, ArtifactSource, FileSource, ModelArtifact};
+pub use artifact::{ArtifactPoint, ArtifactSource, FileSource, ModelArtifact, UpdateExtension};
 pub use cluster::{Clustering, MergeRecord};
 pub use components::{neighbor_components, DisjointSet};
 pub use dendrogram::Dendrogram;
 pub use engine::model::RockModel;
 pub use engine::{
-    shard_ranges, ClusterModel, ModelFit, NoFaults, Pipeline, RepSetSimilarity, RunCtx,
-    ShardConfig, ShardFaultPlan, ShardRun, ShardSupervisor, ShardedRun,
+    shard_ranges, ClusterModel, IncrementalModel, ModelFit, NoFaults, Pipeline, RepSetSimilarity,
+    RunCtx, ShardConfig, ShardFaultPlan, ShardRun, ShardSupervisor, ShardedRun,
 };
 pub use error::RockError;
 pub use goodness::{BasketF, ConstantF, FTheta, Goodness, GoodnessKind};
+pub use incremental::{
+    IncrementalRockState, IncrementalState, MergeBound, StalenessPolicy, UpdateOutcome,
+    UpdateProvenance,
+};
 pub use governor::{
     CancellationToken, DegradationNote, DegradationPolicy, Phase, RunGovernor, TripReason,
 };
@@ -153,10 +159,10 @@ pub use points::{CategoricalRecord, CategoricalSchema, ItemCatalog, Transaction}
 pub use report::{PhasePerf, PhaseTiming, QuarantinedRecord, RunReport, ShardDegradationNote};
 pub use rock::{Rock, RockBuilder, RockConfig, RockResult};
 pub use serve::{
-    load_artifact_with_retry, AssignService, Centroid, RetryPolicy, ServeBatch, ServeConfig,
-    ServeDegradation, ServeDegradationNote, ServeReport,
+    load_artifact_with_retry, AssignService, Centroid, OnlineAssignService, RetryPolicy,
+    ServeBatch, ServeConfig, ServeDegradation, ServeDegradationNote, ServeReport,
 };
-pub use wal::{parse_wal, MergeWal, WalReplay};
+pub use wal::{parse_update_wal, parse_wal, MergeWal, UpdateReplay, UpdateWal, WalReplay};
 pub use similarity::{
     CategoricalJaccard, CheckedSimilarity, FaultySimilarity, Hamming, Jaccard, MissingPolicy,
     NormalizedLp, PairwiseSimilarity, PointsWith, Similarity, SimilarityMatrix,

@@ -27,6 +27,9 @@ static SIM_EVALS: AtomicU64 = AtomicU64::new(0);
 static SCRATCH_REUSED: AtomicU64 = AtomicU64::new(0);
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static RELABELS: AtomicU64 = AtomicU64::new(0);
+static DIRTY_LINKS: AtomicU64 = AtomicU64::new(0);
+static REMERGES: AtomicU64 = AtomicU64::new(0);
 
 /// Records `n` link-pairs emitted by a link kernel.
 #[inline]
@@ -62,6 +65,24 @@ pub fn count_allocs(count: u64, bytes: u64) {
     ALLOC_BYTES.fetch_add(bytes, Ordering::Relaxed);
 }
 
+/// Records `n` §4.6 labeling decisions taken by the online update path.
+#[inline]
+pub fn count_relabels(n: u64) {
+    RELABELS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records `n` dirty links accumulated by the online update path.
+#[inline]
+pub fn count_dirty_links(n: u64) {
+    DIRTY_LINKS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records `n` bounded re-merge passes triggered by staleness.
+#[inline]
+pub fn count_remerges(n: u64) {
+    REMERGES.fetch_add(n, Ordering::Relaxed);
+}
+
 /// A point-in-time reading of all counters; subtract two to scope a
 /// phase. All fields are cumulative totals since process start.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -78,6 +99,12 @@ pub struct PerfCounters {
     pub allocs: u64,
     /// Bytes requested by those allocations.
     pub alloc_bytes: u64,
+    /// §4.6 labeling decisions taken by the online update path.
+    pub relabels: u64,
+    /// Dirty links accumulated by the online update path.
+    pub dirty_links: u64,
+    /// Bounded re-merge passes triggered by staleness.
+    pub remerges: u64,
 }
 
 impl PerfCounters {
@@ -91,6 +118,9 @@ impl PerfCounters {
             scratch_reused: self.scratch_reused.saturating_sub(earlier.scratch_reused),
             allocs: self.allocs.saturating_sub(earlier.allocs),
             alloc_bytes: self.alloc_bytes.saturating_sub(earlier.alloc_bytes),
+            relabels: self.relabels.saturating_sub(earlier.relabels),
+            dirty_links: self.dirty_links.saturating_sub(earlier.dirty_links),
+            remerges: self.remerges.saturating_sub(earlier.remerges),
         }
     }
 
@@ -111,7 +141,17 @@ impl std::fmt::Display for PerfCounters {
             self.scratch_reused,
             self.allocs,
             self.alloc_bytes
-        )
+        )?;
+        // The update-path counters only appear once the update path has
+        // run: batch-only readings keep the historical compact form.
+        if self.relabels != 0 || self.dirty_links != 0 || self.remerges != 0 {
+            write!(
+                f,
+                " relabels={} dirty={} remerges={}",
+                self.relabels, self.dirty_links, self.remerges
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -124,6 +164,9 @@ pub fn snapshot() -> PerfCounters {
         scratch_reused: SCRATCH_REUSED.load(Ordering::Relaxed),
         allocs: ALLOCS.load(Ordering::Relaxed),
         alloc_bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+        relabels: RELABELS.load(Ordering::Relaxed),
+        dirty_links: DIRTY_LINKS.load(Ordering::Relaxed),
+        remerges: REMERGES.load(Ordering::Relaxed),
     }
 }
 
@@ -168,8 +211,31 @@ mod tests {
             scratch_reused: 4,
             allocs: 5,
             alloc_bytes: 6,
+            ..PerfCounters::default()
         };
         assert_eq!(c.to_string(), "pairs=1 bytes=2 sims=3 reused=4 allocs=5/6B");
         assert!(PerfCounters::default().is_zero());
+    }
+
+    #[test]
+    fn display_extends_only_when_update_counters_fire() {
+        let c = PerfCounters {
+            relabels: 7,
+            dirty_links: 8,
+            remerges: 9,
+            ..PerfCounters::default()
+        };
+        assert_eq!(
+            c.to_string(),
+            "pairs=0 bytes=0 sims=0 reused=0 allocs=0/0B relabels=7 dirty=8 remerges=9"
+        );
+        let before = snapshot();
+        count_relabels(2);
+        count_dirty_links(3);
+        count_remerges(1);
+        let delta = snapshot().since(&before);
+        assert!(delta.relabels >= 2);
+        assert!(delta.dirty_links >= 3);
+        assert!(delta.remerges >= 1);
     }
 }

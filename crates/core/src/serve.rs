@@ -38,15 +38,23 @@
 //!
 //! Queries borrow the service immutably, so one service instance
 //! safely serves concurrent reader threads.
+//!
+//! **Online mode** ([`OnlineAssignService`]) pairs the read path with an
+//! evolving model: one writer absorbs arrival batches into an
+//! [`IncrementalRockState`] (update-WAL-logged, bounded re-merges) and
+//! publishes each changed model as a fresh [`AssignService`] snapshot
+//! behind an `Arc` swap, so concurrent readers are never blocked behind
+//! an update or re-merge.
 
 use crate::artifact::{ArtifactPoint, ArtifactSource, ModelArtifact};
 use crate::error::RockError;
 use crate::governor::{Phase, RunGovernor, TripReason};
+use crate::incremental::{IncrementalRockState, StalenessPolicy, UpdateOutcome};
 use crate::labeling::Labeler;
 use crate::report::QuarantinedRecord;
 use crate::similarity::Similarity;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// What to do when the batch deadline trips mid-batch.
@@ -495,6 +503,125 @@ where
     }
 }
 
+/// An assign service over an *evolving* model.
+///
+/// Pairs an [`IncrementalRockState`] (the single writer) with an
+/// atomically swappable [`AssignService`] snapshot (any number of
+/// readers). Readers take an `Arc` snapshot via
+/// [`OnlineAssignService::service`] and keep serving queries from it;
+/// [`OnlineAssignService::absorb_batch`] applies an update, builds the
+/// *next* snapshot entirely off-lock, and publishes it with a single
+/// pointer swap — readers are never blocked behind an update or a
+/// re-merge. Snapshots taken before a swap keep answering from the
+/// pre-update model until their holders re-fetch (the usual
+/// read-copy-update trade), and each snapshot keeps its own lifetime
+/// stats.
+///
+/// Durability follows the incremental contract: the state's update WAL
+/// ([`OnlineAssignService::state`] → [`IncrementalRockState::wal`])
+/// replays to the bit-identical evolved model, and
+/// [`OnlineAssignService::persist`] saves it as a version-2 artifact.
+pub struct OnlineAssignService<P, S> {
+    state: IncrementalRockState<P>,
+    measure: S,
+    config: ServeConfig,
+    current: Mutex<Arc<AssignService<P, S>>>,
+}
+
+impl<P, S> OnlineAssignService<P, S>
+where
+    P: ArtifactPoint + Centroid + Clone,
+    S: Similarity<P> + Clone,
+{
+    /// Opens `artifact` for online serving under `policy`.
+    ///
+    /// # Errors
+    /// As [`IncrementalRockState::from_artifact`] and
+    /// [`AssignService::new`].
+    pub fn new(
+        artifact: &ModelArtifact,
+        measure: S,
+        config: ServeConfig,
+        policy: StalenessPolicy,
+    ) -> Result<Self, RockError> {
+        let state = IncrementalRockState::from_artifact(artifact, policy)?;
+        let service = AssignService::new(artifact, measure.clone(), config.clone())?;
+        Ok(OnlineAssignService {
+            state,
+            measure,
+            config,
+            current: Mutex::new(Arc::new(service)),
+        })
+    }
+
+    /// The current service snapshot. Cheap (one brief lock around an
+    /// `Arc` clone); hold the returned `Arc` for a whole batch and
+    /// re-fetch per batch to observe model swaps.
+    pub fn service(&self) -> Arc<AssignService<P, S>> {
+        let guard = self
+            .current
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(&guard)
+    }
+
+    /// Serves one batch against the current snapshot (convenience for
+    /// [`OnlineAssignService::service`] + [`AssignService::assign_batch`]).
+    ///
+    /// # Errors
+    /// As [`AssignService::assign_batch`].
+    pub fn assign_batch(&self, queries: &[P]) -> Result<ServeBatch, RockError> {
+        self.service().assign_batch(queries)
+    }
+
+    /// Absorbs one batch of arrivals into the evolving model and — when
+    /// the batch changed it (any point absorbed, or a re-merge ran) —
+    /// swaps a freshly built service snapshot in for subsequent
+    /// readers. The snapshot is constructed before the swap lock is
+    /// taken; the lock covers only the pointer store.
+    ///
+    /// # Errors
+    /// As [`IncrementalRockState::update`] (the model may then be torn
+    /// — discard and resume from the WAL; the published snapshot is
+    /// unaffected), plus artifact/service rebuild errors.
+    pub fn absorb_batch(
+        &mut self,
+        arrivals: &[P],
+        governor: &RunGovernor,
+    ) -> Result<UpdateOutcome, RockError> {
+        let outcome = self.state.update(arrivals, &self.measure, governor)?;
+        if outcome.absorbed > 0 || !outcome.remerged.is_empty() {
+            let artifact = self.state.to_artifact()?;
+            let next = Arc::new(AssignService::new(
+                &artifact,
+                self.measure.clone(),
+                self.config.clone(),
+            )?);
+            let mut guard = self
+                .current
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *guard = next;
+        }
+        Ok(outcome)
+    }
+
+    /// The evolving model behind the service (read access to clusters,
+    /// provenance and the update WAL).
+    pub fn state(&self) -> &IncrementalRockState<P> {
+        &self.state
+    }
+
+    /// Saves the evolved model as a version-2 artifact at `path`
+    /// (atomic write-then-rename, as [`ModelArtifact::save`]).
+    ///
+    /// # Errors
+    /// [`RockError::ArtifactIo`] on filesystem failure.
+    pub fn persist(&self, path: &std::path::Path) -> Result<(), RockError> {
+        self.state.to_artifact()?.save(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -922,5 +1049,73 @@ mod tests {
         assert_eq!(retry.backoff(1), Duration::from_millis(20));
         assert_eq!(retry.backoff(2), Duration::from_millis(25));
         assert_eq!(retry.backoff(63), Duration::from_millis(25));
+    }
+
+    fn calm_policy() -> StalenessPolicy {
+        StalenessPolicy {
+            max_pending: 1_000_000,
+            max_dirty_fraction: 1e9,
+            ..StalenessPolicy::default()
+        }
+    }
+
+    #[test]
+    fn online_absorb_swaps_the_snapshot_without_touching_held_readers() {
+        let artifact = sample_artifact();
+        let mut online: OnlineAssignService<Transaction, Jaccard> =
+            OnlineAssignService::new(&artifact, Jaccard, ServeConfig::default(), calm_policy())
+                .unwrap();
+        let before = online.service();
+
+        let out = online
+            .absorb_batch(&[Transaction::from([0, 1, 2])], &RunGovernor::unlimited())
+            .unwrap();
+        assert_eq!(out.absorbed, 1);
+        let after = online.service();
+        // The absorbed point produced a new snapshot; the old Arc still
+        // serves the pre-update model untouched.
+        assert!(!Arc::ptr_eq(&before, &after));
+        let old_batch = before.assign_batch(&queries()).unwrap();
+        assert_eq!(old_batch.assignments, vec![Some(0), Some(1), None]);
+        let new_batch = after.assign_batch(&queries()).unwrap();
+        assert_eq!(new_batch.assignments, vec![Some(0), Some(1), None]);
+        // The evolving state recorded the arrival (point id 5).
+        assert_eq!(online.state().clusters()[0], vec![0, 1, 2, 5]);
+        assert_eq!(online.state().provenance().points_absorbed, 1);
+    }
+
+    #[test]
+    fn online_rejected_only_batch_keeps_the_snapshot() {
+        let artifact = sample_artifact();
+        let mut online: OnlineAssignService<Transaction, Jaccard> =
+            OnlineAssignService::new(&artifact, Jaccard, ServeConfig::default(), calm_policy())
+                .unwrap();
+        let before = online.service();
+        let out = online
+            .absorb_batch(&[Transaction::from([77, 78])], &RunGovernor::unlimited())
+            .unwrap();
+        assert_eq!((out.absorbed, out.rejected), (0, 1));
+        // Outliers do not change the served representative pools: no swap.
+        assert!(Arc::ptr_eq(&before, &online.service()));
+        assert_eq!(online.state().outliers(), &[5]);
+    }
+
+    #[test]
+    fn online_state_replays_to_the_served_model() {
+        let artifact = sample_artifact();
+        let mut online: OnlineAssignService<Transaction, Jaccard> =
+            OnlineAssignService::new(&artifact, Jaccard, ServeConfig::default(), calm_policy())
+                .unwrap();
+        online
+            .absorb_batch(
+                &[Transaction::from([0, 1, 2]), Transaction::from([10, 11, 12])],
+                &RunGovernor::unlimited(),
+            )
+            .unwrap();
+        let wal = online.state().wal().as_bytes().to_vec();
+        let (replayed, truncated) =
+            IncrementalRockState::<Transaction>::resume(&artifact, &wal, &Jaccard).unwrap();
+        assert!(!truncated);
+        assert_eq!(replayed.digest(), online.state().digest());
     }
 }

@@ -35,6 +35,34 @@
 //!   self-contained — resumption needs no neighbor graph.
 //! * **Finish** — marks a run that completed; replaying it is optional.
 //!
+//! ## Update logs
+//!
+//! The online update path ([`crate::incremental`]) keeps its own log
+//! under the same magic and frame codec, with a disjoint record grammar:
+//!
+//! ```text
+//! records := UpdateBase Update*
+//! ```
+//!
+//! * **UpdateBase** — the evolving model's fingerprint (θ, `f(θ)`,
+//!   labeling fraction, hash seed — exact f64 bits), the
+//!   [`crate::incremental::StalenessPolicy`] in force, and a CRC-32
+//!   digest of the base model's canonical state image.
+//! * **Update** — one applied update batch: its sequence number, the
+//!   encoded arrival points (self-contained
+//!   [`crate::artifact::ArtifactPoint`] blobs), and the digest of the
+//!   canonical state image *after* the batch applied. Updates are
+//!   deterministic, so replaying the blobs from the base model
+//!   reproduces each digest bit-for-bit — [`parse_update_wal`] applies
+//!   the merge-WAL torn-tail discipline (damage to magic/UpdateBase is
+//!   [`RockError::WalCorrupt`]; later damage or an out-of-sequence
+//!   record truncates).
+//!
+//! The record-type spaces are disjoint (Begin..Finish = 1..=4,
+//! UpdateBase/Update = 5/6), so a log handed to the wrong parser
+//! degrades into a typed error or an empty truncated replay — never a
+//! misread record.
+//!
 //! ## Torn tails
 //!
 //! Crashes tear the last frame. [`parse_wal`] accepts any log whose
@@ -50,7 +78,10 @@
 
 use crate::cluster::MergeRecord;
 use crate::error::RockError;
-use crate::util::frame::{append_frame, put_u32, put_u32_slice, put_u64, read_frame, Cursor};
+use crate::incremental::StalenessPolicy;
+use crate::util::frame::{
+    append_frame, put_f64, put_u32, put_u32_slice, put_u64, read_frame, Cursor,
+};
 use std::io::Write as _;
 use std::path::Path;
 
@@ -61,6 +92,8 @@ const REC_BEGIN: u8 = 1;
 const REC_MERGE: u8 = 2;
 const REC_SNAPSHOT: u8 = 3;
 const REC_FINISH: u8 = 4;
+const REC_UBASE: u8 = 5;
+const REC_UPDATE: u8 = 6;
 
 /// Configuration fingerprint + initial arena, logged once at the head of
 /// every WAL.
@@ -100,6 +133,39 @@ pub(crate) struct WalSnapshot {
     /// Cross-link table, upper triangle: `(i, j, count)` with `i < j`,
     /// sorted ascending. Heaps are derived from this on restore.
     pub links: Vec<(u32, u32, u64)>,
+}
+
+/// The evolving-model fingerprint logged once at the head of every
+/// update WAL: the labeling parameters the model serves under, the
+/// staleness policy in force, and a digest of the base model's
+/// canonical state image.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct UpdateBase {
+    /// Exact bits of the similarity threshold θ.
+    pub theta_bits: u64,
+    /// Exact bits of the resolved `f(θ)`.
+    pub ftheta_bits: u64,
+    /// Exact bits of the labeling fraction.
+    pub fraction_bits: u64,
+    /// The merge engine's hash seed, if one was configured.
+    pub hash_seed: Option<u64>,
+    /// The staleness/re-merge policy the updates were applied under.
+    pub policy: StalenessPolicy,
+    /// CRC-32 of the base model's canonical state image.
+    pub base_digest: u32,
+}
+
+/// One applied update batch: sequence number, encoded arrival points,
+/// and the digest of the canonical state image after it applied.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct UpdateRecord {
+    /// 0-based batch index; must equal the number of updates before it.
+    pub seq: u64,
+    /// Self-contained [`crate::artifact::ArtifactPoint`] encodings of
+    /// the arrivals, in arrival order.
+    pub points: Vec<Vec<u8>>,
+    /// CRC-32 of the canonical state image after this batch applied.
+    pub post_digest: u32,
 }
 
 /// An append-only, CRC-framed merge log held in memory.
@@ -233,6 +299,108 @@ impl MergeWal {
         let mut p = Vec::with_capacity(8);
         put_u64(&mut p, merges_total);
         self.frame(REC_FINISH, &p);
+    }
+}
+
+/// An append-only, CRC-framed update log held in memory — the
+/// durability companion of the online update path
+/// ([`crate::incremental::IncrementalRockState`]).
+///
+/// Encoding is deterministic, so replaying the same updates from the
+/// same base model regenerates the log byte-for-byte: resumption never
+/// needs to splice onto old bytes.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateWal {
+    buf: Vec<u8>,
+}
+
+impl UpdateWal {
+    /// An empty update WAL (magic only).
+    pub fn new() -> Self {
+        UpdateWal {
+            buf: WAL_MAGIC.to_vec(),
+        }
+    }
+
+    /// The encoded log bytes (magic + frames).
+    pub fn as_bytes(&self) -> &[u8] {
+        if self.buf.is_empty() {
+            // `Default` derives an empty buffer; expose it as a valid
+            // (magic-only) image anyway.
+            WAL_MAGIC
+        } else {
+            &self.buf
+        }
+    }
+
+    /// Consumes the WAL, returning the encoded bytes.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.buf.is_empty() {
+            self.buf = WAL_MAGIC.to_vec();
+        }
+        self.buf
+    }
+
+    /// Encoded size in bytes.
+    pub fn len(&self) -> usize {
+        self.as_bytes().len()
+    }
+
+    /// Whether the WAL holds no records yet (magic only).
+    pub fn is_empty(&self) -> bool {
+        self.len() <= WAL_MAGIC.len()
+    }
+
+    /// Writes the encoded log to `path`, fsync'd.
+    ///
+    /// # Errors
+    /// Any I/O error from create/write/sync.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.as_bytes())?;
+        f.sync_all()
+    }
+
+    fn frame(&mut self, kind: u8, payload: &[u8]) {
+        if self.buf.is_empty() {
+            self.buf = WAL_MAGIC.to_vec();
+        }
+        append_frame(&mut self.buf, kind, payload);
+    }
+
+    pub(crate) fn append_base(&mut self, b: &UpdateBase) {
+        let mut p = Vec::new();
+        put_u64(&mut p, b.theta_bits);
+        put_u64(&mut p, b.ftheta_bits);
+        put_u64(&mut p, b.fraction_bits);
+        match b.hash_seed {
+            None => p.push(0),
+            Some(seed) => {
+                p.push(1);
+                put_u64(&mut p, seed);
+            }
+        }
+        put_u64(&mut p, b.policy.max_pending);
+        put_f64(&mut p, b.policy.max_dirty_fraction);
+        put_f64(&mut p, b.policy.min_goodness);
+        put_u64(&mut p, b.policy.max_merges);
+        put_u64(&mut p, b.policy.min_clusters as u64);
+        put_f64(&mut p, b.policy.max_cluster_fraction);
+        put_u64(&mut p, b.policy.rep_cap as u64);
+        put_u32(&mut p, b.base_digest);
+        self.frame(REC_UBASE, &p);
+    }
+
+    pub(crate) fn append_update(&mut self, u: &UpdateRecord) {
+        let mut p = Vec::new();
+        put_u64(&mut p, u.seq);
+        put_u32(&mut p, u.points.len() as u32);
+        for blob in &u.points {
+            put_u32(&mut p, blob.len() as u32);
+            p.extend_from_slice(blob);
+        }
+        put_u32(&mut p, u.post_digest);
+        self.frame(REC_UPDATE, &p);
     }
 }
 
@@ -439,6 +607,147 @@ pub fn parse_wal(bytes: &[u8]) -> Result<WalReplay, RockError> {
     })
 }
 
+/// The replayable content of a parsed update WAL.
+#[derive(Clone, Debug)]
+pub struct UpdateReplay {
+    pub(crate) base: UpdateBase,
+    /// Every intact update record, in sequence order.
+    pub(crate) updates: Vec<UpdateRecord>,
+    /// Whether a torn tail was truncated during parsing.
+    pub truncated: bool,
+}
+
+impl UpdateReplay {
+    /// Number of update batches recoverable from the log.
+    pub fn num_updates(&self) -> usize {
+        self.updates.len()
+    }
+}
+
+fn parse_update_base(payload: &[u8]) -> Option<UpdateBase> {
+    let mut c = Cursor::new(payload);
+    let theta_bits = c.u64()?;
+    let ftheta_bits = c.u64()?;
+    let fraction_bits = c.u64()?;
+    let hash_seed = match c.u8()? {
+        0 => None,
+        1 => Some(c.u64()?),
+        _ => return None,
+    };
+    let policy = StalenessPolicy {
+        max_pending: c.u64()?,
+        max_dirty_fraction: c.f64()?,
+        min_goodness: c.f64()?,
+        max_merges: c.u64()?,
+        min_clusters: c.u64()? as usize,
+        max_cluster_fraction: c.f64()?,
+        rep_cap: c.u64()? as usize,
+    };
+    let base_digest = c.u32()?;
+    if policy.check().is_err() {
+        return None;
+    }
+    c.done().then_some(UpdateBase {
+        theta_bits,
+        ftheta_bits,
+        fraction_bits,
+        hash_seed,
+        policy,
+        base_digest,
+    })
+}
+
+fn parse_update_record(payload: &[u8]) -> Option<UpdateRecord> {
+    let mut c = Cursor::new(payload);
+    let seq = c.u64()?;
+    let n = c.u32()? as usize;
+    if n > payload.len() / 4 {
+        return None; // each blob costs at least a 4-byte length
+    }
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let blob_len = c.u32()? as usize;
+        points.push(c.take(blob_len)?.to_vec());
+    }
+    let post_digest = c.u32()?;
+    c.done().then_some(UpdateRecord {
+        seq,
+        points,
+        post_digest,
+    })
+}
+
+/// Parses an update WAL, truncating any torn tail.
+///
+/// The discipline mirrors [`parse_wal`]: damage to the magic or the
+/// UpdateBase record (nothing to replay onto) is fatal, while a frame
+/// after a valid base that is incomplete, fails its CRC, has an unknown
+/// type, or carries an out-of-sequence number truncates the log there
+/// with [`UpdateReplay::truncated`] set.
+///
+/// # Errors
+/// [`RockError::WalCorrupt`] when the magic or the UpdateBase record is
+/// missing or damaged.
+pub fn parse_update_wal(bytes: &[u8]) -> Result<UpdateReplay, RockError> {
+    // tidy-allow(panic-reach): the length check short-circuits before the magic slice
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(RockError::WalCorrupt {
+            offset: 0,
+            detail: "missing ROCKWAL1 magic".into(),
+        });
+    }
+
+    let mut at = WAL_MAGIC.len();
+    let mut base: Option<UpdateBase> = None;
+    let mut updates: Vec<UpdateRecord> = Vec::new();
+    let mut truncated = false;
+
+    while at < bytes.len() {
+        let frame = read_frame(bytes, at);
+        let Some((kind, payload, next)) = frame else {
+            truncated = true;
+            break;
+        };
+        let record_ok = match kind {
+            REC_UBASE if base.is_none() && updates.is_empty() => {
+                base = parse_update_base(payload);
+                base.is_some()
+            }
+            REC_UPDATE if base.is_some() => match parse_update_record(payload) {
+                Some(u) if u.seq as usize == updates.len() => {
+                    updates.push(u);
+                    true
+                }
+                _ => false,
+            },
+            _ => false, // unknown type or record out of order
+        };
+        if !record_ok {
+            if base.is_none() {
+                return Err(RockError::WalCorrupt {
+                    offset: at as u64,
+                    detail: "damaged UpdateBase record".into(),
+                });
+            }
+            truncated = true;
+            break;
+        }
+        at = next;
+    }
+
+    let Some(base) = base else {
+        return Err(RockError::WalCorrupt {
+            offset: at as u64,
+            detail: "log ends before a complete UpdateBase record".into(),
+        });
+    };
+    Ok(UpdateReplay {
+        base,
+        updates,
+        truncated,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +895,145 @@ mod tests {
         assert!(replay.finished);
         assert!(replay.truncated);
         assert_eq!(replay.num_merges(), 1);
+    }
+
+    fn sample_update_base() -> UpdateBase {
+        UpdateBase {
+            theta_bits: 0.5f64.to_bits(),
+            ftheta_bits: 1.0f64.to_bits(),
+            fraction_bits: 0.25f64.to_bits(),
+            hash_seed: Some(7),
+            policy: StalenessPolicy::default(),
+            base_digest: 0xDEAD_BEEF,
+        }
+    }
+
+    fn sample_update(seq: u64) -> UpdateRecord {
+        UpdateRecord {
+            seq,
+            points: vec![vec![1, 2, 3], vec![], vec![9]],
+            post_digest: 0x1234_0000 + seq as u32,
+        }
+    }
+
+    #[test]
+    fn update_log_round_trips() {
+        let mut wal = UpdateWal::new();
+        wal.append_base(&sample_update_base());
+        wal.append_update(&sample_update(0));
+        wal.append_update(&sample_update(1));
+        let replay = parse_update_wal(wal.as_bytes()).unwrap();
+        assert_eq!(replay.base, sample_update_base());
+        assert_eq!(replay.updates, vec![sample_update(0), sample_update(1)]);
+        assert!(!replay.truncated);
+        assert_eq!(replay.num_updates(), 2);
+    }
+
+    #[test]
+    fn default_update_wal_is_a_valid_empty_image() {
+        let wal = UpdateWal::default();
+        assert!(wal.is_empty());
+        assert_eq!(wal.as_bytes(), WAL_MAGIC);
+        assert!(matches!(
+            parse_update_wal(wal.as_bytes()),
+            Err(RockError::WalCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn torn_update_base_is_corrupt_torn_tail_is_truncated() {
+        let mut wal = UpdateWal::new();
+        wal.append_base(&sample_update_base());
+        let base_end = wal.len();
+        wal.append_update(&sample_update(0));
+        let bytes = wal.as_bytes();
+        for cut in WAL_MAGIC.len()..base_end {
+            assert!(
+                matches!(
+                    parse_update_wal(&bytes[..cut]),
+                    Err(RockError::WalCorrupt { .. })
+                ),
+                "cut at {cut} should be corrupt"
+            );
+        }
+        for cut in base_end..bytes.len() {
+            let replay = parse_update_wal(&bytes[..cut]).unwrap();
+            assert_eq!(replay.truncated, cut != base_end, "cut at {cut}");
+            assert!(replay.updates.is_empty());
+        }
+        assert_eq!(parse_update_wal(bytes).unwrap().num_updates(), 1);
+    }
+
+    #[test]
+    fn out_of_sequence_update_truncates() {
+        let mut wal = UpdateWal::new();
+        wal.append_base(&sample_update_base());
+        wal.append_update(&sample_update(0));
+        wal.append_update(&sample_update(2)); // gap: seq 1 missing
+        let replay = parse_update_wal(wal.as_bytes()).unwrap();
+        assert!(replay.truncated);
+        assert_eq!(replay.updates, vec![sample_update(0)]);
+    }
+
+    #[test]
+    fn bit_flip_in_an_update_record_truncates_there() {
+        let mut wal = UpdateWal::new();
+        wal.append_base(&sample_update_base());
+        wal.append_update(&sample_update(0));
+        let first_end = wal.len();
+        wal.append_update(&sample_update(1));
+        let mut bytes = wal.into_bytes();
+        bytes[first_end + 7] ^= 0x40; // inside the second update frame
+        let replay = parse_update_wal(&bytes).unwrap();
+        assert!(replay.truncated);
+        assert_eq!(replay.updates, vec![sample_update(0)]);
+    }
+
+    #[test]
+    fn merge_records_in_an_update_log_truncate() {
+        // Record-type spaces are disjoint: a Merge frame after the
+        // UpdateBase reads as an unknown type and truncates.
+        let mut wal = UpdateWal::new();
+        wal.append_base(&sample_update_base());
+        let mut p = Vec::new();
+        put_u64(&mut p, 1);
+        append_frame(&mut wal.buf, REC_MERGE, &p);
+        let replay = parse_update_wal(wal.as_bytes()).unwrap();
+        assert!(replay.truncated);
+        assert!(replay.updates.is_empty());
+        // And the other way round: an update log handed to the merge
+        // parser fails on its (damaged-looking) head.
+        assert!(matches!(
+            parse_wal(wal.as_bytes()),
+            Err(RockError::WalCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn update_base_with_invalid_policy_is_corrupt() {
+        let mut base = sample_update_base();
+        base.policy.rep_cap = 0;
+        let mut wal = UpdateWal::new();
+        wal.append_base(&base);
+        assert!(matches!(
+            parse_update_wal(wal.as_bytes()),
+            Err(RockError::WalCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn update_file_round_trip() {
+        let mut wal = UpdateWal::new();
+        wal.append_base(&sample_update_base());
+        wal.append_update(&sample_update(0));
+        let dir = std::env::temp_dir().join("rock-wal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("update-roundtrip-{}.wal", std::process::id()));
+        wal.write_to(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(bytes, wal.as_bytes());
+        assert_eq!(parse_update_wal(&bytes).unwrap().num_updates(), 1);
     }
 
     #[test]

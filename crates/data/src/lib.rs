@@ -60,5 +60,8 @@ pub use resilient::{
 };
 pub use mushroom::{generate_mushrooms, parse_mushrooms, Edibility, MushroomData, MushroomSpec};
 pub use mutualfund::{generate_funds, prices_to_record, Fund, FundData, FundSpec};
-pub use synthetic::{generate_baskets, SyntheticBasketData, SyntheticBasketSpec};
+pub use synthetic::{
+    generate_baskets, generate_drift_stream, DriftStreamData, DriftStreamSpec, DriftWindow,
+    SyntheticBasketData, SyntheticBasketSpec,
+};
 pub use votes::{generate_votes, parse_votes, Party, VotesData, VotesSpec};

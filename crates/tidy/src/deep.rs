@@ -38,6 +38,7 @@ const PROTECTED_FILES: &[&str] = &[
     "crates/core/src/wal.rs",
     "crates/core/src/artifact.rs",
     "crates/core/src/util/frame.rs",
+    "crates/core/src/incremental.rs",
 ];
 
 /// Crates whose library code the deep rules gate (same set as the

@@ -460,11 +460,9 @@ fn parse_owner(toks: &[Tok], at: usize, is_trait: bool) -> (Option<String>, usiz
     while j < toks.len() {
         match &toks[j].kind {
             TokKind::Punct('<') => angle += 1,
-            TokKind::Punct('>') => {
-                // `->` inside a bound is not a generic close.
-                if !(j > 0 && toks[j - 1].is_punct('-')) {
-                    angle = (angle - 1).max(0);
-                }
+            // `->` inside a bound is not a generic close.
+            TokKind::Punct('>') if !(j > 0 && toks[j - 1].is_punct('-')) => {
+                angle = (angle - 1).max(0);
             }
             TokKind::Punct('{') if angle == 0 => return (last, j),
             TokKind::Punct(';') if angle == 0 => return (None, j + 1),

@@ -11,9 +11,12 @@ fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
 }
 
+/// A workspace-relative path plus the in-memory patch to apply to it.
+type Patch<'a> = (&'a str, &'a dyn Fn(&str) -> String);
+
 /// Loads the real workspace, then re-loads each `(rel, patch)` file with
 /// its patch applied to the raw text, and runs the full pass.
-fn check_patched(patches: &[(&str, &dyn Fn(&str) -> String)]) -> Vec<Diagnostic> {
+fn check_patched(patches: &[Patch<'_>]) -> Vec<Diagnostic> {
     let root = workspace_root();
     let mut files: Vec<SourceFile> =
         rock_tidy::load_workspace(&root).expect("walking the workspace");

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_rock.json from the rock_parallel, serve and
-# shard_merge benches.
+# Regenerates BENCH_rock.json from the rock_parallel, serve, shard_merge
+# and incremental benches.
 #
 # Usage:
 #   scripts/bench_snapshot.sh [output.json]
@@ -28,7 +28,7 @@ out="${1:-BENCH_rock.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-for bench in rock_parallel serve shard_merge; do
+for bench in rock_parallel serve shard_merge incremental; do
     args=(bench -p bench --bench "$bench")
     if [[ -n "${BENCH_FILTER:-}" ]]; then
         args+=(-- "$BENCH_FILTER")
@@ -44,7 +44,7 @@ fi
 records="$(paste -sd, - <"$tmp")"
 {
     printf '{\n'
-    printf '  "bench": "rock_parallel+serve+shard_merge",\n'
+    printf '  "bench": "rock_parallel+serve+shard_merge+incremental",\n'
     printf '  "generator": "SyntheticBasketSpec::paper_scaled(0.05), seed 42 (section 5.3)",\n'
     printf '  "generated_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "git_rev": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"

@@ -22,9 +22,11 @@ use rock::labeling::{Labeler, Labeling};
 use rock::points::Transaction;
 use rock::rock::Rock;
 use rock::similarity::{Jaccard, PointsWith};
+use rock::util::FxBuildHasher;
 use rock::wal::{parse_wal, MergeWal};
 use rock::{
-    ConstantF, Goodness, NeighborGraph, OutlierPolicy, RockAlgorithm, RockError, RockRun,
+    compute_links_sparse, Clustering, ConstantF, Goodness, IncrementalState, MergeBound,
+    NeighborGraph, OutlierPolicy, RockAlgorithm, RockError, RockRun,
 };
 
 /// Three well-separated basket clusters over disjoint item ranges (the
@@ -210,6 +212,80 @@ proptest! {
             }
             Err(e) => prop_assert!(false, "unexpected error: {e}"),
         }
+    }
+
+    // Gate 4: the extracted incremental core. Driving the merge loop
+    // through the public `IncrementalState` surface — singleton clusters
+    // plus the sparse link table, merged under an uncapped `MergeBound`
+    // to the same k — reproduces the batch engine's merge trace and
+    // clustering bit-for-bit, across threads × hash seeds. And the
+    // canonical state image at any mid-loop cut is identical for every
+    // hasher seed, which is what makes the image serializable.
+    #[test]
+    fn incremental_state_drives_the_batch_merge_loop_bit_identically(
+        threads_idx in 0usize..3,
+        hash_seed in 0u64..1000,
+        cut in 0usize..40,
+    ) {
+        let threads = [1usize, 2, 8][threads_idx];
+        let data = three_clusters(18);
+        let rock = engine(threads, Some(hash_seed), None);
+        let cfg = rock.config();
+        let pw = PointsWith::new(&data, Jaccard);
+        let graph = if threads > 1 {
+            NeighborGraph::build_parallel(&pw, cfg.theta, threads)
+        } else {
+            NeighborGraph::build(&pw, cfg.theta)
+        };
+        let goodness = Goodness::new(cfg.theta, ConstantF(cfg.ftheta), cfg.goodness_kind);
+        let baseline = RockAlgorithm::new(goodness, cfg.k, OutlierPolicy::disabled())
+            .with_hash_seed(hash_seed)
+            .run_parallel(&graph, threads);
+
+        let singletons: Vec<Vec<u32>> = (0..data.len() as u32).map(|p| vec![p]).collect();
+        let mut pairs: Vec<(u32, u32, u64)> = compute_links_sparse(&graph)
+            .iter()
+            .map(|((i, j), c)| (i.min(j), i.max(j), u64::from(c)))
+            .collect();
+        pairs.sort_unstable();
+        let unbounded = MergeBound {
+            min_goodness: f64::NEG_INFINITY,
+            min_clusters: cfg.k,
+            max_merges: usize::MAX,
+            max_cluster_size: usize::MAX,
+        };
+
+        let mut st = IncrementalState::from_clusters(
+            singletons.clone(),
+            &pairs,
+            goodness,
+            FxBuildHasher::with_seed(hash_seed),
+        );
+        let records = st.bounded_merge(&unbounded);
+        prop_assert_eq!(&records, &baseline.merges);
+        let clusters: Vec<Vec<u32>> = st.live_clusters().into_iter().map(|(_, m)| m).collect();
+        prop_assert_eq!(Clustering::new(clusters, vec![]), baseline.clustering.clone());
+
+        // Image determinism: stop after `cut` merges under two different
+        // hasher seeds and demand the identical canonical image.
+        let capped = MergeBound { max_merges: cut, ..unbounded };
+        let mut a = IncrementalState::from_clusters(
+            singletons.clone(),
+            &pairs,
+            goodness,
+            FxBuildHasher::with_seed(hash_seed),
+        );
+        let mut b = IncrementalState::from_clusters(
+            singletons,
+            &pairs,
+            goodness,
+            FxBuildHasher::with_seed(hash_seed.wrapping_add(513)),
+        );
+        let ra = a.bounded_merge(&capped);
+        let rb = b.bounded_merge(&capped);
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(a.live_clusters(), b.live_clusters());
+        prop_assert_eq!(a.canonical_links(), b.canonical_links());
     }
 }
 
